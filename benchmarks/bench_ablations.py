@@ -1,0 +1,25 @@
+"""Ablation benches over the reproduction's design choices."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("ablations", config))
+    record_result(result)
+    collapse = {
+        row["enabled"]: row["gain_at_vcrash"]
+        for row in result.rows
+        if row["ablation"] == "activity_collapse"
+    }
+    # Without the missed-transition term the paper's >3x headline is lost.
+    assert collapse[True] > 3.0 > collapse[False]
+    masking = {
+        row["exponent"]: row["resnet_over_vggnet_exposure"]
+        for row in result.rows
+        if row["ablation"] == "masking_exponent"
+    }
+    assert max(masking) == 1.0 and masking[1.0] > 40.0  # linear: ~49x cliff

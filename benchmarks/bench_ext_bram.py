@@ -1,0 +1,14 @@
+"""Extension bench: VCCBRAM undervolting (MICRO'18 direction)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_bram(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("ext_bram", config))
+    record_result(result)
+    assert result.summary["fault_onset_mv"] <= 610.0
+    assert result.summary["accuracy_at_floor"] < 0.7

@@ -1,0 +1,19 @@
+"""Extension bench: fault mitigation at Fmax (paper Section 9 future work)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_mitigation(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("ext_mitigation", config))
+    record_result(result)
+    # Every policy recovers accuracy at 555 mV; TMR recovers the most.
+    recovered = {
+        k.removeprefix("accuracy_recovered_555mv_"): v
+        for k, v in result.summary.items()
+    }
+    assert all(v >= 0.0 for v in recovered.values())
+    assert recovered["tmr"] >= recovered["razor"] - 0.05

@@ -1,0 +1,20 @@
+"""Regenerates Figure 10: temperature effect on reliability."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_temperature_accuracy(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig10", config))
+    record_result(result)
+    # Higher temperature heals undervolting faults (ITD, S7.2).
+    assert (
+        result.summary["acc_560mv_at_52c"] >= result.summary["acc_560mv_at_34c"]
+    )
+    # The guardband boundary does not move noticeably (S7.3).
+    at_570 = [r for r in result.rows if r["vccint_mv"] == 570.0]
+    for row in at_570:
+        assert row["accuracy"] == pytest.approx(row["clean_accuracy"], abs=0.03)

@@ -1,0 +1,15 @@
+"""Regenerates Figure 3: guardband / critical / crash regions."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_voltage_regions(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig3", config))
+    record_result(result)
+    assert result.summary["vmin_mean_mv"] == pytest.approx(570.0, abs=8.0)
+    assert result.summary["vcrash_mean_mv"] == pytest.approx(540.0, abs=8.0)
+    assert result.summary["guardband_pct"] == pytest.approx(33.0, abs=1.5)

@@ -1,0 +1,30 @@
+"""Regenerates Figure 4: the overall voltage-behaviour curve."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.plots import ascii_plot
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_overall_behavior(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig4", config))
+    record_result(result)
+    print(
+        ascii_plot(
+            {
+                "accuracy": [
+                    (r["vccint_mv"], r["accuracy"]) for r in result.rows
+                ],
+                "gops/W (norm/4)": [
+                    (r["vccint_mv"], r["gops_per_watt_norm"] / 4.0)
+                    for r in result.rows
+                ],
+            },
+            title="Figure 4: accuracy and power-efficiency vs VCCINT",
+            x_label="VCCINT (mV)",
+        )
+    )
+    regions = {row["region"] for row in result.rows}
+    assert regions == {"guardband", "critical"}

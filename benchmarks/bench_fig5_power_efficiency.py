@@ -1,0 +1,17 @@
+"""Regenerates Figure 5: GOPs/W improvement via undervolting."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_power_efficiency(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig5", config))
+    record_result(result)
+    assert result.summary["gain_at_vmin"] == pytest.approx(2.6, abs=0.15)
+    assert result.summary["gain_at_vcrash"] > 3.0
+    assert result.summary["extra_gain_below_guardband_pct"] == pytest.approx(
+        43.0, abs=8.0
+    )

@@ -1,0 +1,30 @@
+"""Regenerates Figure 6: per-benchmark, per-board accuracy vs voltage."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.plots import ascii_plot
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_reliability(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig6", config))
+    record_result(result)
+    series = {}
+    for row in result.rows:
+        if row["board"] != 1:
+            continue
+        series.setdefault(row["benchmark"], []).append(
+            (row["vccint_mv"], row["accuracy"])
+        )
+    print(
+        ascii_plot(
+            series,
+            title="Figure 6 (board 1): accuracy vs VCCINT per benchmark",
+            x_label="VCCINT (mV)",
+            y_label="accuracy",
+        )
+    )
+    assert result.summary["delta_vmin_mv"] == pytest.approx(31.0, abs=8.0)
+    assert result.summary["delta_vcrash_mv"] == pytest.approx(18.0, abs=8.0)

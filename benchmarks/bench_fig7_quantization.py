@@ -1,0 +1,18 @@
+"""Regenerates Figure 7: undervolting combined with quantization."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_quantization(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig7", config))
+    record_result(result)
+    # Power-efficiency scales with quantization level (Fig. 7b).
+    assert result.summary["int4_over_int8"] > 1.5
+    # All precisions keep near-baseline accuracy at Vnom (Fig. 7a / S6.1).
+    for row in result.rows:
+        if row["vccint_mv"] == 850.0:
+            assert row["accuracy"] == pytest.approx(row["clean_accuracy"], abs=0.02)

@@ -1,0 +1,17 @@
+"""Regenerates Figure 8: undervolting combined with pruning."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_pruning(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig8", config))
+    record_result(result)
+    # The pruned model hangs earlier (555 vs 540 mV, S6.2) ...
+    assert result.summary["vcrash_pruned_mv"] == pytest.approx(555.0, abs=5.0)
+    assert result.summary["vcrash_baseline_mv"] == pytest.approx(540.0, abs=5.0)
+    # ... and delivers higher power-efficiency (Fig. 8b).
+    assert result.summary["pruned_gops_w_gain"] > 1.2

@@ -1,0 +1,17 @@
+"""Regenerates Figure 9: temperature effect on power."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9_temperature_power(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("fig9", config))
+    record_result(result)
+    assert result.summary["power_delta_850mv_w"] == pytest.approx(0.46, abs=0.2)
+    assert (
+        result.summary["power_delta_650mv_w"]
+        < result.summary["power_delta_850mv_w"] / 2.0
+    )

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the library's hot primitives.
+
+Unlike the table/figure benches (one-shot campaigns), these measure the
+throughput of the simulator building blocks with pytest-benchmark's normal
+repeated timing: the quantized forward pass, the fault injector, the PMBus
+control path, and one full measurement point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import AcceleratorSession
+from repro.faults.injector import FaultInjector
+from repro.fpga.board import make_board
+from repro.fpga.regulator import VCCINT_ADDRESS
+from repro.models.zoo import build
+from repro.rng import child_rng
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build("vggnet", samples=64)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_forward_pass_int8(benchmark, workload):
+    """Quantized INT8 inference over the 64-sample evaluation set."""
+    accuracy = benchmark(workload.accuracy)
+    assert accuracy == pytest.approx(workload.clean_accuracy)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_forward_pass_with_injection(benchmark, workload):
+    """Inference with mid-critical-region fault injection armed."""
+
+    def run():
+        injector = FaultInjector(
+            exposure_ops=workload.exposure,
+            p_per_op=1e-8,
+            rng=child_rng(1, "bench"),
+            batch_size=workload.dataset.n,
+        )
+        return workload.accuracy(activation_hook=injector)
+
+    accuracy = benchmark(run)
+    assert 0.0 <= accuracy <= 1.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_pmbus_voltage_transaction(benchmark):
+    """Round-trip VOUT_COMMAND + READ_VOUT over the emulated PMBus."""
+    board = make_board(sample=1)
+
+    def transact():
+        board.pmbus.set_voltage(VCCINT_ADDRESS, 0.700)
+        return board.pmbus.read_voltage(VCCINT_ADDRESS)
+
+    volts = benchmark(transact)
+    assert volts == pytest.approx(0.700, abs=1e-3)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_measurement_point(benchmark, workload, config):
+    """One averaged critical-region measurement (the campaign data atom)."""
+    session = AcceleratorSession(make_board(sample=1), workload, config)
+    measurement = benchmark(lambda: session.run_at(555.0))
+    assert measurement.accuracy < measurement.clean_accuracy
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bit_flip_kernel(benchmark):
+    """The raw bit-flip primitive on a 1M-word tensor."""
+    from repro.nn.tensor import QuantizedTensor
+
+    rng = np.random.default_rng(0)
+    qt = QuantizedTensor.from_real(rng.normal(size=1_000_000), bits=8)
+    indices = rng.integers(0, qt.stored.size, size=10_000)
+    bits = rng.integers(0, 8, size=10_000)
+    benchmark(qt.flip_bits, indices, bits)

@@ -1,0 +1,15 @@
+"""Regenerates Section 4.1's power-breakdown numbers."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def test_sec41_power_breakdown(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("sec41", config))
+    record_result(result)
+    assert result.summary["avg_total_w"] == pytest.approx(12.59, abs=0.2)
+    for row in result.rows:
+        assert row["vccint_share_pct"] > 99.9

@@ -1,0 +1,14 @@
+"""Regenerates Table 1: the benchmark inventory."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_benchmarks(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("table1", config))
+    record_result(result)
+    assert len(result.rows) == 5
+    assert result.summary["worst_size_error_pct"] < 6.0

@@ -1,0 +1,19 @@
+"""Regenerates Table 2: frequency underscaling in the critical region."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_freq_underscaling(benchmark, config, record_result):
+    result = run_once(benchmark, lambda: run_experiment("table2", config))
+    record_result(result)
+    fmax = {row["vccint_mv"]: row["fmax_mhz"] for row in result.rows}
+    assert fmax == {
+        570.0: 333.0, 565.0: 300.0, 560.0: 250.0, 555.0: 250.0,
+        550.0: 250.0, 545.0: 250.0, 540.0: 200.0,
+    }
+    assert result.summary["best_gops_j_point_mv"] == pytest.approx(570.0)
+    assert 10.0 < result.summary["gops_w_gain_at_vcrash_pct"] < 35.0

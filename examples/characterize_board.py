@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Characterize a board sample: find its voltage regions empirically.
+
+Reproduces the paper's Figure 3 / Figure 6 procedure for one (board,
+benchmark) pair: a full downward voltage sweep with accuracy and power at
+every step, region detection, and binary searches for the exact Vmin and
+Vcrash landmarks.
+
+Run:
+    python examples/characterize_board.py [board_index] [benchmark]
+"""
+
+import sys
+
+from repro import make_board, make_session
+from repro.analysis.plots import ascii_plot
+from repro.analysis.tables import render_table
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import detect_regions, find_vcrash, find_vmin
+from repro.core.undervolt import VoltageSweep
+
+
+def main() -> None:
+    sample = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    benchmark = sys.argv[2] if len(sys.argv) > 2 else "googlenet"
+
+    board = make_board(sample=sample)
+    config = ExperimentConfig(repeats=3, samples=64)
+    session = make_session(board, benchmark, config)
+
+    print(f"characterizing {benchmark} on board sample {sample} ...")
+    sweep = VoltageSweep(session, config).run(start_mv=650.0)
+    regions = detect_regions(sweep, accuracy_tolerance=config.accuracy_tolerance)
+
+    rows = [
+        {
+            "vccint_mv": p.measurement.vccint_mv,
+            "accuracy": round(p.measurement.accuracy, 3),
+            "power_w": round(p.measurement.power_w, 2),
+            "gops_per_watt": round(p.measurement.gops_per_watt, 1),
+            "faults_per_run": round(p.measurement.faults_per_run, 1),
+        }
+        for p in sweep.points
+        if p.measurement.vccint_mv <= regions.vmin_mv + 20.0
+    ]
+    print(render_table(rows, title=f"sweep tail ({benchmark}, board {sample})"))
+    print()
+    print("detected regions:", regions.as_dict())
+
+    print(
+        ascii_plot(
+            {"accuracy": [(p.vccint_mv, p.accuracy) for p in sweep.points]},
+            title="accuracy vs VCCINT",
+            x_label="VCCINT (mV)",
+            y_label="accuracy",
+        )
+    )
+
+    # The sweep locates landmarks on the 5 mV grid; binary search refines.
+    vmin = find_vmin(session, accuracy_tolerance=config.accuracy_tolerance)
+    vcrash = find_vcrash(session)
+    print(f"\nbinary-searched Vmin   = {vmin:.0f} mV (sweep: {regions.vmin_mv:.0f})")
+    print(f"binary-searched Vcrash = {vcrash:.0f} mV (sweep: {regions.vcrash_mv:.0f})")
+    print(
+        f"guardband = {850 - vmin:.0f} mV "
+        f"({(850 - vmin) / 850 * 100:.1f}% of Vnom; paper average: 33%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: measure one benchmark at three voltages on one board.
+
+Mirrors the paper's basic experiment: program VCCINT over PMBus, run the
+CNN on the simulated DPU, read accuracy and power back, and watch the
+power-efficiency/accuracy trade-off appear.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import make_board, make_session
+from repro.core.experiment import ExperimentConfig
+from repro.errors import BoardHangError
+
+
+def main() -> None:
+    # Board sample 1 is the fleet median: Vmin = 570 mV, Vcrash = 540 mV.
+    board = make_board(sample=1)
+    config = ExperimentConfig(repeats=3, samples=64)
+    session = make_session(board, "vggnet", config)
+
+    print(f"board:    {board}")
+    print(f"workload: {session.workload.variant_label} "
+          f"(clean accuracy {session.workload.clean_accuracy:.3f})")
+    print()
+    print(f"{'VCCINT':>8} {'accuracy':>9} {'power':>8} {'GOPs/W':>8}  region")
+
+    for mv, region in [
+        (850.0, "nominal"),
+        (570.0, "guardband floor (Vmin)"),
+        (550.0, "critical region"),
+        (540.0, "crash edge (Vcrash)"),
+    ]:
+        m = session.run_at(mv)
+        print(
+            f"{mv:6.0f}mV {m.accuracy:9.3f} {m.power_w:7.2f}W "
+            f"{m.gops_per_watt:8.1f}  {region}"
+        )
+
+    # One step further and the board hangs; power-cycle to recover.
+    try:
+        session.run_at(535.0)
+    except BoardHangError as err:
+        print(f"\n535 mV -> {err}")
+        board.power_cycle()
+        print(f"after power cycle: {board}")
+
+    base = session.run_at(850.0)
+    edge = session.run_at(540.0)
+    print(
+        f"\npower-efficiency gain at the crash edge: "
+        f"{edge.gops_per_watt / base.gops_per_watt:.2f}x (paper: >3x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

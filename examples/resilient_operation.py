@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Resilient low-voltage operation: mitigation + dynamic adjustment.
+
+Exercises the library's implementation of the paper's future-work agenda
+(Section 9):
+
+1. **Fault mitigation at Fmax** — ECC, Razor-style replay, and TMR in the
+   critical region: how much accuracy each recovers and what it costs.
+2. **Dynamic voltage adjustment** — a measurement-driven controller that
+   descends to the lowest safe voltage, survives a crash, and re-adapts
+   when the die heats up (exploiting Inverse Thermal Dependence).
+
+Run:
+    python examples/resilient_operation.py
+"""
+
+from repro import make_board, make_session
+from repro.analysis.tables import render_table
+from repro.core.dvfs import DynamicVoltageController
+from repro.core.experiment import ExperimentConfig
+from repro.faults.mitigation import (
+    EccMitigation,
+    MitigatedSession,
+    RazorMitigation,
+    TmrMitigation,
+)
+
+
+def mitigation_study(session) -> None:
+    print("=== fault mitigation at 555 mV / 333 MHz (critical region) ===")
+    mitigated = MitigatedSession(session, EccMitigation())
+    raw = session.run_at(555.0)
+    rows = [
+        {
+            "policy": "none",
+            "accuracy": round(raw.accuracy, 3),
+            "gops": round(raw.gops, 1),
+            "power_w": round(raw.power_w, 2),
+            "gops_per_watt": round(raw.gops_per_watt, 1),
+        }
+    ]
+    for m in mitigated.compare_policies(
+        555.0, [EccMitigation(), RazorMitigation(), TmrMitigation()]
+    ):
+        rows.append(
+            {
+                "policy": m.policy_name,
+                "accuracy": round(m.accuracy, 3),
+                "gops": round(m.gops, 1),
+                "power_w": round(m.power_w, 2),
+                "gops_per_watt": round(m.gops_per_watt, 1),
+            }
+        )
+    print(render_table(rows))
+    print(f"(clean accuracy: {session.workload.clean_accuracy:.3f})\n")
+
+
+def dvfs_study(session) -> None:
+    print("=== dynamic voltage adjustment ===")
+    controller = DynamicVoltageController(session, step_mv=10.0)
+    held = controller.adapt(start_mv=850.0)
+    print(f"controller settled at {held.vccint_mv:.0f} mV "
+          f"(accuracy {held.accuracy:.3f}, {held.power_w:.2f} W)")
+    print("savings:", controller.savings_summary())
+
+    # Heat the die and re-adapt: ITD gives extra headroom (Section 7.3).
+    session.set_temperature(52.0)
+    hot_hold = controller.adapt(start_mv=held.vccint_mv + 20.0)
+    print(f"\nafter heating to 52 degC the controller settles at "
+          f"{hot_hold.vccint_mv:.0f} mV (accuracy {hot_hold.accuracy:.3f})")
+    session.release_temperature()
+
+
+def main() -> None:
+    board = make_board(sample=1)
+    session = make_session(board, "vggnet", ExperimentConfig(repeats=3, samples=64))
+    mitigation_study(session)
+    dvfs_study(session)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of *An Experimental Study of Reduced-Voltage Operation in
+Modern FPGAs for Neural Network Acceleration* (Salami et al., DSN 2020).
+
+The package simulates, end to end, the paper's measurement campaign:
+
+* ``repro.fpga`` — a register-level model of the Xilinx ZCU102 platform
+  (PMBus regulators, voltage rails, power/timing/thermal physics, process
+  variation across three board samples).
+* ``repro.nn`` — a NumPy quantized CNN inference framework (INT4..INT8).
+* ``repro.models`` — the five benchmark CNNs of Table 1 with full-fidelity
+  architecture specs and reduced executable instances.
+* ``repro.dpu`` — a Xilinx-DPU-like accelerator simulator (B512..B4096).
+* ``repro.faults`` — voltage/frequency/temperature-driven timing-fault
+  injection into the accelerator datapath.
+* ``repro.core`` — undervolting campaigns: voltage sweeps, region detection,
+  frequency underscaling, temperature studies.
+* ``repro.analysis`` — metrics (GOPs/W, GOPs/J), statistics, table/plot
+  rendering, and the paper-expectation registry.
+* ``repro.experiments`` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import make_board, make_session
+    from repro.models import zoo
+
+    board = make_board(sample=0)
+    session = make_session(board, zoo.build("vggnet"))
+    result = session.run_at(vccint_mv=570)
+    print(result.accuracy, result.gops_per_watt)
+"""
+
+from repro.version import __version__
+from repro.fpga.board import ZCU102Board, make_board
+from repro.core.session import AcceleratorSession, make_session
+
+__all__ = [
+    "__version__",
+    "ZCU102Board",
+    "make_board",
+    "AcceleratorSession",
+    "make_session",
+]

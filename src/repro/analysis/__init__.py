@@ -1,0 +1,19 @@
+"""Analysis utilities: efficiency metrics, statistics, rendering, and the
+paper-expectation registry used for paper-vs-measured comparisons."""
+
+from repro.analysis.metrics import gops_per_watt, normalize, improvement_factor
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_table
+from repro.analysis.plots import ascii_plot
+from repro.analysis import expectations
+
+__all__ = [
+    "gops_per_watt",
+    "normalize",
+    "improvement_factor",
+    "Summary",
+    "summarize",
+    "render_table",
+    "ascii_plot",
+    "expectations",
+]

@@ -1,0 +1,42 @@
+"""Efficiency metrics (GOPs/W, GOPs/J) and normalization helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def gops_per_watt(gops: float, power_w: float) -> float:
+    """The paper's headline power-efficiency metric."""
+    if power_w <= 0:
+        raise ValueError(f"power must be positive, got {power_w}")
+    return gops / power_w
+
+
+def gops_per_joule_proxy(gops: float, power_w: float) -> float:
+    """Energy-efficiency ordering metric for a fixed work quantum.
+
+    For W operations, energy = P * (W / GOPS); ops/J therefore orders as
+    GOPS^2 / P, which is what Table 2's normalized GOPs/J column compares.
+    """
+    if power_w <= 0:
+        raise ValueError(f"power must be positive, got {power_w}")
+    return gops * gops / power_w
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Divide every value by ``baseline`` (Table 2's normalization)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return [v / baseline for v in values]
+
+
+def improvement_factor(new: float, old: float) -> float:
+    """How many times better ``new`` is than ``old`` (paper's 'X' factors)."""
+    if old == 0:
+        raise ValueError("old value must be non-zero")
+    return new / old
+
+
+def percent_gain(new: float, old: float) -> float:
+    """Percentage improvement (paper's '+43%'-style numbers)."""
+    return (improvement_factor(new, old) - 1.0) * 100.0

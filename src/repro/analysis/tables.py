@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows the paper's tables report; this renderer
+keeps the output aligned and diff-friendly (no external dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> None:
+    """Write dict-rows to a CSV file."""
+    import csv
+
+    if not rows:
+        raise ValueError("refusing to write an empty CSV")
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

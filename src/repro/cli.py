@@ -1,0 +1,119 @@
+"""Command-line front end.
+
+Examples::
+
+    repro-undervolt list
+    repro-undervolt run fig3 --repeats 3 --samples 64
+    repro-undervolt run table2 --csv out.csv
+    repro-undervolt sweep vggnet --board 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments.registry import list_experiments
+
+    for exp_id in list_experiments():
+        print(exp_id)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.experiment import ExperimentConfig
+    from repro.experiments.registry import run_experiment
+
+    config = ExperimentConfig(
+        seed=args.seed, repeats=args.repeats, samples=args.samples
+    )
+    result = run_experiment(args.experiment, config)
+    print(result.render())
+    if args.csv:
+        from repro.analysis.tables import write_csv
+
+        write_csv(args.csv, result.rows)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.experiment import ExperimentConfig
+    from repro.core.session import make_session
+    from repro.core.undervolt import VoltageSweep
+    from repro.fpga.board import make_board
+    from repro.analysis.tables import render_table
+
+    config = ExperimentConfig(
+        seed=args.seed, repeats=args.repeats, samples=args.samples
+    )
+    board = make_board(sample=args.board)
+    session = make_session(board, args.benchmark, config)
+    sweep = VoltageSweep(session).run()
+    rows = [p.measurement.as_dict() for p in sweep.points]
+    print(render_table(rows, title=f"sweep: {args.benchmark} on board {args.board}"))
+    if sweep.crash_mv is not None:
+        print(f"board hung at {sweep.crash_mv:.0f} mV (power-cycled)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+    from repro.core.experiment import ExperimentConfig
+
+    config = ExperimentConfig(
+        seed=args.seed, repeats=args.repeats, samples=args.samples
+    )
+    report = generate_report(config)
+    with open(args.out, "w") as f:
+        f.write(report)
+    print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-undervolt",
+        description="Reduced-voltage FPGA CNN accelerator study (DSN 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (table/figure)")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig3")
+    p_run.add_argument("--seed", type=int, default=2020)
+    p_run.add_argument("--repeats", type=int, default=3)
+    p_run.add_argument("--samples", type=int, default=96)
+    p_run.add_argument("--csv", help="also write rows to this CSV path")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    p_report.add_argument("--out", default="EXPERIMENTS.md")
+    p_report.add_argument("--seed", type=int, default=2020)
+    p_report.add_argument("--repeats", type=int, default=3)
+    p_report.add_argument("--samples", type=int, default=64)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_sweep = sub.add_parser("sweep", help="voltage-sweep one benchmark")
+    p_sweep.add_argument("benchmark", help="vggnet|googlenet|alexnet|resnet50|inception")
+    p_sweep.add_argument("--board", type=int, default=0)
+    p_sweep.add_argument("--seed", type=int, default=2020)
+    p_sweep.add_argument("--repeats", type=int, default=3)
+    p_sweep.add_argument("--samples", type=int, default=96)
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Undervolting campaign core.
+
+``AcceleratorSession`` binds one board sample to one workload and measures
+operating points; the campaign modules sweep voltage, detect the paper's
+three voltage regions, search frequency-underscaling settings, and run
+temperature studies.
+"""
+
+from repro.core.session import AcceleratorSession, Measurement, make_session
+from repro.core.experiment import ExperimentConfig
+from repro.core.undervolt import VoltageSweep, SweepPoint, SweepResult
+from repro.core.regions import VoltageRegions, detect_regions, find_vmin, find_vcrash
+from repro.core.freq_scaling import FrequencyUnderscaling, FrequencyPoint
+from repro.core.temperature import TemperatureStudy, TemperaturePoint
+
+__all__ = [
+    "AcceleratorSession",
+    "Measurement",
+    "make_session",
+    "ExperimentConfig",
+    "VoltageSweep",
+    "SweepPoint",
+    "SweepResult",
+    "VoltageRegions",
+    "detect_regions",
+    "find_vmin",
+    "find_vcrash",
+    "FrequencyUnderscaling",
+    "FrequencyPoint",
+    "TemperatureStudy",
+    "TemperaturePoint",
+]

@@ -1,0 +1,195 @@
+"""Edge-deployment simulation: serving inference traffic under undervolting.
+
+The paper motivates undervolting with "power-limited edge devices" running
+the classification phase repeatedly (Section 1).  This module closes that
+loop: it simulates serving a request trace at a chosen operating point and
+accounts for the quantities an edge deployment cares about —
+
+* total energy (J) and average power for the trace,
+* served accuracy (measured through the fault-injected pipeline),
+* latency per request and deadline misses against an SLA,
+* battery-life extension versus nominal-voltage operation.
+
+Traces come from :class:`RequestTrace` generators (steady, bursty, or
+diurnal duty-cycle patterns).  Idle gaps cost only static power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import AcceleratorSession, Measurement
+from repro.rng import child_rng
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """Inference request arrival times (seconds from trace start)."""
+
+    name: str
+    arrivals_s: tuple[float, ...]
+    duration_s: float
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ValueError("trace duration must be positive")
+        if any(t < 0 or t > self.duration_s for t in self.arrivals_s):
+            raise ValueError("arrivals must lie within [0, duration]")
+        if list(self.arrivals_s) != sorted(self.arrivals_s):
+            raise ValueError("arrivals must be sorted")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.arrivals_s)
+
+    @property
+    def mean_rate_hz(self) -> float:
+        return self.n_requests / self.duration_s
+
+
+def steady_trace(rate_hz: float, duration_s: float, name: str = "steady") -> RequestTrace:
+    """Uniformly spaced requests at ``rate_hz``."""
+    if rate_hz <= 0:
+        raise ValueError("rate must be positive")
+    n = int(rate_hz * duration_s)
+    arrivals = tuple((i + 0.5) / rate_hz for i in range(n))
+    return RequestTrace(name=name, arrivals_s=arrivals, duration_s=duration_s)
+
+
+def poisson_trace(
+    rate_hz: float, duration_s: float, seed: int = 0, name: str = "poisson"
+) -> RequestTrace:
+    """Poisson arrivals at mean ``rate_hz`` (bursty edge traffic)."""
+    if rate_hz <= 0:
+        raise ValueError("rate must be positive")
+    rng = child_rng(seed, f"trace/{name}")
+    arrivals: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_hz)
+        if t >= duration_s:
+            break
+        arrivals.append(t)
+    return RequestTrace(name=name, arrivals_s=tuple(arrivals), duration_s=duration_s)
+
+
+def diurnal_trace(
+    peak_rate_hz: float,
+    duration_s: float,
+    period_s: float = 60.0,
+    floor_fraction: float = 0.2,
+    seed: int = 0,
+    name: str = "diurnal",
+) -> RequestTrace:
+    """Sinusoidal duty cycle between ``floor`` and peak rate."""
+    if peak_rate_hz <= 0 or not 0.0 <= floor_fraction < 1.0:
+        raise ValueError("bad trace parameters")
+    rng = child_rng(seed, f"trace/{name}")
+    arrivals: list[float] = []
+    t = 0.0
+    while t < duration_s:
+        phase = 0.5 * (1 + math.sin(2 * math.pi * t / period_s))
+        rate = peak_rate_hz * (floor_fraction + (1 - floor_fraction) * phase)
+        t += rng.exponential(1.0 / rate)
+        if t < duration_s:
+            arrivals.append(t)
+    return RequestTrace(name=name, arrivals_s=tuple(arrivals), duration_s=duration_s)
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Outcome of serving one trace at one operating point."""
+
+    trace_name: str
+    vccint_mv: float
+    f_mhz: float
+    requests: int
+    served_accuracy: float
+    energy_j: float
+    average_power_w: float
+    busy_fraction: float
+    latency_s: float
+    deadline_misses: int
+
+    def battery_extension_vs(self, baseline: "DeploymentReport") -> float:
+        """How much longer a fixed battery lasts vs the baseline report."""
+        if self.energy_j <= 0:
+            raise ValueError("energy must be positive")
+        return baseline.energy_j / self.energy_j
+
+
+class EdgeDeployment:
+    """Serves request traces on one (board, workload) session."""
+
+    def __init__(self, session: AcceleratorSession, idle_power_fraction: float = 0.35):
+        """``idle_power_fraction``: share of the operating-point power the
+        accelerator draws while idle (clock-gated MAC array, static leakage
+        and platform logic remain)."""
+        if not 0.0 < idle_power_fraction <= 1.0:
+            raise ValueError("idle_power_fraction must be in (0, 1]")
+        self.session = session
+        self.idle_power_fraction = idle_power_fraction
+
+    def serve(
+        self,
+        trace: RequestTrace,
+        vccint_mv: float,
+        f_mhz: float | None = None,
+        deadline_s: float | None = None,
+    ) -> DeploymentReport:
+        """Serve ``trace`` at the operating point and account energy.
+
+        The accuracy and power come from one measured operating point (the
+        workload's behaviour is stationary given V/F/T); the energy model
+        integrates busy and idle intervals over the trace.
+        """
+        measurement = self.session.run_at(vccint_mv, f_mhz=f_mhz)
+        latency = self.session.engine.perf_model.report(measurement.f_mhz).latency_s
+
+        busy_s = trace.n_requests * latency
+        if busy_s > trace.duration_s:
+            raise ValueError(
+                f"trace overloads the accelerator: {busy_s:.2f}s of work in "
+                f"{trace.duration_s:.2f}s"
+            )
+        idle_s = trace.duration_s - busy_s
+        busy_power = measurement.power_w
+        idle_power = measurement.power_w * self.idle_power_fraction
+        energy = busy_power * busy_s + idle_power * idle_s
+
+        misses = 0
+        if deadline_s is not None:
+            # Back-to-back arrivals queue behind the single accelerator.
+            finish = 0.0
+            for arrival in trace.arrivals_s:
+                start = max(arrival, finish)
+                finish = start + latency
+                if finish - arrival > deadline_s:
+                    misses += 1
+
+        return DeploymentReport(
+            trace_name=trace.name,
+            vccint_mv=vccint_mv,
+            f_mhz=measurement.f_mhz,
+            requests=trace.n_requests,
+            served_accuracy=measurement.accuracy,
+            energy_j=energy,
+            average_power_w=energy / trace.duration_s,
+            busy_fraction=busy_s / trace.duration_s,
+            latency_s=latency,
+            deadline_misses=misses,
+        )
+
+    def compare_operating_points(
+        self,
+        trace: RequestTrace,
+        points_mv: list[float],
+        deadline_s: float | None = None,
+    ) -> list[DeploymentReport]:
+        """Serve the same trace at several voltages (e.g. 850 vs 570)."""
+        return [
+            self.serve(trace, mv, deadline_s=deadline_s) for mv in points_mv
+        ]

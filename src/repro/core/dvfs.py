@@ -1,0 +1,145 @@
+"""Dynamic voltage adjustment (the paper's Section 9 future work).
+
+The paper closes by proposing "dynamic voltage adjustment techniques
+considering temperature, accuracy, power consumption, and performance
+trade-off".  :class:`DynamicVoltageController` implements that controller
+against the simulated platform: a measurement-driven search that walks
+VCCINT toward the lowest safe point for the *present* operating conditions
+and re-adapts when they change (temperature drift, workload swap), with a
+configurable safety margin and a crash-recovery protocol.
+
+The controller only uses observables a real deployment has: measured
+accuracy on a canary set, rail power, and die temperature over PMBus.  It
+never reads the calibration tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.session import AcceleratorSession, Measurement
+from repro.errors import BoardHangError
+
+
+@dataclass(frozen=True)
+class ControllerStep:
+    """One adaptation step of the controller's trajectory."""
+
+    vccint_mv: float
+    accuracy: float
+    power_w: float
+    temperature_c: float
+    action: str  # "descend", "hold", "backoff", "recover"
+
+    @property
+    def loss_free(self) -> bool:
+        return self.action in ("descend", "hold")
+
+
+@dataclass
+class DynamicVoltageController:
+    """Measurement-driven undervolting controller.
+
+    Strategy: descend in ``step_mv`` increments while the canary accuracy
+    stays within ``accuracy_tolerance`` of the reference; on the first
+    degraded point, back off by ``backoff_mv`` and hold.  A crash triggers
+    power-cycle recovery and a hold at the last safe point plus the backoff
+    margin.  Re-invoking :meth:`adapt` re-descends — which is how the
+    controller exploits temperature headroom (ITD): at higher temperature
+    the same workload stays loss-free at lower voltages.
+    """
+
+    session: AcceleratorSession
+    accuracy_tolerance: float = 0.01
+    step_mv: float = 5.0
+    backoff_mv: float = 10.0
+    floor_mv: float = 500.0
+    history: list[ControllerStep] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.step_mv <= 0 or self.backoff_mv <= 0:
+            raise ValueError("step and backoff must be positive")
+        self._reference_accuracy = self.session.workload.clean_accuracy
+
+    # ------------------------------------------------------------------
+
+    def _record(self, m: Measurement, action: str) -> ControllerStep:
+        step = ControllerStep(
+            vccint_mv=m.vccint_mv,
+            accuracy=m.accuracy,
+            power_w=m.power_w,
+            temperature_c=m.temperature_c,
+            action=action,
+        )
+        self.history.append(step)
+        return step
+
+    def _loss_free(self, m: Measurement) -> bool:
+        return (self._reference_accuracy - m.accuracy) <= self.accuracy_tolerance
+
+    def adapt(self, start_mv: float | None = None) -> ControllerStep:
+        """Descend from ``start_mv`` (default: present VCCINT) to the
+        lowest loss-free operating point and settle there.
+
+        Returns the final (held) step.
+        """
+        board = self.session.board
+        v_mv = (
+            board.vccint_v * 1000.0 if start_mv is None else float(start_mv)
+        )
+        last_safe_mv: float | None = None
+        while v_mv >= self.floor_mv:
+            try:
+                m = self.session.run_at(v_mv)
+            except BoardHangError:
+                board.power_cycle()
+                recover_mv = (
+                    last_safe_mv + self.backoff_mv
+                    if last_safe_mv is not None
+                    else board.cal.vnom * 1000.0
+                )
+                m = self.session.run_at(recover_mv)
+                self._record(m, "recover")
+                return self._hold(recover_mv)
+            if self._loss_free(m):
+                self._record(m, "descend")
+                last_safe_mv = v_mv
+                v_mv = round(v_mv - self.step_mv, 6)
+                continue
+            # First degraded point: back off and hold.
+            backoff_target = v_mv + self.backoff_mv
+            self._record(m, "backoff")
+            return self._hold(backoff_target)
+        return self._hold(max(last_safe_mv or v_mv, self.floor_mv))
+
+    def _hold(self, v_mv: float) -> ControllerStep:
+        m = self.session.run_at(v_mv)
+        return self._record(m, "hold")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def held_point(self) -> ControllerStep | None:
+        """The most recent hold, if any."""
+        for step in reversed(self.history):
+            if step.action == "hold":
+                return step
+        return None
+
+    def savings_summary(self) -> dict:
+        """Power saving of the held point vs nominal operation."""
+        held = self.held_point
+        if held is None:
+            raise RuntimeError("controller has not held a point yet")
+        nominal = self.session.run_at(self.session.board.cal.vnom * 1000.0)
+        return {
+            "held_mv": held.vccint_mv,
+            "held_accuracy": round(held.accuracy, 4),
+            "power_saving_pct": round(
+                (1.0 - held.power_w / nominal.power_w) * 100.0, 1
+            ),
+            "gops_per_watt_gain": round(
+                (nominal.power_w / held.power_w), 2
+            ),
+            "steps_taken": len(self.history),
+        }

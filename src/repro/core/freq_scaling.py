@@ -1,0 +1,132 @@
+"""Frequency-underscaling study (Section 5 / Table 2).
+
+For each supply voltage below ``Vmin``, find the maximum operating
+frequency ``Fmax`` at which the accelerator shows *no* accuracy loss, then
+evaluate the four normalized metrics of Table 2 against the
+(``Vmin``, 333 MHz) baseline: GOPs, power, GOPs/W and GOPs/J.
+
+The search is measurement-driven: frequencies are stepped down the paper's
+grid (333 MHz default plus 25 MHz multiples) until the measured accuracy
+recovers to the clean level, exactly the procedure the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession, Measurement
+from repro.errors import BoardHangError, CampaignError
+
+
+@dataclass(frozen=True)
+class FrequencyPoint:
+    """One row of Table 2."""
+
+    vccint_mv: float
+    fmax_mhz: float
+    gops_norm: float
+    power_norm: float
+    gops_per_watt_norm: float
+    gops_per_joule_norm: float
+
+    def as_dict(self) -> dict:
+        return {
+            "vccint_mv": round(self.vccint_mv, 1),
+            "fmax_mhz": self.fmax_mhz,
+            "gops_norm": round(self.gops_norm, 2),
+            "power_norm": round(self.power_norm, 2),
+            "gops_per_watt_norm": round(self.gops_per_watt_norm, 2),
+            "gops_per_joule_norm": round(self.gops_per_joule_norm, 2),
+        }
+
+
+class FrequencyUnderscaling:
+    """Finds loss-free (V, F) combinations in the critical region."""
+
+    def __init__(self, session: AcceleratorSession, config: ExperimentConfig | None = None):
+        self.session = session
+        self.config = config or session.config
+
+    #: Loss-detection resolution: mean fault activity above this (faults
+    #: per inference) counts as measurable accuracy loss even if the small
+    #: evaluation set happened not to flip a prediction this time.  It
+    #: stands in for the paper's resolution of "no accuracy loss" over
+    #: 10 runs of full test sets.
+    fault_activity_resolution: float = 0.15
+
+    def find_fmax(self, vccint_mv: float) -> float | None:
+        """Largest grid frequency with no measured accuracy loss at ``v``.
+
+        Acceptance is strict on two counts: *every* repeat must stay within
+        tolerance of the clean accuracy, and sustained fault activity above
+        the detection resolution counts as loss (the paper accepts an Fmax
+        only when the system "does not experience any accuracy loss" over
+        10 full-test-set runs).  Returns ``None`` when even the lowest grid
+        frequency loses accuracy or the board hangs.
+        """
+        grid = sorted(self.session.board.cal.f_grid_mhz, reverse=True)
+        for f_mhz in grid:
+            try:
+                m = self.session.run_at(vccint_mv, f_mhz=f_mhz)
+            except BoardHangError:
+                self.session.board.power_cycle()
+                return None
+            worst_loss = m.clean_accuracy - m.accuracy_min
+            faults_per_inference = m.faults_per_run / self.config.samples
+            if (
+                worst_loss <= self.config.accuracy_tolerance
+                and faults_per_inference <= self.fault_activity_resolution
+            ):
+                return f_mhz
+        return None
+
+    def run(
+        self,
+        voltages_mv: list[float] | None = None,
+        baseline_mv: float | None = None,
+    ) -> list[FrequencyPoint]:
+        """Produce Table 2: one row per voltage with its Fmax and metrics.
+
+        ``voltages_mv`` defaults to the paper's 570..540 mV in 5 mV steps;
+        the baseline row is (``baseline_mv``, default clock).
+        """
+        cal = self.session.board.cal
+        baseline_mv = (
+            round(cal.vmin_mean * 1000.0) if baseline_mv is None else baseline_mv
+        )
+        if voltages_mv is None:
+            vcrash_mv = round(cal.vcrash_mean * 1000.0)
+            step = self.config.v_step * 1000.0
+            voltages_mv = []
+            v = baseline_mv
+            while v >= vcrash_mv - 1e-9:
+                voltages_mv.append(round(v, 3))
+                v -= step
+
+        baseline = self.session.run_at(baseline_mv, f_mhz=cal.f_default_mhz)
+        if baseline.clean_accuracy - baseline.accuracy > self.config.accuracy_tolerance:
+            raise CampaignError(
+                f"baseline ({baseline_mv} mV, {cal.f_default_mhz} MHz) "
+                "already loses accuracy; it must be the minimum safe point"
+            )
+
+        rows: list[FrequencyPoint] = []
+        for v_mv in voltages_mv:
+            fmax = self.find_fmax(v_mv)
+            if fmax is None:
+                continue
+            m = self.session.run_at(v_mv, f_mhz=fmax)
+            rows.append(
+                FrequencyPoint(
+                    vccint_mv=v_mv,
+                    fmax_mhz=fmax,
+                    gops_norm=m.gops / baseline.gops,
+                    power_norm=m.power_w / baseline.power_w,
+                    gops_per_watt_norm=m.gops_per_watt / baseline.gops_per_watt,
+                    gops_per_joule_norm=m.gops_per_joule / baseline.gops_per_joule,
+                )
+            )
+        if not rows:
+            raise CampaignError("no loss-free (V, F) combinations found")
+        return rows

@@ -1,0 +1,139 @@
+"""Application-specific guardband calibration tables.
+
+The paper's related work (Ahmed et al., TCAD'18) calibrates, per
+application, how much of the vendor guardband can be reclaimed safely.
+This module builds such tables on top of the measurement stack: for a set
+of workloads and board samples it locates each pair's minimum safe voltage
+(with a transient-aware safety margin) and emits a deployable
+``GuardbandTable`` that a runtime can index by (workload, board).
+
+The table is also the bridge between the characterization campaigns and
+the :class:`~repro.core.dvfs.DynamicVoltageController`: the controller
+explores online, the table captures the result for instant reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import find_vmin
+from repro.core.session import AcceleratorSession
+from repro.errors import CampaignError
+from repro.fpga.board import ZCU102Board, make_board
+from repro.fpga.transients import DENSE_PROFILE, PRUNED_PROFILE, TransientAnalyzer
+from repro.models.zoo import Workload, build as build_workload
+
+
+@dataclass(frozen=True)
+class GuardbandEntry:
+    """One calibrated (workload, board) operating recommendation."""
+
+    workload: str
+    board_sample: int
+    vmin_mv: float
+    safety_margin_mv: float
+    power_w: float
+    gops_per_watt: float
+
+    @property
+    def safe_mv(self) -> float:
+        """Recommended deployment voltage."""
+        return self.vmin_mv + self.safety_margin_mv
+
+    @property
+    def reclaimed_mv(self) -> float:
+        """Guardband reclaimed below the 850 mV nominal."""
+        return 850.0 - self.safe_mv
+
+
+@dataclass
+class GuardbandTable:
+    """Lookup table of calibrated operating points."""
+
+    entries: list[GuardbandEntry] = field(default_factory=list)
+
+    def lookup(self, workload: str, board_sample: int) -> GuardbandEntry:
+        for entry in self.entries:
+            if entry.workload == workload and entry.board_sample == board_sample:
+                return entry
+        raise KeyError((workload, board_sample))
+
+    def worst_case_mv(self, workload: str) -> float:
+        """Deployment voltage safe on *every* calibrated board."""
+        candidates = [e.safe_mv for e in self.entries if e.workload == workload]
+        if not candidates:
+            raise KeyError(workload)
+        return max(candidates)
+
+    def average_reclaimed_fraction(self) -> float:
+        """Mean reclaimed guardband as a fraction of Vnom (paper: ~0.33
+        before margin)."""
+        if not self.entries:
+            raise CampaignError("empty guardband table")
+        return sum(e.reclaimed_mv for e in self.entries) / len(self.entries) / 850.0
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {
+                "workload": e.workload,
+                "board": e.board_sample,
+                "vmin_mv": round(e.vmin_mv, 1),
+                "margin_mv": round(e.safety_margin_mv, 1),
+                "safe_mv": round(e.safe_mv, 1),
+                "reclaimed_mv": round(e.reclaimed_mv, 1),
+                "gops_per_watt": round(e.gops_per_watt, 1),
+            }
+            for e in self.entries
+        ]
+
+
+class GuardbandCalibrator:
+    """Builds guardband tables by measurement."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self.analyzer = TransientAnalyzer(cal=self.config.cal)
+
+    def calibrate_pair(
+        self, workload: Workload, board: ZCU102Board
+    ) -> GuardbandEntry:
+        """Locate one (workload, board) pair's safe operating point."""
+        session = AcceleratorSession(board, workload, self.config)
+        vmin_mv = find_vmin(
+            session, accuracy_tolerance=self.config.accuracy_tolerance
+        )
+        at_vmin = session.run_at(vmin_mv)
+        profile = PRUNED_PROFILE if workload.pruned else DENSE_PROFILE
+        margin_v = self.analyzer.recommended_guard_v(
+            profile, at_vmin.power_w, vmin_mv / 1000.0
+        )
+        safe = session.run_at(vmin_mv + margin_v * 1000.0)
+        return GuardbandEntry(
+            workload=workload.variant_label,
+            board_sample=board.sample,
+            vmin_mv=vmin_mv,
+            safety_margin_mv=margin_v * 1000.0,
+            power_w=safe.power_w,
+            gops_per_watt=safe.gops_per_watt,
+        )
+
+    def calibrate(
+        self,
+        workload_names: list[str],
+        board_samples: list[int] | None = None,
+    ) -> GuardbandTable:
+        """Calibrate the full (workload x board) grid."""
+        board_samples = board_samples or list(range(self.config.cal.n_boards))
+        table = GuardbandTable()
+        for name in workload_names:
+            workload = build_workload(
+                name,
+                samples=self.config.samples,
+                width_scale=self.config.width_scale,
+                seed=self.config.seed,
+            )
+            for sample in board_samples:
+                board = make_board(sample=sample, cal=self.config.cal)
+                table.entries.append(self.calibrate_pair(workload, board))
+        return table

@@ -1,0 +1,162 @@
+"""Voltage-region detection: guardband, critical region, crash.
+
+Figure 3 of the paper partitions the voltage axis into:
+
+* **guardband** ``[Vmin, Vnom]`` — no accuracy loss (average 280 mV wide),
+* **critical region** ``[Vcrash, Vmin)`` — accuracy degrades (average
+  30 mV wide),
+* **crash** below ``Vcrash`` — the board hangs.
+
+``detect_regions`` extracts the three landmarks from a completed sweep;
+``find_vmin``/``find_vcrash`` locate them directly by binary search when a
+full sweep is not needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import AcceleratorSession
+from repro.core.undervolt import SweepResult
+from repro.errors import BoardHangError, CampaignError
+
+
+@dataclass(frozen=True)
+class VoltageRegions:
+    """The three landmarks of Figure 3, in millivolts."""
+
+    vnom_mv: float
+    vmin_mv: float
+    vcrash_mv: float
+
+    def __post_init__(self):
+        if not self.vcrash_mv < self.vmin_mv <= self.vnom_mv:
+            raise CampaignError(
+                f"regions must satisfy vcrash < vmin <= vnom, got "
+                f"{self.vcrash_mv} / {self.vmin_mv} / {self.vnom_mv}"
+            )
+
+    @property
+    def guardband_mv(self) -> float:
+        """Width of the no-loss region below Vnom (paper: ~280 mV)."""
+        return self.vnom_mv - self.vmin_mv
+
+    @property
+    def guardband_fraction(self) -> float:
+        """Guardband as a fraction of Vnom (paper: ~33%)."""
+        return self.guardband_mv / self.vnom_mv
+
+    @property
+    def critical_mv(self) -> float:
+        """Width of the degrading region (paper: ~30 mV)."""
+        return self.vmin_mv - self.vcrash_mv
+
+    def as_dict(self) -> dict:
+        return {
+            "vnom_mv": self.vnom_mv,
+            "vmin_mv": self.vmin_mv,
+            "vcrash_mv": self.vcrash_mv,
+            "guardband_mv": self.guardband_mv,
+            "guardband_pct": round(self.guardband_fraction * 100.0, 1),
+            "critical_mv": self.critical_mv,
+        }
+
+
+def detect_regions(
+    sweep: SweepResult,
+    accuracy_tolerance: float = 0.01,
+    vnom_mv: float = 850.0,
+) -> VoltageRegions:
+    """Extract the Figure 3 landmarks from a completed sweep.
+
+    ``Vmin`` is the lowest measured voltage whose accuracy stays within
+    ``accuracy_tolerance`` of the clean accuracy.  ``Vcrash`` follows the
+    paper's definition (Section 1): the *minimum voltage at which the FPGA
+    is still functional* — i.e. the sweep's last measurable point before
+    the hang.
+    """
+    if sweep.crash_mv is None:
+        raise CampaignError(
+            "sweep did not reach the crash point; extend the floor"
+        )
+    vmin_mv: float | None = None
+    for point in sweep.points:  # points are ordered high -> low voltage
+        loss = point.measurement.clean_accuracy - point.measurement.accuracy
+        if loss <= accuracy_tolerance:
+            vmin_mv = point.vccint_mv
+        else:
+            break
+    if vmin_mv is None:
+        raise CampaignError("accuracy was degraded even at the sweep start")
+    return VoltageRegions(
+        vnom_mv=vnom_mv, vmin_mv=vmin_mv, vcrash_mv=sweep.last_alive.vccint_mv
+    )
+
+
+def find_vmin(
+    session: AcceleratorSession,
+    accuracy_tolerance: float = 0.01,
+    resolution_mv: float = 5.0,
+    lo_mv: float = 500.0,
+    hi_mv: float | None = None,
+) -> float:
+    """Binary-search the lowest no-accuracy-loss voltage (mV).
+
+    Measurement-driven, exactly like the paper's procedure — the search
+    queries the session (which includes fault realizations), not the
+    calibration tables.
+    """
+    hi_mv = session.board.cal.vnom * 1000.0 if hi_mv is None else hi_mv
+
+    def loss_free(v_mv: float) -> bool:
+        try:
+            m = session.run_at(v_mv)
+        except BoardHangError:
+            session.board.power_cycle()
+            return False
+        return (m.clean_accuracy - m.accuracy) <= accuracy_tolerance
+
+    if not loss_free(hi_mv):
+        raise CampaignError(f"accuracy loss already present at {hi_mv} mV")
+    lo, hi = lo_mv, hi_mv  # invariant: hi is loss-free, lo is not (or floor)
+    while hi - lo > resolution_mv:
+        mid = round((lo + hi) / 2.0, 3)
+        if loss_free(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def find_vcrash(
+    session: AcceleratorSession,
+    resolution_mv: float = 1.0,
+    lo_mv: float = 450.0,
+    hi_mv: float | None = None,
+) -> float:
+    """Binary-search ``Vcrash``: the lowest still-functional voltage (mV).
+
+    Matches the paper's definition (Section 1) — the minimum supply voltage
+    at which the FPGA still responds; one step further and it hangs.
+    """
+    hi_mv = session.board.cal.vnom * 1000.0 if hi_mv is None else hi_mv
+
+    def alive(v_mv: float) -> bool:
+        try:
+            session.board.set_vccint(v_mv / 1000.0)
+            session.board.check_alive()
+            return True
+        except BoardHangError:
+            session.board.power_cycle()
+            return False
+
+    if not alive(hi_mv):
+        raise CampaignError(f"board hung at the search ceiling {hi_mv} mV")
+    lo, hi = lo_mv, hi_mv  # invariant: hi alive, lo hung (or floor)
+    while hi - lo > resolution_mv:
+        mid = round((lo + hi) / 2.0, 3)
+        if alive(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

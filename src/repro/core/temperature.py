@@ -1,0 +1,97 @@
+"""Temperature study (Section 7 / Figures 9 and 10).
+
+The paper regulates the die temperature between 34 and 52 degC by fan
+control and repeats the voltage sweep at each temperature, observing:
+
+* power rises with temperature (leakage), the effect shrinking at lower
+  voltage (Figure 9);
+* at a given critical-region voltage, accuracy *improves* with temperature
+  (Inverse Thermal Dependence shortens path delay — Figure 10);
+* region boundaries move only marginally over this range (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession, Measurement
+from repro.errors import BoardHangError
+
+
+@dataclass(frozen=True)
+class TemperaturePoint:
+    """One (temperature, voltage) measurement."""
+
+    target_temp_c: float
+    achieved_temp_c: float
+    measurement: Measurement
+
+    @property
+    def vccint_mv(self) -> float:
+        return self.measurement.vccint_mv
+
+    @property
+    def power_w(self) -> float:
+        return self.measurement.power_w
+
+    @property
+    def accuracy(self) -> float:
+        return self.measurement.accuracy
+
+
+class TemperatureStudy:
+    """Repeats voltage points across a fan-regulated temperature ladder."""
+
+    def __init__(self, session: AcceleratorSession, config: ExperimentConfig | None = None):
+        self.session = session
+        self.config = config or session.config
+
+    def default_ladder_c(self) -> list[float]:
+        """The paper's reachable window, 34..52 degC in 6-degree rungs."""
+        cal = self.session.board.cal
+        ladder, t = [], cal.t_min
+        while t <= cal.t_max + 1e-9:
+            ladder.append(round(t, 1))
+            t += 6.0
+        return ladder
+
+    def run(
+        self,
+        voltages_mv: list[float],
+        temperatures_c: list[float] | None = None,
+        f_mhz: float | None = None,
+    ) -> list[TemperaturePoint]:
+        """Measure every (temperature, voltage) pair.
+
+        The fan is retuned at each rung *before* the voltage points run, as
+        in the paper's procedure; crashed points are skipped (recorded as
+        absent), and the board is power-cycled.
+        """
+        temperatures_c = temperatures_c or self.default_ladder_c()
+        points: list[TemperaturePoint] = []
+        for t_target in temperatures_c:
+            achieved = self.session.set_temperature(t_target)
+            for v_mv in voltages_mv:
+                try:
+                    m = self.session.run_at(v_mv, f_mhz=f_mhz)
+                except BoardHangError:
+                    self.session.board.power_cycle()
+                    self.session.set_temperature(t_target)
+                    continue
+                points.append(
+                    TemperaturePoint(
+                        target_temp_c=t_target,
+                        achieved_temp_c=achieved,
+                        measurement=m,
+                    )
+                )
+        return points
+
+    @staticmethod
+    def by_temperature(points: list[TemperaturePoint]) -> dict[float, list[TemperaturePoint]]:
+        """Group points by their target-temperature rung."""
+        grouped: dict[float, list[TemperaturePoint]] = {}
+        for p in points:
+            grouped.setdefault(p.target_temp_c, []).append(p)
+        return grouped

@@ -1,0 +1,110 @@
+"""Voltage sweep campaign.
+
+Reproduces the paper's primary procedure (Sections 4.2-4.4): starting at
+``Vnom``, lower VCCINT in 5 mV steps, measuring accuracy and power at each
+point, until the board hangs.  The crash point is recorded, the board is
+power-cycled, and the sweep result carries everything Figures 3-6 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession, Measurement
+from repro.errors import BoardHangError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One voltage step of a sweep."""
+
+    measurement: Measurement
+
+    @property
+    def vccint_mv(self) -> float:
+        return self.measurement.vccint_mv
+
+    @property
+    def accuracy(self) -> float:
+        return self.measurement.accuracy
+
+
+@dataclass
+class SweepResult:
+    """A completed downward voltage sweep on one (board, workload) pair."""
+
+    benchmark: str
+    variant: str
+    board_sample: int
+    points: list[SweepPoint] = field(default_factory=list)
+    #: First voltage (mV) at which the board hung, None if the floor was
+    #: reached alive.
+    crash_mv: float | None = None
+
+    @property
+    def voltages_mv(self) -> list[float]:
+        return [p.vccint_mv for p in self.points]
+
+    @property
+    def measurements(self) -> list[Measurement]:
+        return [p.measurement for p in self.points]
+
+    def point_at(self, vccint_mv: float, tolerance_mv: float = 0.5) -> SweepPoint:
+        for point in self.points:
+            if abs(point.vccint_mv - vccint_mv) <= tolerance_mv:
+                return point
+        raise KeyError(f"no sweep point at {vccint_mv} mV")
+
+    @property
+    def nominal(self) -> SweepPoint:
+        return self.points[0]
+
+    @property
+    def last_alive(self) -> SweepPoint:
+        return self.points[-1]
+
+
+class VoltageSweep:
+    """Downward VCCINT sweep with crash handling."""
+
+    def __init__(self, session: AcceleratorSession, config: ExperimentConfig | None = None):
+        self.session = session
+        self.config = config or session.config
+
+    def run(
+        self,
+        start_mv: float | None = None,
+        floor_mv: float = 500.0,
+        step_mv: float | None = None,
+        f_mhz: float | None = None,
+    ) -> SweepResult:
+        """Sweep from ``start_mv`` (default Vnom) down to crash or floor."""
+        cal = self.session.board.cal
+        start_mv = cal.vnom * 1000.0 if start_mv is None else start_mv
+        step_mv = self.config.v_step * 1000.0 if step_mv is None else step_mv
+        if step_mv <= 0:
+            raise ValueError(f"step must be positive, got {step_mv}")
+        if floor_mv >= start_mv:
+            raise ValueError("floor must be below the start voltage")
+
+        result = SweepResult(
+            benchmark=self.session.workload.name,
+            variant=self.session.workload.variant_label,
+            board_sample=self.session.board.sample,
+        )
+        v_mv = start_mv
+        while v_mv >= floor_mv - 1e-9:
+            try:
+                measurement = self.session.run_at(v_mv, f_mhz=f_mhz)
+            except BoardHangError:
+                result.crash_mv = v_mv
+                self.session.board.power_cycle()
+                break
+            result.points.append(SweepPoint(measurement))
+            v_mv = round(v_mv - step_mv, 6)
+        if not result.points:
+            raise BoardHangError(
+                f"board hung at the very first point ({start_mv} mV)"
+            )
+        return result

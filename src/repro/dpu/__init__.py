@@ -1,0 +1,26 @@
+"""Deep-learning Processing Unit (DPU) simulator.
+
+Models the Xilinx DNNDK soft accelerator family the paper deploys
+(Section 3.1): configuration sizes B512..B4096, a compiler from model specs
+to kernel schedules, an analytic performance model calibrated to Table 2's
+measured GOPs(F) staircase, and an execution engine that runs real
+quantized inference with fault-injection hooks.
+"""
+
+from repro.dpu.config import DPUConfig, DPU_CONFIGS, B4096, default_deployment
+from repro.dpu.compiler import CompiledModel, compile_model
+from repro.dpu.perf import PerformanceModel, PerformanceReport
+from repro.dpu.engine import DPUEngine, InferenceOutcome
+
+__all__ = [
+    "DPUConfig",
+    "DPU_CONFIGS",
+    "B4096",
+    "default_deployment",
+    "CompiledModel",
+    "compile_model",
+    "PerformanceModel",
+    "PerformanceReport",
+    "DPUEngine",
+    "InferenceOutcome",
+]

@@ -1,0 +1,110 @@
+"""Compiler: lower a model spec onto a DPU deployment.
+
+The DNNDK toolchain compiles a CNN into a kernel schedule the DPU executes
+(Section 3.1).  Our compiler performs the pieces that matter for the
+reproduction:
+
+* lowering each compute layer to a :class:`Kernel` with its full-size MAC
+  count and parameter bytes,
+* validating the deployment against the device's resource budget,
+* producing the per-model totals the performance and fault models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dpu.config import Deployment, default_deployment
+from repro.dpu.memory import BufferMap, TrafficEstimate, default_buffer_map, estimate_traffic
+from repro.errors import CompileError
+from repro.fpga.resources import ResourceLedger, XCZU9EG_BUDGET
+from repro.models.spec import LayerSpec, ModelSpec
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One schedulable unit of DPU work (a lowered compute layer)."""
+
+    name: str
+    kind: str  # "conv" or "dense"
+    macs: int
+    param_bytes: int
+
+    @property
+    def ops(self) -> int:
+        """GOPs-convention operations (1 MAC = 2 ops)."""
+        return 2 * self.macs
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """A model lowered onto a deployment."""
+
+    spec: ModelSpec
+    deployment: Deployment
+    kernels: tuple[Kernel, ...]
+    buffer_map: BufferMap
+    traffic: TrafficEstimate
+    weight_bits: int
+
+    @property
+    def total_macs(self) -> int:
+        return sum(k.macs for k in self.kernels)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(k.ops for k in self.kernels)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(k.param_bytes for k in self.kernels)
+
+    def ops_by_kernel(self) -> dict[str, int]:
+        return {k.name: k.ops for k in self.kernels}
+
+
+def _lower(layer: LayerSpec, weight_bits: int) -> Kernel | None:
+    if layer.kind not in ("conv", "dense"):
+        return None
+    return Kernel(
+        name=layer.name,
+        kind=layer.kind,
+        macs=layer.mac_count(),
+        param_bytes=int(layer.param_count() * weight_bits / 8),
+    )
+
+
+def compile_model(
+    spec: ModelSpec,
+    deployment: Deployment | None = None,
+    weight_bits: int = 8,
+    validate_resources: bool = True,
+) -> CompiledModel:
+    """Lower ``spec`` onto ``deployment`` (default: 3x B4096).
+
+    Raises :class:`CompileError` if the deployment does not fit the device
+    or the model has no compute layers.
+    """
+    deployment = deployment or default_deployment()
+    if validate_resources:
+        ledger = ResourceLedger(XCZU9EG_BUDGET)
+        deployment.place(ledger)
+
+    kernels = tuple(
+        kernel
+        for layer in spec.layers
+        if (kernel := _lower(layer, weight_bits)) is not None
+    )
+    if not kernels:
+        raise CompileError(f"{spec.name}: no compute layers to schedule")
+
+    buffer_map = default_buffer_map(deployment.config)
+    traffic = estimate_traffic(spec, buffer_map, weight_bits)
+    return CompiledModel(
+        spec=spec,
+        deployment=deployment,
+        kernels=kernels,
+        buffer_map=buffer_map,
+        traffic=traffic,
+        weight_bits=weight_bits,
+    )

@@ -1,0 +1,102 @@
+"""DPU configuration sizes.
+
+DNNDK ships soft DPU cores in several sizes; B4096 is the largest, peaking
+at 4096 operations per cycle at a default DPU clock of 333 MHz (DSPs run at
+2x internally), and a single core uses 24.3% of the ZCU102's BRAMs and
+25.6% of its DSPs (Section 3.1).  At most three B4096 cores fit — the
+paper's baseline deployment.
+
+Resource costs for the smaller configurations follow the DPU product guide
+(PG338) proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.fpga.resources import ResourceBudget, ResourceLedger, ResourceUse, XCZU9EG_BUDGET
+
+
+@dataclass(frozen=True)
+class DPUConfig:
+    """One DPU core size."""
+
+    name: str
+    ops_per_cycle: int
+    bram_kbits: int
+    luts: int
+    dsps: int
+
+    def resource_use(self, index: int = 0) -> ResourceUse:
+        return ResourceUse(
+            name=f"{self.name}[{index}]",
+            bram_kbits=self.bram_kbits,
+            luts=self.luts,
+            dsps=self.dsps,
+        )
+
+
+def _pg338(name: str, ops: int, bram_frac: float, dsp_frac: float, lut_frac: float) -> DPUConfig:
+    budget = XCZU9EG_BUDGET
+    return DPUConfig(
+        name=name,
+        ops_per_cycle=ops,
+        bram_kbits=int(budget.bram_kbits * bram_frac),
+        luts=int(budget.luts * lut_frac),
+        dsps=int(budget.dsps * dsp_frac),
+    )
+
+
+#: B4096 uses 24.3% BRAM / 25.6% DSP (Section 3.1); smaller sizes scale
+#: roughly with ops/cycle per PG338.
+DPU_CONFIGS: dict[str, DPUConfig] = {
+    "B512": _pg338("B512", 512, 0.055, 0.035, 0.045),
+    "B800": _pg338("B800", 800, 0.070, 0.050, 0.055),
+    "B1024": _pg338("B1024", 1024, 0.085, 0.065, 0.065),
+    "B1152": _pg338("B1152", 1152, 0.090, 0.070, 0.068),
+    "B1600": _pg338("B1600", 1600, 0.110, 0.100, 0.080),
+    "B2304": _pg338("B2304", 2304, 0.150, 0.145, 0.100),
+    "B3136": _pg338("B3136", 3136, 0.190, 0.195, 0.120),
+    "B4096": _pg338("B4096", 4096, 0.243, 0.256, 0.145),
+}
+
+B4096 = DPU_CONFIGS["B4096"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A placed DPU deployment: ``cores`` copies of one configuration."""
+
+    config: DPUConfig
+    cores: int
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise CompileError("deployment needs at least one core")
+
+    @property
+    def peak_ops_per_cycle(self) -> int:
+        return self.config.ops_per_cycle * self.cores
+
+    def place(self, ledger: ResourceLedger) -> None:
+        """Place all cores on the ledger (raises if the device overflows)."""
+        for i in range(self.cores):
+            ledger.place(self.config.resource_use(i))
+
+
+def max_cores(config: DPUConfig, budget: ResourceBudget = XCZU9EG_BUDGET) -> int:
+    """How many copies of ``config`` fit the device (3 for B4096)."""
+    ledger = ResourceLedger(budget)
+    count = 0
+    while True:
+        try:
+            ledger.place(config.resource_use(count))
+        except CompileError:
+            return count
+        count += 1
+
+
+def default_deployment() -> Deployment:
+    """The paper's baseline: three B4096 cores (Section 3.3.1)."""
+    return Deployment(config=B4096, cores=3)

@@ -1,0 +1,105 @@
+"""DPU execution engine.
+
+Runs a workload's executable graph the way the DPU runs its compiled
+kernels — fixed-point activations, fault hooks in the datapath — and pairs
+the measured accuracy with the analytic performance report.
+
+The engine is deliberately board-agnostic: it takes an operating point's
+*fault probability* rather than a board, so it can be unit-tested in
+isolation.  :class:`repro.core.session.AcceleratorSession` owns the
+board-to-engine wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpu.compiler import CompiledModel, compile_model
+from repro.dpu.config import Deployment, default_deployment
+from repro.dpu.perf import PerformanceModel, PerformanceReport
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.faults.injector import FaultInjector
+from repro.models.zoo import Workload
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """One measured inference run at one operating point."""
+
+    accuracy: float
+    faults_injected: int
+    perf: PerformanceReport
+
+    @property
+    def gops(self) -> float:
+        return self.perf.gops
+
+
+class DPUEngine:
+    """Executes one workload on one deployment."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        deployment: Deployment | None = None,
+        cal: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.workload = workload
+        self.deployment = deployment or default_deployment()
+        self.cal = cal
+        self.compiled: CompiledModel = compile_model(
+            workload.spec,
+            deployment=self.deployment,
+            weight_bits=workload.quantization.weight_bits,
+        )
+        self.perf_model = PerformanceModel(
+            self.compiled,
+            utilization=workload.profile.dpu_utilization,
+            cal=cal,
+            effective_ops_fraction=workload.effective_ops_fraction,
+            quant_bits=workload.quantization.weight_bits,
+        )
+
+    def run(
+        self,
+        p_per_op: float,
+        f_mhz: float,
+        rng: np.random.Generator | None = None,
+        control_collapse: bool = False,
+    ) -> InferenceOutcome:
+        """Run the whole evaluation set once at the given fault rate.
+
+        Fault-free runs (``p_per_op == 0`` without collapse) skip the
+        forward pass entirely and reuse the workload's measured clean
+        accuracy — the network is deterministic, so re-running it would
+        reproduce the same number.  ``control_collapse`` marks crash-edge
+        operation where timing failure reaches the DPU's control FSMs and
+        every datapath tensor is noise (Section 4.4's random classifier).
+        """
+        perf = self.perf_model.report(f_mhz)
+        if p_per_op <= 0.0 and not control_collapse:
+            return InferenceOutcome(
+                accuracy=self.workload.clean_accuracy,
+                faults_injected=0,
+                perf=perf,
+            )
+        if rng is None:
+            raise ValueError("faulty runs need an RNG stream for the realization")
+        # The evaluation set runs as one batch, so each layer's hook sees
+        # dataset.n inferences worth of exposure at once.
+        injector = FaultInjector(
+            exposure_ops=self.workload.exposure,
+            p_per_op=p_per_op,
+            rng=rng,
+            vulnerability=self.workload.vulnerability,
+            batch_size=self.workload.dataset.n,
+            control_collapse=control_collapse,
+        )
+        accuracy = self.workload.accuracy(activation_hook=injector)
+        return InferenceOutcome(
+            accuracy=accuracy,
+            faults_injected=injector.stats.faults_injected,
+            perf=perf,
+        )

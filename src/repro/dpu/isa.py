@@ -1,0 +1,177 @@
+"""DPU instruction stream generation.
+
+The DNNDK compiler emits a macro-instruction stream the DPU's scheduler
+executes (Figure 1's orchestrator): weight/activation loads from DDR into
+the on-chip buffers, MAC-array compute ops, and result stores.  This module
+lowers a :class:`~repro.dpu.compiler.CompiledModel` into that stream and
+estimates per-instruction cycle costs, giving campaigns and tests a
+schedule-level view that is consistent with the analytic performance model:
+
+* LOAD/SAVE cycles come from the DDR bandwidth and the instruction's byte
+  count (at the DPU clock),
+* CONV/FC cycles are ``macs / (ops_per_cycle/2)`` for the owning core,
+* weight loads for buffer-resident weights are issued once (``prefetch``),
+  streamed weights are re-loaded per inference.
+
+The stream is also where fault-injection *scheduling* semantics live: each
+compute instruction names the kernel whose activations the injector may
+corrupt, so traces can be cross-referenced with injection statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dpu.compiler import CompiledModel
+from repro.dpu.memory import DDR_BANDWIDTH_BYTES_PER_S
+from repro.errors import CompileError
+
+
+class Opcode(enum.Enum):
+    """DPU macro-instruction opcodes."""
+
+    LOAD_WEIGHTS = "load_w"
+    LOAD_ACTIVATIONS = "load_a"
+    CONV = "conv"
+    FC = "fc"
+    SAVE = "save"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One macro-instruction with its cycle estimate."""
+
+    opcode: Opcode
+    kernel: str
+    bytes_moved: int = 0
+    macs: int = 0
+    cycles: int = 0
+    #: True when the transfer happens once at model load, not per inference.
+    prefetch: bool = False
+
+
+@dataclass
+class InstructionStream:
+    """A lowered per-inference schedule."""
+
+    model_name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def per_inference(self) -> list[Instruction]:
+        return [i for i in self.instructions if not i.prefetch]
+
+    def compute_cycles(self) -> int:
+        return sum(
+            i.cycles
+            for i in self.per_inference()
+            if i.opcode in (Opcode.CONV, Opcode.FC)
+        )
+
+    def transfer_cycles(self) -> int:
+        return sum(
+            i.cycles
+            for i in self.per_inference()
+            if i.opcode in (Opcode.LOAD_WEIGHTS, Opcode.LOAD_ACTIVATIONS, Opcode.SAVE)
+        )
+
+    def total_macs(self) -> int:
+        return sum(i.macs for i in self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _transfer_cycles(bytes_moved: int, f_mhz: float) -> int:
+    seconds = bytes_moved / DDR_BANDWIDTH_BYTES_PER_S
+    return max(1, int(round(seconds * f_mhz * 1e6)))
+
+
+def lower_to_stream(
+    compiled: CompiledModel, f_mhz: float = 333.0
+) -> InstructionStream:
+    """Lower a compiled model into a DPU instruction stream.
+
+    Weights that fit the on-chip weight buffer are marked ``prefetch``
+    (loaded once); the overflow is streamed per inference, largest kernels
+    first — the DPU compiler's policy of pinning the hottest weights.
+    """
+    if f_mhz <= 0:
+        raise CompileError(f"clock must be positive, got {f_mhz}")
+    stream = InstructionStream(model_name=compiled.spec.name)
+    ops_per_cycle = compiled.deployment.peak_ops_per_cycle
+    macs_per_cycle = max(1, ops_per_cycle // 2)
+
+    # Decide residency: pin kernels by descending (macs / byte) heat.
+    budget = compiled.buffer_map.weight_bytes
+    by_heat = sorted(
+        compiled.kernels,
+        key=lambda k: (k.macs / k.param_bytes) if k.param_bytes else 0.0,
+        reverse=True,
+    )
+    resident: set[str] = set()
+    used = 0
+    for kernel in by_heat:
+        if used + kernel.param_bytes <= budget:
+            resident.add(kernel.name)
+            used += kernel.param_bytes
+
+    # Input activations arrive once per inference.
+    input_bytes = compiled.traffic.input_bytes
+    stream.instructions.append(
+        Instruction(
+            opcode=Opcode.LOAD_ACTIVATIONS,
+            kernel="input",
+            bytes_moved=input_bytes,
+            cycles=_transfer_cycles(input_bytes, f_mhz),
+        )
+    )
+
+    for kernel in compiled.kernels:
+        stream.instructions.append(
+            Instruction(
+                opcode=Opcode.LOAD_WEIGHTS,
+                kernel=kernel.name,
+                bytes_moved=kernel.param_bytes,
+                cycles=_transfer_cycles(kernel.param_bytes, f_mhz),
+                prefetch=kernel.name in resident,
+            )
+        )
+        stream.instructions.append(
+            Instruction(
+                opcode=Opcode.CONV if kernel.kind == "conv" else Opcode.FC,
+                kernel=kernel.name,
+                macs=kernel.macs,
+                cycles=max(1, -(-kernel.macs // macs_per_cycle)),
+            )
+        )
+
+    output_bytes = compiled.traffic.output_bytes
+    stream.instructions.append(
+        Instruction(
+            opcode=Opcode.SAVE,
+            kernel="output",
+            bytes_moved=output_bytes,
+            cycles=_transfer_cycles(output_bytes, f_mhz),
+        )
+    )
+    stream.instructions.append(Instruction(opcode=Opcode.END, kernel="end"))
+    return stream
+
+
+def render_stream(stream: InstructionStream, limit: int = 30) -> str:
+    """Human-readable disassembly (for traces and examples)."""
+    lines = [f"; {stream.model_name}: {len(stream)} instructions"]
+    for i, inst in enumerate(stream.instructions[:limit]):
+        flags = " [prefetch]" if inst.prefetch else ""
+        detail = (
+            f"macs={inst.macs}" if inst.macs else f"bytes={inst.bytes_moved}"
+        )
+        lines.append(
+            f"{i:4d}: {inst.opcode.value:8s} {inst.kernel:24s} "
+            f"{detail:>18s} cycles={inst.cycles}{flags}"
+        )
+    if len(stream) > limit:
+        lines.append(f"; ... {len(stream) - limit} more")
+    return "\n".join(lines)

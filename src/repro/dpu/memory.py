@@ -1,0 +1,95 @@
+"""On-chip buffer map and off-chip DDR model.
+
+The DPU stages weights and activations through BRAM-backed on-chip buffers
+(Figure 1's "On-chip Memory" block) and streams the rest from the board's
+8 GB 64-bit DDR4 (Section 3.3.1).  The memory model provides:
+
+* a per-core buffer map (weight / input / output banks) checked against the
+  core's BRAM allocation,
+* per-inference DDR traffic estimates (parameter bytes that exceed on-chip
+  residency plus input/output tensors),
+* the DDR bandwidth figure used by the performance model's memory term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpu.config import DPUConfig
+from repro.errors import CompileError
+from repro.models.spec import ModelSpec
+
+#: 64-bit DDR4-2400: 19.2 GB/s theoretical; ~70% achievable on the port.
+DDR_BANDWIDTH_BYTES_PER_S = 19.2e9 * 0.70
+
+
+@dataclass(frozen=True)
+class BufferMap:
+    """BRAM allocation of one DPU core, in kilobits."""
+
+    weight_kbits: int
+    input_kbits: int
+    output_kbits: int
+
+    @property
+    def total_kbits(self) -> int:
+        return self.weight_kbits + self.input_kbits + self.output_kbits
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight_kbits * 1024 // 8
+
+
+def default_buffer_map(config: DPUConfig) -> BufferMap:
+    """Split the core's BRAM 60/25/15 between weights/inputs/outputs —
+    the DPU's compile-time default partitioning."""
+    weight = int(config.bram_kbits * 0.60)
+    inp = int(config.bram_kbits * 0.25)
+    out = config.bram_kbits - weight - inp
+    bm = BufferMap(weight_kbits=weight, input_kbits=inp, output_kbits=out)
+    if bm.total_kbits > config.bram_kbits:
+        raise CompileError(
+            f"{config.name}: buffer map {bm.total_kbits} kbit exceeds core "
+            f"BRAM {config.bram_kbits} kbit"
+        )
+    return bm
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Per-inference DDR traffic, in bytes."""
+
+    weight_bytes: int
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.input_bytes + self.output_bytes
+
+    def transfer_time_s(self, bandwidth: float = DDR_BANDWIDTH_BYTES_PER_S) -> float:
+        return self.total_bytes / bandwidth
+
+
+def estimate_traffic(
+    spec: ModelSpec,
+    buffer_map: BufferMap,
+    weight_bits: int = 8,
+) -> TrafficEstimate:
+    """DDR traffic for one inference of ``spec``.
+
+    Weights resident in the on-chip weight buffer are fetched once and
+    reused; the overflow streams from DDR every inference.  Input images
+    and the output vector always cross DDR (the host stages them there,
+    Section 3.3.1).
+    """
+    weight_bytes_total = int(spec.total_params() * weight_bits / 8)
+    resident = min(weight_bytes_total, buffer_map.weight_bytes)
+    streamed = weight_bytes_total - resident
+    input_bytes = spec.input_hw * spec.input_hw * spec.input_channels
+    output_bytes = spec.classes * 4
+    return TrafficEstimate(
+        weight_bytes=streamed,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+    )

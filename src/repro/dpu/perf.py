@@ -1,0 +1,117 @@
+"""Analytic DPU performance model.
+
+Inference latency decomposes into a compute-bound term that scales with
+1/F and a DDR-bound term that does not:
+
+    t(F) = t_compute(F) + t_memory
+    t_compute(F) = ops / (peak_ops_per_cycle * utilization * F)
+
+Table 2 of the paper pins the split: measured GOPs at 300/250/200 MHz are
+0.94/0.83/0.70 of the 333 MHz baseline, which solves to a compute-bound
+fraction of ~0.617 at 333 MHz (DESIGN.md, calibration table).  We therefore
+set the memory term per model to
+
+    t_memory = t_compute(F0) * (1 - c) / c,   c = compute_bound_fraction
+
+which keeps every benchmark's GOPs(F) staircase on the paper's shape while
+letting absolute GOPs differ by workload via the utilization factor.
+
+The physically-derived DDR transfer time from :mod:`repro.dpu.memory` is
+reported alongside for diagnostics; the calibrated term is authoritative
+because the DPU overlaps most weight traffic with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpu.compiler import CompiledModel
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Latency/throughput numbers for one operating frequency."""
+
+    f_mhz: float
+    latency_s: float
+    compute_s: float
+    memory_s: float
+    gops: float
+    utilization: float
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_s / self.latency_s if self.latency_s else 0.0
+
+
+class PerformanceModel:
+    """Latency and throughput for one compiled model on one deployment."""
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        utilization: float,
+        cal: Calibration = DEFAULT_CALIBRATION,
+        effective_ops_fraction: float = 1.0,
+        quant_bits: int = 8,
+    ):
+        """``effective_ops_fraction`` < 1 models zero-skipping for pruned
+        models; ``quant_bits`` < 8 raises MAC-array throughput moderately
+        (sub-byte packing), exponent 0.5 — a conservative reading of the
+        DPU's sub-INT8 modes."""
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        if not 0.0 < effective_ops_fraction <= 1.0:
+            raise ValueError("effective_ops_fraction must be in (0, 1]")
+        self.compiled = compiled
+        self.utilization = utilization
+        self.cal = cal
+        self.effective_ops_fraction = effective_ops_fraction
+        self.quant_speedup = (8.0 / quant_bits) ** 0.5
+        #: Dense-equivalent ops per inference (credited work).
+        self.credited_ops = compiled.total_ops
+        #: Ops the MAC array actually executes (pruned models skip zeros).
+        self.executed_ops = compiled.total_ops * effective_ops_fraction
+        # The DDR-bound term is calibrated against the *dense INT8*
+        # baseline's compute time: pruning and sub-byte packing speed up
+        # the MAC array but do not shrink the streamed-weight traffic the
+        # compute-bound-fraction calibration captures.
+        c = cal.compute_bound_fraction
+        dense_compute_f0 = self.credited_ops / self._peak_ops_per_s(
+            cal.f_default_mhz, quant_speedup=1.0
+        )
+        self._t_memory = dense_compute_f0 * (1.0 - c) / c
+
+    def _peak_ops_per_s(self, f_mhz: float, quant_speedup: float | None = None) -> float:
+        speedup = self.quant_speedup if quant_speedup is None else quant_speedup
+        return (
+            self.compiled.deployment.peak_ops_per_cycle
+            * self.utilization
+            * speedup
+            * f_mhz
+            * 1e6
+        )
+
+    def _compute_time(self, f_mhz: float) -> float:
+        return self.executed_ops / self._peak_ops_per_s(f_mhz)
+
+    def report(self, f_mhz: float | None = None) -> PerformanceReport:
+        """Evaluate latency and throughput at ``f_mhz`` (default 333)."""
+        f_mhz = self.cal.f_default_mhz if f_mhz is None else f_mhz
+        if f_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {f_mhz}")
+        compute = self._compute_time(f_mhz)
+        latency = compute + self._t_memory
+        gops = self.credited_ops / latency / 1e9
+        return PerformanceReport(
+            f_mhz=f_mhz,
+            latency_s=latency,
+            compute_s=compute,
+            memory_s=self._t_memory,
+            gops=gops,
+            utilization=self.utilization,
+        )
+
+    def gops(self, f_mhz: float | None = None) -> float:
+        return self.report(f_mhz).gops

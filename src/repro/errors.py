@@ -1,0 +1,46 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PMBusError(ReproError):
+    """Raised on malformed PMBus transactions (bad address, command, data)."""
+
+
+class RailError(ReproError):
+    """Raised when a voltage rail is driven outside its configurable range."""
+
+
+class BoardHangError(ReproError):
+    """Raised when the FPGA is unresponsive (undervolted below ``Vcrash``).
+
+    Mirrors the paper's observation (Section 4.2) that below ``Vcrash`` the
+    FPGA "does not respond to requests and it is not functional".  The board
+    must be :meth:`~repro.fpga.board.ZCU102Board.power_cycle`-d to recover.
+    """
+
+    def __init__(self, message: str, vccint_v: float | None = None):
+        super().__init__(message)
+        self.vccint_v = vccint_v
+
+
+class CompileError(ReproError):
+    """Raised when a model graph cannot be mapped onto the DPU."""
+
+
+class GraphError(ReproError):
+    """Raised on malformed model graphs (cycles, dangling inputs, ...)."""
+
+
+class QuantizationError(ReproError):
+    """Raised for unsupported quantization configurations (e.g. INT3)."""
+
+
+class CampaignError(ReproError):
+    """Raised when an experiment campaign is configured inconsistently."""

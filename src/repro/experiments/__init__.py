@@ -1,0 +1,9 @@
+"""Experiment registry: one runner per paper table/figure.
+
+Populated by the per-experiment modules; ``REGISTRY`` maps experiment ids
+("table1", "fig3", ...) to runner callables.
+"""
+
+from repro.experiments.registry import REGISTRY, ExperimentResult, get_experiment, run_experiment
+
+__all__ = ["REGISTRY", "ExperimentResult", "get_experiment", "run_experiment"]

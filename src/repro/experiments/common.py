@@ -1,0 +1,51 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession
+from repro.core.undervolt import SweepResult, VoltageSweep
+from repro.fpga.board import ZCU102Board, make_board, make_fleet
+from repro.models.zoo import Workload, build as build_workload
+
+#: The five Table 1 benchmarks in paper order.
+BENCHMARK_ORDER = ("vggnet", "googlenet", "alexnet", "resnet50", "inception")
+#: The board sample whose landmarks equal the fleet means (570/540 mV).
+MEDIAN_BOARD = 1
+
+
+def session_for(
+    benchmark: str,
+    config: ExperimentConfig,
+    sample: int = MEDIAN_BOARD,
+    **build_kwargs,
+) -> AcceleratorSession:
+    """A fresh session on a fresh board for one benchmark variant."""
+    workload = build_workload(
+        benchmark,
+        samples=config.samples,
+        width_scale=config.width_scale,
+        seed=config.seed,
+        **build_kwargs,
+    )
+    board = make_board(sample=sample, cal=config.cal)
+    return AcceleratorSession(board, workload, config)
+
+
+def sweep_to_crash(
+    session: AcceleratorSession,
+    config: ExperimentConfig,
+    start_mv: float | None = None,
+) -> SweepResult:
+    """Run a downward sweep until the board hangs."""
+    return VoltageSweep(session, config).run(start_mv=start_mv)
+
+
+def fleet_sessions(
+    benchmark: str, config: ExperimentConfig, **build_kwargs
+) -> list[AcceleratorSession]:
+    """One session per board sample (the paper's three-platform protocol)."""
+    return [
+        session_for(benchmark, config, sample=i, **build_kwargs)
+        for i in range(config.cal.n_boards)
+    ]

@@ -1,0 +1,103 @@
+"""Extension study: undervolting the VCCBRAM rail.
+
+The paper keeps ``VCCBRAM`` at nominal (its CNN results are VCCINT-driven,
+Section 4.1) but builds on the group's earlier BRAM characterization
+[Salami et al., MICRO'18] and names combined-rail scaling as a natural
+extension.  This study sweeps VCCBRAM with VCCINT held nominal: weight
+words read from undervolted BRAM suffer bit-cell faults
+(:class:`~repro.faults.bram.BramFaultModel`), and the measured CNN accuracy
+shows the same three-phase shape as the VCCINT story — a guardband, an
+exponential degradation region, and collapse — at the BRAM rail's own
+(higher) fault-onset voltage.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.common import MEDIAN_BOARD
+from repro.experiments.registry import ExperimentResult, register
+from repro.faults.bram import BramFaultModel
+from repro.fpga.board import make_board
+from repro.models.zoo import build as build_workload
+
+BENCHMARK = "googlenet"
+VOLTAGES_MV = (850.0, 750.0, 650.0, 620.0, 610.0, 600.0, 590.0, 580.0, 570.0, 560.0)
+
+
+@register("ext_bram")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="ext_bram",
+        title="Extension: VCCBRAM undervolting (weights in faulty BRAM)",
+    )
+    workload = build_workload(
+        BENCHMARK,
+        samples=config.samples,
+        width_scale=config.width_scale,
+        seed=config.seed,
+    )
+    board = make_board(sample=MEDIAN_BOARD, cal=config.cal)
+    model = BramFaultModel()
+    seeds = config.seeds.derive("ext_bram")
+
+    # Exposure reflects the full-size model's BRAM footprint, not the
+    # reduced executable's (same convention as the datapath injector).
+    executable_params = sum(
+        node.layer.param_count() for node in workload.graph.nodes.values()
+    )
+    exposure_scale = max(1.0, workload.spec.total_params() / executable_params)
+
+    onset_mv = None
+    for v_mv in VOLTAGES_MV:
+        board.set_vccbram(v_mv / 1000.0)
+        bram_power = board.telemetry().vccbram_power_w
+        accuracies, flips = [], []
+        repeats = config.repeats if model.p_per_bit(v_mv / 1000.0) > 0 else 1
+        for r in range(repeats):
+            corrupted = copy.deepcopy(workload.graph)
+            flipped = model.corrupt_weights(
+                corrupted,
+                v_mv / 1000.0,
+                seeds.rng(f"v{v_mv:.0f}/r{r}"),
+                weight_bits=workload.quantization.weight_bits,
+                exposure_scale=exposure_scale,
+            )
+            probs = corrupted.forward(
+                workload.dataset.images,
+                activation_bits=workload.quantization.activation_bits,
+            )
+            accuracies.append(
+                workload.dataset.accuracy_of(np.argmax(probs, axis=-1))
+            )
+            flips.append(flipped)
+        accuracy = sum(accuracies) / len(accuracies)
+        mean_flips = sum(flips) / len(flips)
+        if onset_mv is None and mean_flips > 0:
+            onset_mv = v_mv
+        result.rows.append(
+            {
+                "vccbram_mv": v_mv,
+                "accuracy": round(accuracy, 3),
+                "clean_accuracy": round(workload.clean_accuracy, 3),
+                "weight_bit_flips": round(mean_flips, 1),
+                "vccbram_power_w": round(bram_power, 4),
+            }
+        )
+    board.set_vccbram(config.cal.vnom)
+    result.summary = {
+        "fault_onset_mv": onset_mv,
+        "bram_model_onset_mv": round(model.v_onset * 1000.0),
+        "accuracy_at_floor": result.rows[-1]["accuracy"],
+    }
+    result.notes.append(
+        "Weight-memory faults follow the MICRO'18 BRAM characterization "
+        "shape: safe above ~610 mV, exponential degradation below.  The "
+        "VCCBRAM rail's power stake is tiny (S4.1), so unlike VCCINT this "
+        "is a reliability study, not a power-efficiency lever."
+    )
+    return result

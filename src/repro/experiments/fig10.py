@@ -1,0 +1,61 @@
+"""Figure 10: temperature effect on reliability (accuracy).
+
+GoogleNet accuracy across the 34..52 degC window through the critical
+region.  Paper findings: no noticeable change in the guardband size, and
+higher temperature yields *higher* accuracy at a given critical-region
+voltage (Inverse Thermal Dependence); the optimal setting is around 50 degC
+and 565 mV, where accuracy loss nearly vanishes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.core.experiment import ExperimentConfig
+from repro.core.temperature import TemperatureStudy
+from repro.errors import BoardHangError
+from repro.experiments.common import MEDIAN_BOARD, session_for
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARK = "googlenet"
+VOLTAGES_MV = (575.0, 570.0, 565.0, 560.0, 555.0, 550.0, 545.0, 540.0)
+TEMPERATURES_C = (34.0, 40.0, 46.0, 52.0)
+
+
+@register("fig10")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title=f"Temperature effect on accuracy, {BENCHMARK} (Figure 10)",
+    )
+    session = session_for(BENCHMARK, config, sample=MEDIAN_BOARD)
+    points = TemperatureStudy(session, config).run(
+        voltages_mv=list(VOLTAGES_MV), temperatures_c=list(TEMPERATURES_C)
+    )
+    acc: dict[tuple[float, float], float] = {}
+    for p in points:
+        acc[(p.target_temp_c, p.vccint_mv)] = p.accuracy
+        result.rows.append(
+            {
+                "temp_c": p.target_temp_c,
+                "vccint_mv": p.vccint_mv,
+                "accuracy": round(p.accuracy, 3),
+                "clean_accuracy": round(p.measurement.clean_accuracy, 3),
+            }
+        )
+    clean = session.workload.clean_accuracy
+    t_lo, t_hi = TEMPERATURES_C[0], TEMPERATURES_C[-1]
+    probe_mv = 560.0
+    result.summary = {
+        "acc_560mv_at_34c": round(acc.get((t_lo, probe_mv), float("nan")), 3),
+        "acc_560mv_at_52c": round(acc.get((t_hi, probe_mv), float("nan")), 3),
+        "clean_accuracy": round(clean, 3),
+        "optimal_setting_paper": (
+            f"{paper.TEMP_OPTIMAL_C:.0f}C @ {paper.TEMP_OPTIMAL_VCCINT_MV:.0f} mV"
+        ),
+    }
+    result.notes.append(
+        "Higher temperature shortens path delay (ITD), reducing "
+        "undervolting faults at a small power cost (S7.2-7.3)."
+    )
+    return result

@@ -1,0 +1,62 @@
+"""Figure 3: voltage regions per benchmark, averaged across the fleet.
+
+For every benchmark, sweep each board down to its hang point, detect the
+(Vmin, Vcrash) landmarks, and report the fleet-averaged guardband and
+critical-region widths.  Paper anchors: guardband 280 mV (33%), critical
+region 30 mV, with slight workload-to-workload variation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.analysis.stats import mean_of
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import detect_regions
+from repro.experiments.common import BENCHMARK_ORDER, fleet_sessions, sweep_to_crash
+from repro.experiments.registry import ExperimentResult, register
+
+#: Sweeping from 600 mV keeps runtime low without moving any landmark: all
+#: boards are fault-free well above 590 mV.
+SWEEP_START_MV = 620.0
+
+
+@register("fig3")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Voltage regions: guardband / critical / crash (Figure 3)",
+    )
+    all_vmin: list[float] = []
+    all_vcrash: list[float] = []
+    for name in BENCHMARK_ORDER:
+        vmins, vcrashes = [], []
+        for session in fleet_sessions(name, config):
+            sweep = sweep_to_crash(session, config, start_mv=SWEEP_START_MV)
+            regions = detect_regions(
+                sweep, accuracy_tolerance=config.accuracy_tolerance
+            )
+            vmins.append(regions.vmin_mv)
+            vcrashes.append(regions.vcrash_mv)
+        vmin, vcrash = mean_of(vmins), mean_of(vcrashes)
+        all_vmin.extend(vmins)
+        all_vcrash.extend(vcrashes)
+        result.rows.append(
+            {
+                "benchmark": name,
+                "vmin_mv": round(vmin, 1),
+                "vcrash_mv": round(vcrash, 1),
+                "guardband_mv": round(850.0 - vmin, 1),
+                "guardband_pct": round((850.0 - vmin) / 850.0 * 100.0, 1),
+                "critical_mv": round(vmin - vcrash, 1),
+            }
+        )
+    result.summary = {
+        "vmin_mean_mv": round(mean_of(all_vmin), 1),
+        "vmin_mean_paper": paper.VMIN_MEAN_MV,
+        "vcrash_mean_mv": round(mean_of(all_vcrash), 1),
+        "vcrash_mean_paper": paper.VCRASH_MEAN_MV,
+        "guardband_pct": round((850.0 - mean_of(all_vmin)) / 850.0 * 100.0, 1),
+        "guardband_pct_paper": round(paper.GUARDBAND_FRACTION * 100.0, 1),
+    }
+    return result

@@ -1,0 +1,48 @@
+"""Figure 4: overall voltage behaviour of one accelerator.
+
+A full Vnom-to-crash sweep on the median board showing the three regimes:
+flat accuracy with rising GOPs/W through the guardband, rising GOPs/W with
+collapsing accuracy in the critical region, and the hang below Vcrash.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import detect_regions
+from repro.experiments.common import MEDIAN_BOARD, session_for, sweep_to_crash
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARK = "vggnet"
+
+
+@register("fig4")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title=f"Overall voltage behaviour, {BENCHMARK} (Figure 4)",
+    )
+    session = session_for(BENCHMARK, config, sample=MEDIAN_BOARD)
+    sweep = sweep_to_crash(session, config)
+    regions = detect_regions(sweep, accuracy_tolerance=config.accuracy_tolerance)
+    base = sweep.nominal.measurement
+    for point in sweep.points:
+        m = point.measurement
+        if m.vccint_mv > regions.vmin_mv:
+            region = "guardband"
+        elif m.vccint_mv >= regions.vcrash_mv:
+            region = "critical"
+        else:  # pragma: no cover - crash points never appear in the sweep
+            region = "crash"
+        result.rows.append(
+            {
+                "vccint_mv": round(m.vccint_mv, 1),
+                "region": region,
+                "accuracy": round(m.accuracy, 3),
+                "power_w": round(m.power_w, 3),
+                "gops_per_watt_norm": round(m.gops_per_watt / base.gops_per_watt, 3),
+            }
+        )
+    result.summary = regions.as_dict()
+    result.summary["crash_below_mv"] = sweep.crash_mv
+    return result

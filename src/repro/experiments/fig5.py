@@ -1,0 +1,65 @@
+"""Figure 5: power-efficiency improvement via undervolting.
+
+GOPs/W per benchmark at Vnom, Vmin and Vcrash, fleet-averaged, with the
+paper's headline gains: 2.6x from eliminating the guardband and >3x total
+at the crash edge (2.6x * 1.43).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.analysis.stats import mean_of
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import detect_regions
+from repro.experiments.common import BENCHMARK_ORDER, fleet_sessions, sweep_to_crash
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("fig5")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Power-efficiency (GOPs/W) improvement via undervolting (Figure 5)",
+    )
+    gains_vmin: list[float] = []
+    gains_vcrash: list[float] = []
+    for name in BENCHMARK_ORDER:
+        eff_nom, eff_vmin, eff_crash = [], [], []
+        for session in fleet_sessions(name, config):
+            nominal = session.run_nominal()
+            sweep = sweep_to_crash(session, config, start_mv=620.0)
+            regions = detect_regions(
+                sweep, accuracy_tolerance=config.accuracy_tolerance
+            )
+            at_vmin = sweep.point_at(regions.vmin_mv).measurement
+            at_crash = sweep.last_alive.measurement
+            eff_nom.append(nominal.gops_per_watt)
+            eff_vmin.append(at_vmin.gops_per_watt)
+            eff_crash.append(at_crash.gops_per_watt)
+        row = {
+            "benchmark": name,
+            "gops_w_vnom": round(mean_of(eff_nom), 1),
+            "gops_w_vmin": round(mean_of(eff_vmin), 1),
+            "gops_w_vcrash": round(mean_of(eff_crash), 1),
+            "gain_vmin": round(mean_of(eff_vmin) / mean_of(eff_nom), 2),
+            "gain_vcrash": round(mean_of(eff_crash) / mean_of(eff_nom), 2),
+        }
+        gains_vmin.append(row["gain_vmin"])
+        gains_vcrash.append(row["gain_vcrash"])
+        result.rows.append(row)
+    gain_vmin = mean_of(gains_vmin)
+    gain_vcrash = mean_of(gains_vcrash)
+    result.summary = {
+        "gain_at_vmin": round(gain_vmin, 2),
+        "gain_at_vmin_paper": paper.GAIN_AT_VMIN,
+        "gain_at_vcrash": round(gain_vcrash, 2),
+        "gain_at_vcrash_paper": round(
+            paper.GAIN_AT_VMIN * (1.0 + paper.EXTRA_GAIN_AT_VCRASH), 2
+        ),
+        "extra_gain_below_guardband_pct": round(
+            (gain_vcrash / gain_vmin - 1.0) * 100.0, 1
+        ),
+        "extra_gain_paper_pct": round(paper.EXTRA_GAIN_AT_VCRASH * 100.0, 1),
+    }
+    return result

@@ -1,0 +1,63 @@
+"""Figure 7: undervolting combined with quantization (INT8..INT4).
+
+For VGGNet at each precision, measure accuracy and GOPs/W across the
+guardband and critical region.  Paper findings: accuracy loss under
+reduced voltage is relatively higher at lower precision, and
+power-efficiency scales with both voltage and quantization level.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentConfig
+from repro.errors import BoardHangError
+from repro.experiments.common import MEDIAN_BOARD, session_for
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARK = "vggnet"
+PRECISIONS = (8, 7, 6, 5, 4)
+VOLTAGES_MV = (850.0, 750.0, 650.0, 570.0, 565.0, 560.0, 555.0, 550.0, 545.0, 540.0)
+
+
+@register("fig7")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title=f"Undervolting x quantization, {BENCHMARK} (Figure 7)",
+    )
+    eff_at_vmin: dict[int, float] = {}
+    for bits in PRECISIONS:
+        session = session_for(
+            BENCHMARK, config, sample=MEDIAN_BOARD, weight_bits=bits
+        )
+        for v_mv in VOLTAGES_MV:
+            try:
+                m = session.run_at(v_mv)
+            except BoardHangError:
+                session.board.power_cycle()
+                continue
+            result.rows.append(
+                {
+                    "precision": f"INT{bits}",
+                    "vccint_mv": v_mv,
+                    "accuracy": round(m.accuracy, 3),
+                    "clean_accuracy": round(m.clean_accuracy, 3),
+                    "gops_per_watt": round(m.gops_per_watt, 1),
+                }
+            )
+            if v_mv == 570.0:
+                eff_at_vmin[bits] = m.gops_per_watt
+    result.summary = {
+        f"gops_w_at_vmin_int{bits}": round(eff_at_vmin[bits], 1)
+        for bits in PRECISIONS
+        if bits in eff_at_vmin
+    }
+    if 8 in eff_at_vmin and 4 in eff_at_vmin:
+        result.summary["int4_over_int8"] = round(
+            eff_at_vmin[4] / eff_at_vmin[8], 2
+        )
+    result.notes.append(
+        "INT3 and below lose significant accuracy even at Vnom (Section "
+        "6.1); the tensor layer rejects them."
+    )
+    return result

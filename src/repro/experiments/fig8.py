@@ -1,0 +1,66 @@
+"""Figure 8: undervolting combined with pruning.
+
+Pruned vs baseline VGGNet under reduced voltage.  Paper findings: the
+pruned model is more vulnerable to undervolting faults, crashes earlier
+(Vcrash 555 mV vs 540 mV), and delivers higher GOPs/W thanks to the
+reduced operation count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.core.experiment import ExperimentConfig
+from repro.errors import BoardHangError
+from repro.experiments.common import MEDIAN_BOARD, session_for
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARK = "vggnet"
+VOLTAGES_MV = (850.0, 750.0, 650.0, 570.0, 565.0, 560.0, 555.0, 550.0, 545.0, 540.0)
+
+
+@register("fig8")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title=f"Undervolting x pruning, {BENCHMARK} (Figure 8)",
+    )
+    measured_vcrash: dict[str, float] = {}
+    eff_at_vmin: dict[str, float] = {}
+    for pruned in (False, True):
+        label = "pruned" if pruned else "baseline"
+        session = session_for(
+            BENCHMARK, config, sample=MEDIAN_BOARD, pruned=pruned
+        )
+        last_alive_mv = None
+        for v_mv in VOLTAGES_MV:
+            try:
+                m = session.run_at(v_mv)
+            except BoardHangError:
+                session.board.power_cycle()
+                continue
+            last_alive_mv = v_mv if last_alive_mv is None else min(last_alive_mv, v_mv)
+            result.rows.append(
+                {
+                    "variant": label,
+                    "vccint_mv": v_mv,
+                    "accuracy": round(m.accuracy, 3),
+                    "clean_accuracy": round(m.clean_accuracy, 3),
+                    "gops_per_watt": round(m.gops_per_watt, 1),
+                }
+            )
+            if v_mv == 570.0:
+                eff_at_vmin[label] = m.gops_per_watt
+        measured_vcrash[label] = last_alive_mv
+    result.summary = {
+        "vcrash_baseline_mv": measured_vcrash.get("baseline"),
+        "vcrash_baseline_paper": paper.BASELINE_VCRASH_MV,
+        "vcrash_pruned_mv": measured_vcrash.get("pruned"),
+        "vcrash_pruned_paper": paper.PRUNED_VCRASH_MV,
+        "pruned_gops_w_gain": round(
+            eff_at_vmin["pruned"] / eff_at_vmin["baseline"], 2
+        )
+        if len(eff_at_vmin) == 2
+        else None,
+    }
+    return result

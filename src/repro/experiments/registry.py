@@ -1,0 +1,91 @@
+"""Experiment registry and the common result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.experiment import ExperimentConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner.
+
+    ``rows`` are table-shaped records; ``summary`` carries the headline
+    scalars compared against the paper; ``notes`` records deviations.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        from repro.analysis.tables import render_table
+
+        parts = [render_table(self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        if self.summary:
+            parts.append("summary: " + ", ".join(f"{k}={v}" for k, v in self.summary.items()))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+#: experiment id -> runner(config) -> ExperimentResult
+REGISTRY: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a runner to the registry."""
+
+    def _wrap(func: Callable[[ExperimentConfig], ExperimentResult]):
+        if experiment_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id: {experiment_id}")
+        REGISTRY[experiment_id] = func
+        return func
+
+    return _wrap
+
+
+def _load_all() -> None:
+    """Import every experiment module so the registry is populated."""
+    from repro.experiments import (  # noqa: F401
+        table1,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        table2,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        sec41,
+        ablations,
+        ext_mitigation,
+        ext_bram,
+    )
+
+
+def get_experiment(experiment_id: str) -> Callable[[ExperimentConfig], ExperimentResult]:
+    _load_all()
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    runner = get_experiment(experiment_id)
+    return runner(config or ExperimentConfig())
+
+
+def list_experiments() -> list[str]:
+    _load_all()
+    return sorted(REGISTRY)

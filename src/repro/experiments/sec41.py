@@ -1,0 +1,50 @@
+"""Section 4.1: power breakdown at the nominal voltage.
+
+Per-benchmark on-chip power at (Vnom, 333 MHz) split across the two
+on-chip PL rails.  Paper anchors: 12.59 W average total, with VCCINT
+carrying more than 99.9% (UltraScale+ BRAMs are dynamically power-gated,
+so VCCBRAM is negligible).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.analysis.stats import mean_of
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.common import BENCHMARK_ORDER, MEDIAN_BOARD, session_for
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("sec41")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="sec41",
+        title="On-chip power breakdown at Vnom (Section 4.1)",
+    )
+    totals = []
+    for name in BENCHMARK_ORDER:
+        session = session_for(name, config, sample=MEDIAN_BOARD)
+        m = session.run_nominal()
+        total = m.power_w + m.bram_power_w
+        totals.append(total)
+        result.rows.append(
+            {
+                "benchmark": name,
+                "vccint_w": round(m.power_w, 3),
+                "vccbram_w": round(m.bram_power_w, 4),
+                "total_w": round(total, 3),
+                "vccint_share_pct": round(m.power_w / total * 100.0, 2),
+            }
+        )
+    result.summary = {
+        "avg_total_w": round(mean_of(totals), 2),
+        "avg_total_paper_w": paper.P_TOTAL_VNOM_W,
+        "vccint_share_min_paper_pct": round(paper.VCCINT_SHARE_MIN * 100.0, 1),
+    }
+    result.notes.append(
+        "The rest of the paper concentrates on VCCINT because of its "
+        "dominance; VCCBRAM undervolting is available as a library "
+        "extension (repro.faults.bram)."
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Table 2: frequency underscaling in the critical region.
+
+For each voltage from Vmin down to Vcrash, find the maximum loss-free
+frequency on the paper's 25 MHz grid and report GOPs / power / GOPs/W /
+GOPs/J normalized to the (Vmin, 333 MHz) baseline.  The study runs on the
+median board sample, whose landmarks equal the fleet means the paper's
+table uses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as paper
+from repro.core.experiment import ExperimentConfig
+from repro.core.freq_scaling import FrequencyUnderscaling
+from repro.experiments.common import MEDIAN_BOARD, session_for
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARK = "vggnet"
+
+
+@register("table2")
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Frequency underscaling in the critical region (Table 2)",
+    )
+    session = session_for(BENCHMARK, config, sample=MEDIAN_BOARD)
+    rows = FrequencyUnderscaling(session, config).run()
+    paper_by_mv = {int(r[0]): r for r in paper.TABLE2_ROWS}
+    for r in rows:
+        row = r.as_dict()
+        expected = paper_by_mv.get(int(r.vccint_mv))
+        if expected is not None:
+            row["fmax_paper"] = expected[1]
+            row["gops_w_paper"] = expected[4]
+        result.rows.append(row)
+    last = rows[-1]
+    best_joule = max(rows, key=lambda r: r.gops_per_joule_norm)
+    result.summary = {
+        "gops_w_gain_at_vcrash_pct": round((last.gops_per_watt_norm - 1) * 100, 1),
+        "gops_w_gain_paper_pct": round(
+            paper.FREQ_UNDERSCALED_GAIN_AT_VCRASH * 100, 1
+        ),
+        "best_gops_j_point_mv": best_joule.vccint_mv,
+        "best_gops_j_point_paper_mv": 570.0,
+    }
+    result.notes.append(
+        "Energy efficiency (GOPs/J) peaks at the (Vmin, Fmax) baseline; "
+        "lower voltage-frequency pairs only improve GOPs/W — the paper's "
+        "Section 5 conclusion."
+    )
+    return result

@@ -1,0 +1,13 @@
+"""Undervolting fault models.
+
+Translates the timing model's negative slack into per-op fault
+probabilities, plans per-layer fault counts against each model's full-size
+op exposure, and injects bit flips into the quantized activation stream of
+the executable network.
+"""
+
+from repro.faults.model import FaultRateModel
+from repro.faults.injector import FaultInjector, InjectionStats
+from repro.faults.bram import BramFaultModel
+
+__all__ = ["FaultRateModel", "FaultInjector", "InjectionStats", "BramFaultModel"]

@@ -1,0 +1,90 @@
+"""BRAM bit-cell fault model (library extension).
+
+The paper holds ``VCCBRAM`` at nominal while undervolting ``VCCINT`` (its
+CNN accuracy results are datapath-fault-driven), but the same group's
+earlier work characterized BRAM bit-cell faults under VCCBRAM undervolting
+[Salami et al., MICRO'18]: faults appear below a BRAM-specific Vmin, grow
+roughly exponentially, and cluster in fault-prone cells.
+
+We keep that model available as an extension so users can study combined
+VCCINT+VCCBRAM scaling (the paper's future-work direction).  The model
+yields a per-bit fault probability for weight words read from BRAM; the
+engine can apply it to the workload's weight tensors before a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.tensor import QuantizedTensor
+
+
+@dataclass(frozen=True)
+class BramFaultModel:
+    """Per-bit fault probability for BRAM reads vs VCCBRAM voltage.
+
+    Defaults follow the MICRO'18 characterization shape: fault onset around
+    610 mV on 28 nm parts, exponential growth with ~10 mV e-folding, and a
+    practical ceiling.
+    """
+
+    v_onset: float = 0.610
+    efold_v: float = 0.008
+    p_onset: float = 1.0e-8
+    p_max: float = 1.0e-4
+
+    def p_per_bit(self, vccbram_v: float) -> float:
+        if vccbram_v <= 0:
+            raise ValueError(f"voltage must be positive, got {vccbram_v}")
+        if vccbram_v >= self.v_onset:
+            return 0.0
+        exponent = min((self.v_onset - vccbram_v) / self.efold_v, 60.0)
+        return min(self.p_max, self.p_onset * math.exp(exponent))
+
+    def corrupt_weights(
+        self,
+        graph: Graph,
+        vccbram_v: float,
+        rng: np.random.Generator,
+        weight_bits: int = 8,
+        exposure_scale: float = 1.0,
+    ) -> int:
+        """Flip weight bits in-place at this voltage's per-bit rate.
+
+        Returns the number of flipped bits.  Weights round-trip through
+        their fixed-point format so flips act on stored words, exactly as a
+        weak BRAM cell would corrupt a stored weight.
+
+        ``exposure_scale`` multiplies the bit count seen by the Poisson
+        draw; reduced-width executable stand-ins pass the ratio of the
+        full-size model's parameter bits to their own so the fault exposure
+        reflects the real BRAM footprint (the same convention the datapath
+        injector uses for op counts).
+        """
+        if exposure_scale <= 0:
+            raise ValueError(f"exposure_scale must be positive, got {exposure_scale}")
+        p = self.p_per_bit(vccbram_v)
+        if p == 0.0:
+            return 0
+        flipped = 0
+        for node in graph.nodes.values():
+            layer = node.layer
+            if not isinstance(layer, (Conv2D, Dense)):
+                continue
+            qt = QuantizedTensor.from_real(layer.weights, bits=weight_bits)
+            n_bits = qt.stored.size * weight_bits * exposure_scale
+            count = int(rng.poisson(p * n_bits))
+            if count == 0:
+                continue
+            count = min(count, qt.stored.size)
+            indices = rng.integers(0, qt.stored.size, size=count)
+            bits = rng.integers(0, weight_bits, size=count)
+            qt.flip_bits(indices, bits)
+            layer.weights = qt.real.reshape(layer.weights.shape)
+            flipped += count
+        return flipped

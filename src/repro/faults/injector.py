@@ -1,0 +1,149 @@
+"""Bit-flip injection into the quantized activation stream.
+
+Timing faults manifest as "bit-flips in memories or logic timing violations
+in data paths" (Section 2.2 of the paper).  In the accelerator's datapath
+the architecturally-visible effect of a missed setup time is a corrupted
+accumulator result, so the injector flips bits of the *quantized layer
+outputs* as they leave each compute layer:
+
+* the expected fault count per layer is ``p_op * exposure_ops[layer]``
+  where the exposure uses the **full-size** model's op counts — this is
+  what makes parameter-heavy models (ResNet, Inception) absorb more faults
+  per inference, reproducing Figure 6's vulnerability ordering;
+* fault sites (element, bit position) are uniform; a flipped MSB/sign bit
+  produces the large excursions that flip classifications;
+* fault counts are Poisson-drawn per layer per batch, clamped to the
+  tensor's element count (beyond that the output is already noise).
+
+The injector is re-armed per repeat with a distinct RNG stream, mirroring
+the paper's averaging of 10 runs per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import Node
+from repro.nn.tensor import QuantizedTensor
+
+
+@dataclass
+class InjectionStats:
+    """Bookkeeping for one armed injection pass."""
+
+    faults_planned: float = 0.0
+    faults_injected: int = 0
+    layers_hit: int = 0
+
+    def reset(self) -> None:
+        self.faults_planned = 0.0
+        self.faults_injected = 0
+        self.layers_hit = 0
+
+
+class FaultInjector:
+    """A graph activation hook that flips bits at a given per-op rate.
+
+    Parameters
+    ----------
+    exposure_ops:
+        Full-size ops per compute-layer name (one inference).
+    p_per_op:
+        Fault probability per op at the present operating point.
+    rng:
+        Stream for this fault realization (one per repeat).
+    vulnerability:
+        Multiplier from quantization/pruning (Figures 7/8).
+    batch_size:
+        Number of inferences the forward pass batches together; exposure
+        scales linearly with it.
+    """
+
+    def __init__(
+        self,
+        exposure_ops: dict[str, float],
+        p_per_op: float,
+        rng: np.random.Generator,
+        vulnerability: float = 1.0,
+        batch_size: int = 1,
+        bit_weights: np.ndarray | None = None,
+        control_collapse: bool = False,
+    ):
+        if p_per_op < 0:
+            raise ValueError(f"p_per_op must be non-negative, got {p_per_op}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.exposure_ops = exposure_ops
+        self.p_per_op = p_per_op
+        self.rng = rng
+        self.vulnerability = vulnerability
+        self.batch_size = batch_size
+        self.bit_weights = bit_weights
+        self.control_collapse = control_collapse
+        self.stats = InjectionStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_per_op > 0.0 or self.control_collapse
+
+    def _randomize(self, tensor: QuantizedTensor) -> None:
+        fmt = tensor.fmt
+        tensor.stored[...] = self.rng.integers(
+            fmt.qmin, fmt.qmax + 1, size=tensor.stored.shape, dtype=np.int64
+        ).astype(tensor.stored.dtype)
+        self.stats.faults_injected += tensor.stored.size
+        self.stats.layers_hit += 1
+
+    def __call__(self, node: Node, tensor: QuantizedTensor) -> None:
+        """Graph hook: flip bits of this layer's quantized output."""
+        if not self.enabled:
+            return
+        if self.control_collapse:
+            # At the crash edge, timing failure reaches the control FSMs:
+            # the datapath output is garbage regardless of fault statistics.
+            self._randomize(tensor)
+            return
+        exposure = self.exposure_ops.get(node.name, 0)
+        if exposure == 0:
+            return
+        lam = self.p_per_op * exposure * self.vulnerability * self.batch_size
+        self.stats.faults_planned += lam
+        # Poisson draws overflow for astronomically large lambdas (deep in
+        # the crash region); anything past full saturation behaves the same.
+        size = tensor.stored.size
+        if lam >= 8.0 * size:
+            count = size
+        else:
+            count = int(self.rng.poisson(lam))
+        if count == 0:
+            return
+        if count >= size:
+            # Saturated: every word is upset at least once on average — the
+            # output is indistinguishable from noise (single-bit flips
+            # would leave 7/8 of each word intact and keep argmax
+            # correlated with the clean output).
+            self._randomize(tensor)
+            return
+        indices = self.rng.integers(0, size, size=count)
+        bits = self._draw_bits(count, tensor.fmt.bits)
+        tensor.flip_bits(indices, bits)
+        self.stats.faults_injected += count
+        self.stats.layers_hit += 1
+
+    def _draw_bits(self, count: int, width: int) -> np.ndarray:
+        if self.bit_weights is None:
+            return self.rng.integers(0, width, size=count)
+        weights = np.asarray(self.bit_weights, dtype=float)
+        if weights.shape != (width,):
+            raise ValueError(
+                f"bit_weights must have shape ({width},), got {weights.shape}"
+            )
+        weights = weights / weights.sum()
+        return self.rng.choice(width, size=count, p=weights)
+
+
+def null_injector() -> None:
+    """Sentinel for fault-free runs (no hook installed at all)."""
+    return None

@@ -1,0 +1,69 @@
+"""Slack-to-fault-rate model.
+
+Below the minimum safe voltage, path delay exceeds the clock period and
+timing faults appear; the paper observes an *exponential* growth of CNN
+accuracy loss as voltage decreases through the critical region (Sections
+4.2 and 4.4, Figure 6).  We model the per-operation fault probability as
+an exponential in the magnitude of negative slack:
+
+    p(slack) = 0                                   slack >= 0
+    p(slack) = min(p_max, p0 * exp(gamma * |slack|))   slack < 0
+
+with ``p0`` (onset probability), ``gamma`` (1/ns sensitivity) and ``p_max``
+from :class:`~repro.fpga.calibration.Calibration`.  Combined with the
+calibrated ``Fsafe(V)`` curve this spans roughly 1e-10 .. 1e-4 per op
+between ``Vmin`` and ``Vcrash`` at the default 333 MHz clock: a fraction of
+a fault per inference for the small Cifar networks at Vmin-5mV, and tens of
+thousands of faults (chance-level accuracy) at Vcrash.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fpga.timing import DelayModel
+
+
+@dataclass
+class FaultRateModel:
+    """Per-op fault probability at an operating point."""
+
+    delay_model: DelayModel
+    cal: Calibration = DEFAULT_CALIBRATION
+    #: Extra voltage shift (V) for workload-to-workload Vmin jitter.
+    workload_shift_v: float = 0.0
+
+    def p_per_op(self, v: float, f_mhz: float, t_c: float | None = None) -> float:
+        """Fault probability per executed operation."""
+        slack_ns = self.delay_model.slack_ns(v - self.workload_shift_v, f_mhz, t_c)
+        return self.p_from_slack(slack_ns)
+
+    def p_from_slack(self, slack_ns: float) -> float:
+        if slack_ns >= 0.0:
+            return 0.0
+        exponent = min(self.cal.fault_gamma_per_ns * (-slack_ns), 60.0)
+        return min(self.cal.fault_p_max, self.cal.fault_p0 * math.exp(exponent))
+
+    def expected_faults(
+        self,
+        v: float,
+        f_mhz: float,
+        exposure_ops: float,
+        t_c: float | None = None,
+        vulnerability: float = 1.0,
+    ) -> float:
+        """Expected fault count for ``exposure_ops`` executed operations.
+
+        ``vulnerability`` carries the quantization/pruning multipliers of
+        Figures 7 and 8.
+        """
+        if exposure_ops < 0:
+            raise ValueError(f"exposure must be non-negative, got {exposure_ops}")
+        if vulnerability <= 0:
+            raise ValueError(f"vulnerability must be positive, got {vulnerability}")
+        return self.p_per_op(v, f_mhz, t_c) * exposure_ops * vulnerability
+
+    def is_fault_free(self, v: float, f_mhz: float, t_c: float | None = None) -> bool:
+        return self.p_per_op(v, f_mhz, t_c) == 0.0

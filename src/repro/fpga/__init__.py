@@ -1,0 +1,11 @@
+"""FPGA platform substrate: a software model of the Xilinx ZCU102 board.
+
+The subpackage provides register-level PMBus emulation, voltage regulators
+and rails, power/timing/thermal physics, process variation across board
+samples, and the assembled :class:`~repro.fpga.board.ZCU102Board`.
+"""
+
+from repro.fpga.board import ZCU102Board, make_board
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["ZCU102Board", "make_board", "Calibration", "DEFAULT_CALIBRATION"]

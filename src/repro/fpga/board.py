@@ -1,0 +1,324 @@
+"""The assembled ZCU102 board model.
+
+``ZCU102Board`` wires together the PMBus rail bank, the power models, the
+timing model, the thermal plant, and the per-sample process variation into
+one object with the same observable behaviour the paper's three physical
+boards had:
+
+* voltages are programmed and read back over PMBus (``board.pmbus``),
+* VCCINT power and die temperature are read over PMBus,
+* driving VCCINT below this board's ``Vcrash`` while the PL is active hangs
+  the board (:class:`~repro.errors.BoardHangError`) until
+  :meth:`ZCU102Board.power_cycle`.
+
+The board does not know about CNNs; workload-specific quantities (activity,
+op counts) are attached by :class:`repro.core.session.AcceleratorSession`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BoardHangError, RailError
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fpga.pmbus import PMBus
+from repro.fpga.power import VccbramPowerModel, VccintPowerModel
+from repro.fpga.regulator import (
+    VCCBRAM_ADDRESS,
+    VCCINT_ADDRESS,
+    VoltageRail,
+    build_rail_bank,
+)
+from repro.fpga.resources import ResourceLedger, XCZU9EG_BUDGET
+from repro.fpga.thermal import ThermalPlant
+from repro.fpga.timing import (
+    AlphaPowerDelayModel,
+    CalibratedDelayModel,
+    DelayModel,
+    OperatingPoint,
+)
+from repro.fpga.variation import BoardVariation, board_variation
+
+
+class BoardState(enum.Enum):
+    """Lifecycle of a board sample."""
+
+    RUNNING = "running"
+    HUNG = "hung"
+
+
+@dataclass
+class BoardTelemetry:
+    """One snapshot of the quantities the paper logs per measurement."""
+
+    vccint_v: float
+    vccbram_v: float
+    vccint_power_w: float
+    vccbram_power_w: float
+    die_temperature_c: float
+    fan_duty_percent: float
+
+    @property
+    def on_chip_power_w(self) -> float:
+        return self.vccint_power_w + self.vccbram_power_w
+
+
+class ZCU102Board:
+    """One ZCU102 sample: rails, physics, and crash semantics.
+
+    Parameters
+    ----------
+    sample:
+        Board index; samples 0..2 are the paper's fleet with calibrated
+        Vmin/Vcrash landmarks, larger indices synthesize extra boards.
+    cal:
+        Calibration constants (override for ablations).
+    delay_model_kind:
+        ``"calibrated"`` (default, anchored to Table 2) or ``"alpha-power"``
+        (physical law, for the ablation bench).
+    """
+
+    def __init__(
+        self,
+        sample: int = 0,
+        cal: Calibration = DEFAULT_CALIBRATION,
+        delay_model_kind: str = "calibrated",
+        ambient_c: float = 26.0,
+    ):
+        self.sample = sample
+        self.cal = cal
+        self.variation: BoardVariation = board_variation(sample, cal)
+        self.state = BoardState.RUNNING
+        self.crash_count = 0
+
+        if delay_model_kind == "calibrated":
+            self.delay_model: DelayModel = CalibratedDelayModel(
+                cal, vmin_shift_v=self.variation.vmin_shift_v
+            )
+        elif delay_model_kind == "alpha-power":
+            self.delay_model = AlphaPowerDelayModel(
+                cal, vmin_shift_v=self.variation.vmin_shift_v
+            )
+        else:
+            raise ValueError(f"unknown delay model kind: {delay_model_kind!r}")
+
+        # Workload-dependent knobs; AcceleratorSession configures these.
+        self._workload_p_vnom_w: float = cal.p_total_vnom * cal.vccint_power_share
+        self._workload_vcrash_offset_v: float = 0.0
+        self._f_mhz: float = cal.f_default_mhz
+
+        self.vccint_power_model = VccintPowerModel(
+            cal,
+            p_vnom_w=self._workload_p_vnom_w,
+            vmin_v=self.variation.vmin_v,
+            vcrash_v=self.variation.vcrash_v,
+        )
+        self.vccbram_power_model = VccbramPowerModel(cal)
+        self.thermal = ThermalPlant(cal, ambient_c=ambient_c)
+        self.resources = ResourceLedger(XCZU9EG_BUDGET)
+
+        self.pmbus: PMBus
+        self._rails: dict[str, VoltageRail]
+        self.pmbus, self._rails = build_rail_bank(
+            power_sensors={
+                "VCCINT": self._read_vccint_power,
+                "VCCBRAM": self._read_vccbram_power,
+            },
+            temperature_sensor=lambda: self.thermal.die_temperature_c,
+            on_voltage_change=self._on_rail_change,
+        )
+        self._settle_thermals()
+
+    # ------------------------------------------------------------------
+    # Rail access
+    # ------------------------------------------------------------------
+
+    def rail(self, name: str) -> VoltageRail:
+        try:
+            return self._rails[name]
+        except KeyError:
+            raise RailError(f"unknown rail: {name!r}") from None
+
+    @property
+    def vccint_v(self) -> float:
+        return self.rail("VCCINT").voltage
+
+    @property
+    def vccbram_v(self) -> float:
+        return self.rail("VCCBRAM").voltage
+
+    def set_vccint(self, volts: float) -> None:
+        """Program VCCINT over PMBus (the paper's primary knob)."""
+        self.pmbus.set_voltage(VCCINT_ADDRESS, volts)
+
+    def set_vccbram(self, volts: float) -> None:
+        self.pmbus.set_voltage(VCCBRAM_ADDRESS, volts)
+
+    # ------------------------------------------------------------------
+    # Workload attachment (used by AcceleratorSession)
+    # ------------------------------------------------------------------
+
+    def configure_workload(
+        self,
+        p_vnom_w: float,
+        vcrash_offset_v: float = 0.0,
+        activity_collapse_enabled: bool = True,
+    ) -> None:
+        """Attach workload-specific power draw and crash margin."""
+        if p_vnom_w <= 0:
+            raise ValueError(f"p_vnom_w must be positive, got {p_vnom_w}")
+        self._workload_p_vnom_w = p_vnom_w
+        self._workload_vcrash_offset_v = vcrash_offset_v
+        self.vccint_power_model = VccintPowerModel(
+            self.cal,
+            p_vnom_w=p_vnom_w,
+            vmin_v=self.variation.vmin_v,
+            vcrash_v=self.variation.vcrash_v,
+            activity_collapse_enabled=activity_collapse_enabled,
+        )
+        self._settle_thermals()
+
+    def set_clock_mhz(self, f_mhz: float) -> None:
+        """Set the DPU clock (affects dynamic power and timing slack)."""
+        if f_mhz <= 0:
+            raise ValueError(f"clock must be positive, got {f_mhz}")
+        self._f_mhz = f_mhz
+        self._settle_thermals()
+
+    @property
+    def clock_mhz(self) -> float:
+        return self._f_mhz
+
+    @property
+    def vcrash_v(self) -> float:
+        """Effective crash voltage for the attached workload."""
+        return self.variation.vcrash_v + self._workload_vcrash_offset_v
+
+    @property
+    def vmin_v(self) -> float:
+        """This board's intrinsic minimum safe voltage (fleet landmark)."""
+        return self.variation.vmin_v
+
+    def operating_point(self) -> OperatingPoint:
+        return OperatingPoint(
+            vccint_v=self.vccint_v,
+            f_mhz=self._f_mhz,
+            t_c=self.thermal.die_temperature_c,
+        )
+
+    # ------------------------------------------------------------------
+    # Physics plumbing
+    # ------------------------------------------------------------------
+
+    def _read_vccint_power(self) -> float:
+        v = self.vccint_v
+        t_c = self.thermal.die_temperature_c
+        # Missed-transition activity collapse only applies while the clock
+        # violates timing (see VccintPowerModel.activity_factor).
+        violated = self.delay_model.slack_ns(v, self._f_mhz, t_c) < 0.0
+        return self.vccint_power_model.power_w(
+            v, self._f_mhz, t_c, timing_violated=violated
+        )
+
+    def _read_vccbram_power(self) -> float:
+        return self.vccbram_power_model.power_w(
+            self.vccbram_v, self.thermal.die_temperature_c
+        )
+
+    def _on_rail_change(self, name: str, volts: float) -> None:
+        if name in ("VCCINT", "VCCBRAM"):
+            self._settle_thermals()
+
+    def _settle_thermals(self) -> None:
+        # Two fixed-point iterations are ample: leakage feedback is weak.
+        for _ in range(2):
+            power = self._read_vccint_power() + self._read_vccbram_power()
+            self.thermal.settle(power)
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+
+    def check_alive(self) -> None:
+        """Raise if the board is hung or if VCCINT has fallen below Vcrash.
+
+        The PL logic hangs when operated below the crash voltage; the hang
+        is latched (the board stays unresponsive even if voltage is raised)
+        until a power cycle, matching the paper's recovery procedure.
+        """
+        if self.state is BoardState.HUNG:
+            raise BoardHangError(
+                f"board {self.sample} is hung; power_cycle() required",
+                vccint_v=self.vccint_v,
+            )
+        if self.vccint_v < self.vcrash_v:
+            self.state = BoardState.HUNG
+            self.crash_count += 1
+            raise BoardHangError(
+                f"board {self.sample} hung: VCCINT {self.vccint_v * 1e3:.1f} mV "
+                f"below Vcrash {self.vcrash_v * 1e3:.1f} mV",
+                vccint_v=self.vccint_v,
+            )
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state is BoardState.RUNNING and self.vccint_v >= self.vcrash_v
+
+    def power_cycle(self) -> None:
+        """Restore all rails to nominal and clear the hang latch."""
+        for rail in self._rails.values():
+            rail.reset()
+        self._f_mhz = self.cal.f_default_mhz
+        self.state = BoardState.RUNNING
+        self._settle_thermals()
+
+    # ------------------------------------------------------------------
+
+    def telemetry(self) -> BoardTelemetry:
+        """Read the measurement snapshot over PMBus (as the paper did)."""
+        return BoardTelemetry(
+            vccint_v=self.pmbus.read_voltage(VCCINT_ADDRESS),
+            vccbram_v=self.pmbus.read_voltage(VCCBRAM_ADDRESS),
+            vccint_power_w=self.pmbus.read_power(VCCINT_ADDRESS),
+            vccbram_power_w=self.pmbus.read_power(VCCBRAM_ADDRESS),
+            die_temperature_c=self.pmbus.read_temperature(VCCINT_ADDRESS),
+            fan_duty_percent=self.thermal.fan_duty_percent,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ZCU102Board(sample={self.sample}, state={self.state.value}, "
+            f"vccint={self.vccint_v * 1e3:.1f}mV, clock={self._f_mhz:.0f}MHz)"
+        )
+
+
+def make_board(
+    sample: int = 0,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    delay_model_kind: str = "calibrated",
+    ambient_c: float = 26.0,
+) -> ZCU102Board:
+    """Convenience constructor for one board sample."""
+    return ZCU102Board(
+        sample=sample,
+        cal=cal,
+        delay_model_kind=delay_model_kind,
+        ambient_c=ambient_c,
+    )
+
+
+def make_fleet(
+    n: int | None = None,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    delay_model_kind: str = "calibrated",
+) -> list[ZCU102Board]:
+    """The paper's fleet: ``n`` identical board samples (default 3)."""
+    n = cal.n_boards if n is None else n
+    if n <= 0:
+        raise ValueError(f"fleet size must be positive, got {n}")
+    return [
+        make_board(sample=i, cal=cal, delay_model_kind=delay_model_kind)
+        for i in range(n)
+    ]

@@ -1,0 +1,233 @@
+"""Register-level PMBus emulation.
+
+The ZCU102 exposes its voltage rails through the Power Management Bus
+(PMBus); the paper regulates and monitors ``VCCINT`` (address ``0x13``) and
+``VCCBRAM`` (``0x14``) through a PMBus adapter (Section 3.3.2, Figure 2).
+This module emulates the transport and the data formats so campaign code
+drives the board through the same control path:
+
+* LINEAR11 (5-bit two's-complement exponent + 11-bit mantissa) for
+  telemetry values such as power, current, temperature, and fan speed.
+* LINEAR16 (16-bit mantissa with a per-device VOUT_MODE exponent) for
+  output-voltage values.
+* A command set covering the subset of PMBus 1.3 the paper's scripts use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import PMBusError
+
+
+class Command(enum.IntEnum):
+    """PMBus command codes used by the platform (PMBus 1.3 subset)."""
+
+    PAGE = 0x00
+    OPERATION = 0x01
+    CLEAR_FAULTS = 0x03
+    VOUT_MODE = 0x20
+    VOUT_COMMAND = 0x21
+    VOUT_MAX = 0x24
+    VOUT_MARGIN_HIGH = 0x25
+    VOUT_MARGIN_LOW = 0x26
+    FAN_COMMAND_1 = 0x3B
+    STATUS_BYTE = 0x78
+    READ_VIN = 0x88
+    READ_VOUT = 0x8B
+    READ_IOUT = 0x8C
+    READ_TEMPERATURE_1 = 0x8D
+    READ_FAN_SPEED_1 = 0x90
+    READ_POUT = 0x96
+    READ_PIN = 0x97
+
+
+class StatusBit(enum.IntFlag):
+    """STATUS_BYTE flag bits (PMBus 1.3, Part II, 17.1)."""
+
+    NONE = 0x00
+    CML = 0x02
+    TEMPERATURE = 0x04
+    VIN_UV = 0x08
+    IOUT_OC = 0x10
+    VOUT_OV = 0x20
+    OFF = 0x40
+    BUSY = 0x80
+
+
+# --------------------------------------------------------------------------
+# LINEAR11 / LINEAR16 codecs
+# --------------------------------------------------------------------------
+
+_L11_MANTISSA_MIN = -1024
+_L11_MANTISSA_MAX = 1023
+_L11_EXPONENT_MIN = -16
+_L11_EXPONENT_MAX = 15
+
+
+def _twos_complement(value: int, bits: int) -> int:
+    """Interpret ``value`` (unsigned, ``bits`` wide) as two's complement."""
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def _to_twos_complement(value: int, bits: int) -> int:
+    """Encode a signed integer into an unsigned ``bits``-wide field."""
+    if value < 0:
+        return value + (1 << bits)
+    return value
+
+
+def encode_linear11(value: float) -> int:
+    """Encode a real value into the LINEAR11 16-bit word.
+
+    Picks the largest exponent whose mantissa still fits 11 signed bits,
+    which maximizes precision — the strategy real regulators use.
+    """
+    if value == 0.0:
+        return 0
+    for exponent in range(_L11_EXPONENT_MIN, _L11_EXPONENT_MAX + 1):
+        mantissa = round(value / (2.0 ** exponent))
+        if _L11_MANTISSA_MIN <= mantissa <= _L11_MANTISSA_MAX:
+            if mantissa == 0:
+                continue
+            return (_to_twos_complement(exponent, 5) << 11) | _to_twos_complement(
+                mantissa, 11
+            )
+    raise PMBusError(f"value {value!r} not representable in LINEAR11")
+
+
+def decode_linear11(word: int) -> float:
+    """Decode a LINEAR11 16-bit word into a float."""
+    if not 0 <= word <= 0xFFFF:
+        raise PMBusError(f"LINEAR11 word out of range: {word:#x}")
+    exponent = _twos_complement(word >> 11, 5)
+    mantissa = _twos_complement(word & 0x7FF, 11)
+    return mantissa * (2.0 ** exponent)
+
+
+def encode_linear16(value: float, vout_exponent: int) -> int:
+    """Encode a voltage into LINEAR16 with the device's VOUT_MODE exponent."""
+    if not _L11_EXPONENT_MIN <= vout_exponent <= _L11_EXPONENT_MAX:
+        raise PMBusError(f"VOUT_MODE exponent out of range: {vout_exponent}")
+    mantissa = round(value / (2.0 ** vout_exponent))
+    if not 0 <= mantissa <= 0xFFFF:
+        raise PMBusError(
+            f"voltage {value!r} not representable in LINEAR16 with exponent "
+            f"{vout_exponent}"
+        )
+    return mantissa
+
+
+def decode_linear16(word: int, vout_exponent: int) -> float:
+    """Decode a LINEAR16 word using the device's VOUT_MODE exponent."""
+    if not 0 <= word <= 0xFFFF:
+        raise PMBusError(f"LINEAR16 word out of range: {word:#x}")
+    if not _L11_EXPONENT_MIN <= vout_exponent <= _L11_EXPONENT_MAX:
+        raise PMBusError(f"VOUT_MODE exponent out of range: {vout_exponent}")
+    return word * (2.0 ** vout_exponent)
+
+
+def encode_vout_mode(exponent: int) -> int:
+    """Encode a VOUT_MODE byte (linear mode, 5-bit exponent)."""
+    if not _L11_EXPONENT_MIN <= exponent <= _L11_EXPONENT_MAX:
+        raise PMBusError(f"VOUT_MODE exponent out of range: {exponent}")
+    return _to_twos_complement(exponent, 5)
+
+
+def decode_vout_mode(mode_byte: int) -> int:
+    """Extract the exponent from a VOUT_MODE byte; linear mode only."""
+    if mode_byte >> 5 not in (0b000, 0b111):
+        # 0b000 = linear mode; tolerate sign-extended reads.
+        raise PMBusError(f"unsupported VOUT_MODE byte: {mode_byte:#x}")
+    return _twos_complement(mode_byte & 0x1F, 5)
+
+
+# --------------------------------------------------------------------------
+# Devices and bus
+# --------------------------------------------------------------------------
+
+
+class PMBusDevice:
+    """Interface for a device addressable on the PMBus."""
+
+    def read_word(self, command: Command) -> int:
+        raise NotImplementedError
+
+    def write_word(self, command: Command, word: int) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class PMBus:
+    """A PMBus segment with a registry of addressable devices.
+
+    The paper's scripts talk to rails by 7-bit address (``0x13`` for VCCINT);
+    campaigns in :mod:`repro.core` do the same through this class.
+    """
+
+    devices: Dict[int, PMBusDevice] = field(default_factory=dict)
+    #: Transaction log (address, command, word, is_write) for observability.
+    log: list = field(default_factory=list)
+    log_limit: int = 10_000
+
+    def attach(self, address: int, device: PMBusDevice) -> None:
+        """Register ``device`` at the 7-bit ``address``."""
+        if not 0x00 <= address <= 0x7F:
+            raise PMBusError(f"invalid 7-bit PMBus address: {address:#x}")
+        if address in self.devices:
+            raise PMBusError(f"address collision at {address:#x}")
+        self.devices[address] = device
+
+    def _device(self, address: int) -> PMBusDevice:
+        try:
+            return self.devices[address]
+        except KeyError:
+            raise PMBusError(f"no device at address {address:#x}") from None
+
+    def _record(self, entry: tuple) -> None:
+        self.log.append(entry)
+        if len(self.log) > self.log_limit:
+            del self.log[: len(self.log) - self.log_limit]
+
+    def read_word(self, address: int, command: Command) -> int:
+        """Issue a Read Word transaction."""
+        word = self._device(address).read_word(Command(command))
+        self._record((address, Command(command), word, False))
+        return word
+
+    def write_word(self, address: int, command: Command, word: int) -> None:
+        """Issue a Write Word transaction."""
+        if not 0 <= word <= 0xFFFF:
+            raise PMBusError(f"word out of range: {word}")
+        self._device(address).write_word(Command(command), word)
+        self._record((address, Command(command), word, True))
+
+    # ---- convenience wrappers (the paper's adapter API shape) -----------
+
+    def set_voltage(self, address: int, volts: float) -> None:
+        """VOUT_COMMAND with the device's LINEAR16 exponent."""
+        mode = decode_vout_mode(self.read_word(address, Command.VOUT_MODE))
+        self.write_word(address, Command.VOUT_COMMAND, encode_linear16(volts, mode))
+
+    def read_voltage(self, address: int) -> float:
+        """READ_VOUT decoded through VOUT_MODE."""
+        mode = decode_vout_mode(self.read_word(address, Command.VOUT_MODE))
+        return decode_linear16(self.read_word(address, Command.READ_VOUT), mode)
+
+    def read_power(self, address: int) -> float:
+        """READ_POUT decoded from LINEAR11 (watts)."""
+        return decode_linear11(self.read_word(address, Command.READ_POUT))
+
+    def read_temperature(self, address: int) -> float:
+        """READ_TEMPERATURE_1 decoded from LINEAR11 (deg C)."""
+        return decode_linear11(self.read_word(address, Command.READ_TEMPERATURE_1))
+
+    def set_fan_duty(self, address: int, percent: float) -> None:
+        """FAN_COMMAND_1 in percent duty, LINEAR11-encoded."""
+        if not 0.0 <= percent <= 100.0:
+            raise PMBusError(f"fan duty out of range: {percent}")
+        self.write_word(address, Command.FAN_COMMAND_1, encode_linear11(percent))

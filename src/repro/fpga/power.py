@@ -1,0 +1,197 @@
+"""Power model for the VCCINT / VCCBRAM rails.
+
+Total rail power is the sum of a dynamic term and a static (leakage) term:
+
+* dynamic:  ``P_dyn = C_eff * V^2 * F * activity`` — classic CMOS switching
+  power, scaled by a workload activity factor,
+* static:   ``P_st = I0 * V * exp((V - Vnom)/tau_v) * exp((T - Tref)/tau_t)``
+  — sub-threshold leakage with exponential voltage (DIBL) and temperature
+  dependence.
+
+Calibration anchors (Section 4.3 of the paper, see
+:mod:`repro.fpga.calibration`):
+
+* ``P(Vnom)``   averages 12.59 W across benchmarks at 333 MHz,
+* ``P(Vmin)``   is ``P(Vnom)/2.6`` (the guardband-elimination gain),
+* ``P(Vcrash)`` is ``P(Vnom)/(2.6*1.43)`` (the total >3x gain).
+
+The last anchor cannot be met by CMOS scaling alone: the paper's measured
+power in the critical region falls faster than ``V^2``.  We attribute the
+residual to *missed transitions* — below ``Vmin`` an increasing fraction of
+timing paths fail to toggle their downstream latches, which removes
+switching activity.  The effect is modelled by an activity-collapse factor
+that ramps linearly from 0 at ``Vmin`` to ``activity_collapse_max`` at
+``Vcrash``; it is calibrated, documented in DESIGN.md, and can be disabled
+for ablation (``bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Decomposition of one rail-power evaluation (watts)."""
+
+    dynamic_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+
+class VccintPowerModel:
+    """Power model for the VCCINT rail of one board.
+
+    Parameters
+    ----------
+    cal:
+        Platform calibration constants.
+    p_vnom_w:
+        This workload's total VCCINT power at (Vnom, 333 MHz, Tref).  The
+        fleet average across the five benchmarks is
+        ``cal.p_total_vnom * cal.vccint_power_share``.
+    vmin_v / vcrash_v:
+        The *effective* voltage landmarks for this (board, workload) pair,
+        used to place the critical-region activity collapse.
+    """
+
+    def __init__(
+        self,
+        cal: Calibration = DEFAULT_CALIBRATION,
+        p_vnom_w: float | None = None,
+        vmin_v: float | None = None,
+        vcrash_v: float | None = None,
+        activity_collapse_enabled: bool = True,
+    ):
+        self.cal = cal
+        self.p_vnom_w = (
+            p_vnom_w
+            if p_vnom_w is not None
+            else cal.p_total_vnom * cal.vccint_power_share
+        )
+        self.vmin_v = vmin_v if vmin_v is not None else cal.vmin_mean
+        self.vcrash_v = vcrash_v if vcrash_v is not None else cal.vcrash_mean
+        self.activity_collapse_enabled = activity_collapse_enabled
+        if self.vcrash_v >= self.vmin_v:
+            raise ValueError(
+                f"vcrash ({self.vcrash_v}) must be below vmin ({self.vmin_v})"
+            )
+        # Split the calibrated Vnom power into dynamic and static components.
+        self._p_dyn_vnom = self.p_vnom_w * cal.dynamic_fraction_vnom
+        self._p_static_vnom = self.p_vnom_w * cal.static_fraction_vnom
+
+    # ------------------------------------------------------------------
+
+    def _dynamic_w(self, v: float, f_mhz: float, activity: float) -> float:
+        cal = self.cal
+        # A fraction of switching runs on the fixed platform clock and does
+        # not track the DPU clock (see Calibration.f_fixed_dynamic_fraction).
+        ovh = cal.f_fixed_dynamic_fraction
+        f_term = (1.0 - ovh) * (f_mhz / cal.f_default_mhz) + ovh
+        return self._p_dyn_vnom * (v / cal.vnom) ** 2 * f_term * activity
+
+    def _static_w(self, v: float, t_c: float) -> float:
+        cal = self.cal
+        v_term = (v / cal.vnom) * _exp((v - cal.vnom) / cal.leak_v_decay)
+        t_term = _exp((t_c - cal.t_ref) / cal.leak_t_decay)
+        return self._p_static_vnom * v_term * t_term
+
+    def activity_factor(self, v: float, timing_violated: bool = True) -> float:
+        """Workload switching-activity multiplier at voltage ``v``.
+
+        Missed transitions only occur while the clock actually violates
+        timing: in frequency-underscaled fault-free operation (Table 2) the
+        factor is 1 even below ``Vmin``.  Under a timing-violating clock it
+        ramps linearly from 1 at ``Vmin`` to ``1 - activity_collapse_max``
+        at ``Vcrash``.
+        """
+        if not self.activity_collapse_enabled or not timing_violated:
+            return 1.0
+        if v >= self.vmin_v:
+            return 1.0
+        depth = (self.vmin_v - v) / (self.vmin_v - self.vcrash_v)
+        depth = clamp(depth, 0.0, 1.0)
+        return 1.0 - self.cal.activity_collapse_max * depth
+
+    def breakdown(
+        self,
+        v: float,
+        f_mhz: float | None = None,
+        t_c: float | None = None,
+        timing_violated: bool = True,
+    ) -> PowerBreakdown:
+        """Evaluate the rail power decomposition at an operating point."""
+        if v <= 0:
+            raise ValueError(f"voltage must be positive, got {v}")
+        f_mhz = self.cal.f_default_mhz if f_mhz is None else f_mhz
+        t_c = self.cal.t_ref if t_c is None else t_c
+        if f_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {f_mhz}")
+        return PowerBreakdown(
+            dynamic_w=self._dynamic_w(
+                v, f_mhz, self.activity_factor(v, timing_violated)
+            ),
+            static_w=self._static_w(v, t_c),
+        )
+
+    def power_w(
+        self,
+        v: float,
+        f_mhz: float | None = None,
+        t_c: float | None = None,
+        timing_violated: bool = True,
+    ) -> float:
+        """Total VCCINT power (W) at an operating point."""
+        return self.breakdown(v, f_mhz, t_c, timing_violated).total_w
+
+
+class VccbramPowerModel:
+    """Power model for the VCCBRAM rail.
+
+    UltraScale+ BRAMs use dynamic power gating, so the rail draws a
+    negligible share of on-chip power — the paper measures VCCINT at
+    > 99.9% of the total (Section 4.1).  The model scales the residual
+    quadratically with voltage.
+    """
+
+    def __init__(self, cal: Calibration = DEFAULT_CALIBRATION, p_vnom_w: float | None = None):
+        self.cal = cal
+        self.p_vnom_w = (
+            p_vnom_w
+            if p_vnom_w is not None
+            else cal.p_total_vnom * (1.0 - cal.vccint_power_share)
+        )
+
+    def power_w(self, v: float, t_c: float | None = None) -> float:
+        if v <= 0:
+            raise ValueError(f"voltage must be positive, got {v}")
+        t_c = self.cal.t_ref if t_c is None else t_c
+        t_term = _exp((t_c - self.cal.t_ref) / self.cal.leak_t_decay)
+        return self.p_vnom_w * (v / self.cal.vnom) ** 2 * t_term
+
+
+def quant_power_factor(cal: Calibration, weight_bits: int) -> float:
+    """Workload power multiplier for a sub-INT8 quantized model.
+
+    Dynamic energy per op scales as ``(bits/8)^quant_energy_exponent``
+    (ops pack onto fixed-width DSPs); static power is unaffected.  INT8
+    returns exactly 1.0.
+    """
+    if weight_bits <= 0:
+        raise ValueError(f"weight_bits must be positive, got {weight_bits}")
+    dyn = cal.dynamic_fraction_vnom
+    scale = (weight_bits / 8.0) ** cal.quant_energy_exponent
+    return dyn * scale + (1.0 - dyn)
+
+
+def _exp(x: float) -> float:
+    """Bounded exp to keep the model numerically tame far off-calibration."""
+    import math
+
+    return math.exp(clamp(x, -60.0, 60.0))

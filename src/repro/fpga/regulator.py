@@ -1,0 +1,210 @@
+"""Voltage regulators and rails of the ZCU102 platform.
+
+The board carries three programmable regulators that together provide 26
+voltage rails, each addressable over PMBus (Section 3.3.2, Figure 2).  The
+paper focuses on the two on-chip PL rails:
+
+* ``VCCINT``  @ PMBus address ``0x13``, Vnom = 850 mV — DSPs, LUTs, buffers,
+  routing (the dominant power consumer, Section 4.1).
+* ``VCCBRAM`` @ PMBus address ``0x14``, Vnom = 850 mV — Block RAMs.
+
+Other rails (VCCAUX, VCC3V3, PS rails, DDR rails, ...) are modelled so the
+platform inventory matches the real board, but they stay at nominal in all
+campaigns, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import PMBusError, RailError
+from repro.fpga.pmbus import (
+    Command,
+    PMBus,
+    PMBusDevice,
+    StatusBit,
+    decode_linear16,
+    encode_linear11,
+    encode_linear16,
+    encode_vout_mode,
+)
+
+#: LINEAR16 exponent used by the on-board regulators: 2^-13 V ~ 0.122 mV
+#: resolution, comfortably finer than the paper's 5 mV sweep step.
+VOUT_MODE_EXPONENT = -13
+
+
+@dataclass
+class RailSpec:
+    """Static description of one voltage rail."""
+
+    name: str
+    address: int
+    vnom: float
+    #: Programmable range (V); rails without scaling support are fixed.
+    v_low: float
+    v_high: float
+    scalable: bool = True
+    domain: str = "PL"  # PL, PS, DDR, IO
+
+    def __post_init__(self):
+        if not self.v_low <= self.vnom <= self.v_high:
+            raise RailError(
+                f"rail {self.name}: vnom {self.vnom} outside [{self.v_low}, {self.v_high}]"
+            )
+
+
+class VoltageRail(PMBusDevice):
+    """One regulator output: a settable voltage with telemetry callbacks.
+
+    Telemetry (power, temperature) is supplied by the owning board through
+    callbacks so that the rail device stays a pure bus endpoint.
+    """
+
+    def __init__(
+        self,
+        spec: RailSpec,
+        power_sensor: Optional[Callable[[], float]] = None,
+        temperature_sensor: Optional[Callable[[], float]] = None,
+        on_voltage_change: Optional[Callable[[float], None]] = None,
+    ):
+        self.spec = spec
+        self._voltage = spec.vnom
+        self._power_sensor = power_sensor or (lambda: 0.0)
+        self._temperature_sensor = temperature_sensor or (lambda: 25.0)
+        self._on_voltage_change = on_voltage_change
+        self._status = StatusBit.NONE
+
+    # ---- direct (host-side) accessors ------------------------------------
+
+    @property
+    def voltage(self) -> float:
+        """Present output voltage (V)."""
+        return self._voltage
+
+    def set_voltage(self, volts: float) -> None:
+        """Program the output voltage, enforcing the rail's safe range."""
+        if not self.spec.scalable:
+            raise RailError(f"rail {self.spec.name} does not support voltage scaling")
+        if not self.spec.v_low <= volts <= self.spec.v_high:
+            raise RailError(
+                f"rail {self.spec.name}: {volts:.4f} V outside programmable "
+                f"range [{self.spec.v_low}, {self.spec.v_high}] V"
+            )
+        self._voltage = volts
+        if self._on_voltage_change is not None:
+            self._on_voltage_change(volts)
+
+    def reset(self) -> None:
+        """Return the rail to its nominal voltage (power-cycle semantics)."""
+        self._voltage = self.spec.vnom
+        self._status = StatusBit.NONE
+        if self._on_voltage_change is not None:
+            self._on_voltage_change(self._voltage)
+
+    # ---- PMBusDevice interface -------------------------------------------
+
+    def read_word(self, command: Command) -> int:
+        if command == Command.VOUT_MODE:
+            return encode_vout_mode(VOUT_MODE_EXPONENT)
+        if command == Command.READ_VOUT:
+            return encode_linear16(self._voltage, VOUT_MODE_EXPONENT)
+        if command == Command.VOUT_COMMAND:
+            return encode_linear16(self._voltage, VOUT_MODE_EXPONENT)
+        if command == Command.READ_POUT:
+            return encode_linear11(self._power_sensor())
+        if command == Command.READ_TEMPERATURE_1:
+            return encode_linear11(self._temperature_sensor())
+        if command == Command.READ_IOUT:
+            volts = self._voltage
+            watts = self._power_sensor()
+            return encode_linear11(0.0 if volts <= 0 else watts / volts)
+        if command == Command.STATUS_BYTE:
+            return int(self._status)
+        if command == Command.VOUT_MAX:
+            return encode_linear16(self.spec.v_high, VOUT_MODE_EXPONENT)
+        raise PMBusError(f"rail {self.spec.name}: unsupported read {command!r}")
+
+    def write_word(self, command: Command, word: int) -> None:
+        if command == Command.VOUT_COMMAND:
+            self.set_voltage(decode_linear16(word, VOUT_MODE_EXPONENT))
+            return
+        if command == Command.CLEAR_FAULTS:
+            self._status = StatusBit.NONE
+            return
+        raise PMBusError(f"rail {self.spec.name}: unsupported write {command!r}")
+
+
+#: The ZCU102 rail inventory (Figure 2 and the board user guide): 26 rails
+#: across three regulators.  Only the PL on-chip rails are scaled in the
+#: paper; the rest are fixed at nominal.
+ZCU102_RAILS: tuple[RailSpec, ...] = (
+    # --- Regulator 1: PL on-chip rails (the paper's focus) ---------------
+    RailSpec("VCCINT", 0x13, 0.850, 0.400, 1.000, scalable=True, domain="PL"),
+    RailSpec("VCCBRAM", 0x14, 0.850, 0.400, 1.000, scalable=True, domain="PL"),
+    RailSpec("VCCAUX", 0x15, 1.800, 1.800, 1.800, scalable=False, domain="PL"),
+    RailSpec("VCC1V2", 0x16, 1.200, 1.200, 1.200, scalable=False, domain="PL"),
+    RailSpec("VCC3V3", 0x17, 3.300, 3.300, 3.300, scalable=False, domain="IO"),
+    RailSpec("VADJ_FMC", 0x18, 1.800, 1.800, 1.800, scalable=False, domain="IO"),
+    RailSpec("MGTAVCC", 0x19, 0.900, 0.900, 0.900, scalable=False, domain="PL"),
+    RailSpec("MGTAVTT", 0x1A, 1.200, 1.200, 1.200, scalable=False, domain="PL"),
+    RailSpec("MGTVCCAUX", 0x1B, 1.800, 1.800, 1.800, scalable=False, domain="PL"),
+    # --- Regulator 2: PS-side rails ---------------------------------------
+    RailSpec("VCCPSINTFP", 0x20, 0.850, 0.850, 0.850, scalable=False, domain="PS"),
+    RailSpec("VCCPSINTLP", 0x21, 0.850, 0.850, 0.850, scalable=False, domain="PS"),
+    RailSpec("VCCPSAUX", 0x22, 1.800, 1.800, 1.800, scalable=False, domain="PS"),
+    RailSpec("VCCPSPLL", 0x23, 1.200, 1.200, 1.200, scalable=False, domain="PS"),
+    RailSpec("VCCPSDDR", 0x24, 1.200, 1.200, 1.200, scalable=False, domain="DDR"),
+    RailSpec("VCCOPS", 0x25, 1.800, 1.800, 1.800, scalable=False, domain="PS"),
+    RailSpec("VCCOPS3", 0x26, 3.300, 3.300, 3.300, scalable=False, domain="PS"),
+    RailSpec("VCCPSDDRPLL", 0x27, 1.800, 1.800, 1.800, scalable=False, domain="DDR"),
+    RailSpec("MGTRAVCC", 0x28, 0.850, 0.850, 0.850, scalable=False, domain="PS"),
+    RailSpec("MGTRAVTT", 0x29, 1.800, 1.800, 1.800, scalable=False, domain="PS"),
+    # --- Regulator 3: memory / utility rails ------------------------------
+    RailSpec("VCC1V8", 0x30, 1.800, 1.800, 1.800, scalable=False, domain="IO"),
+    RailSpec("VCC5V0", 0x31, 5.000, 5.000, 5.000, scalable=False, domain="IO"),
+    RailSpec("VCC1V1_LP4", 0x32, 1.100, 1.100, 1.100, scalable=False, domain="DDR"),
+    RailSpec("VDD_DDR4", 0x33, 1.200, 1.200, 1.200, scalable=False, domain="DDR"),
+    RailSpec("VTT_DDR4", 0x34, 0.600, 0.600, 0.600, scalable=False, domain="DDR"),
+    RailSpec("VPP_DDR4", 0x35, 2.500, 2.500, 2.500, scalable=False, domain="DDR"),
+    RailSpec("UTIL_3V3", 0x36, 3.300, 3.300, 3.300, scalable=False, domain="IO"),
+)
+
+#: Addresses the paper names explicitly (Figure 2).
+VCCINT_ADDRESS = 0x13
+VCCBRAM_ADDRESS = 0x14
+VCCAUX_ADDRESS = 0x15
+VCC3V3_ADDRESS = 0x17
+#: The fan controller sits on the system-controller PMBus segment.
+FAN_CONTROLLER_ADDRESS = 0x40
+
+
+def build_rail_bank(
+    power_sensors: Dict[str, Callable[[], float]],
+    temperature_sensor: Callable[[], float],
+    on_voltage_change: Optional[Callable[[str, float], None]] = None,
+) -> tuple[PMBus, Dict[str, VoltageRail]]:
+    """Assemble the full ZCU102 rail bank on a fresh PMBus segment.
+
+    ``power_sensors`` maps rail names to callables returning present watts;
+    rails without a sensor read 0 W (their draw is negligible for the
+    paper's experiments).
+    """
+    bus = PMBus()
+    rails: Dict[str, VoltageRail] = {}
+    for spec in ZCU102_RAILS:
+        def _make_hook(name: str):
+            if on_voltage_change is None:
+                return None
+            return lambda volts: on_voltage_change(name, volts)
+
+        rail = VoltageRail(
+            spec,
+            power_sensor=power_sensors.get(spec.name),
+            temperature_sensor=temperature_sensor,
+            on_voltage_change=_make_hook(spec.name),
+        )
+        rails[spec.name] = rail
+        bus.attach(spec.address, rail)
+    return bus, rails

@@ -1,0 +1,102 @@
+"""PL resource inventory and utilization accounting.
+
+The ZCU102's programmable logic (Zynq UltraScale+ XCZU9EG) provides
+32.1 Mbit of BRAM, 600K LUTs and 2520 DSP48 slices (Section 3.3.1 of the
+paper).  A single B4096 DPU uses 24.3% of the BRAMs and 25.6% of the DSPs
+(Section 3.1), so at most three fit — the paper's baseline configuration.
+
+This module tracks placements so the DPU subpackage can validate its
+configurations against the real device limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Available PL resources of a device."""
+
+    bram_kbits: int
+    luts: int
+    dsps: int
+
+    def __post_init__(self):
+        for name in ("bram_kbits", "luts", "dsps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: XCZU9EG programmable-logic budget (Section 3.3.1).
+XCZU9EG_BUDGET = ResourceBudget(bram_kbits=32_100, luts=600_000, dsps=2_520)
+
+
+@dataclass(frozen=True)
+class ResourceUse:
+    """Resources consumed by one placed block."""
+
+    name: str
+    bram_kbits: int = 0
+    luts: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceUse") -> "ResourceUse":
+        return ResourceUse(
+            name=f"{self.name}+{other.name}",
+            bram_kbits=self.bram_kbits + other.bram_kbits,
+            luts=self.luts + other.luts,
+            dsps=self.dsps + other.dsps,
+        )
+
+
+class ResourceLedger:
+    """Tracks placements against a device budget."""
+
+    def __init__(self, budget: ResourceBudget = XCZU9EG_BUDGET):
+        self.budget = budget
+        self._placements: list[ResourceUse] = []
+
+    @property
+    def placements(self) -> tuple[ResourceUse, ...]:
+        return tuple(self._placements)
+
+    def _totals(self) -> ResourceUse:
+        total = ResourceUse(name="total")
+        for use in self._placements:
+            total = total + use
+        return total
+
+    def place(self, use: ResourceUse) -> None:
+        """Place a block, raising :class:`CompileError` if it does not fit."""
+        total = self._totals()
+        if total.bram_kbits + use.bram_kbits > self.budget.bram_kbits:
+            raise CompileError(
+                f"{use.name}: BRAM over budget "
+                f"({total.bram_kbits + use.bram_kbits} > {self.budget.bram_kbits} kbit)"
+            )
+        if total.luts + use.luts > self.budget.luts:
+            raise CompileError(
+                f"{use.name}: LUTs over budget "
+                f"({total.luts + use.luts} > {self.budget.luts})"
+            )
+        if total.dsps + use.dsps > self.budget.dsps:
+            raise CompileError(
+                f"{use.name}: DSPs over budget "
+                f"({total.dsps + use.dsps} > {self.budget.dsps})"
+            )
+        self._placements.append(use)
+
+    def utilization(self) -> dict[str, float]:
+        """Fractional utilization per resource class."""
+        total = self._totals()
+        return {
+            "bram": total.bram_kbits / self.budget.bram_kbits,
+            "lut": total.luts / self.budget.luts,
+            "dsp": total.dsps / self.budget.dsps,
+        }
+
+    def clear(self) -> None:
+        self._placements.clear()

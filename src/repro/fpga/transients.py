@@ -1,0 +1,130 @@
+"""Fast voltage transients (di/dt droop) on the VCCINT rail.
+
+The paper's related work cites Shen et al. [FCCM'19] on fast voltage
+transients in FPGAs: abrupt current steps when a workload phase starts make
+the rail droop below its DC set-point for tens of nanoseconds, eating into
+the timing margin.  This module models that mechanism and supplies the
+physical basis for two effects the main campaigns encode empirically:
+
+* the *workload crash margin* — models whose execution has sharper
+  current steps (e.g. pruned models: the zero-skipping MAC array starts
+  and stops in bursts) droop more, so they hang at a higher DC voltage
+  (Figure 8's 555 vs 540 mV); and
+* the safety margin a deployment should keep above the measured ``Vmin``.
+
+The rail is modelled as an RL source feeding the die's decoupled power
+mesh: a current step ``dI`` causes a first-order droop
+``V_droop = dI * Z_eff`` with the effective impedance set by the board's
+regulator loop and decap network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class PdnModel:
+    """Power-delivery-network parameters of the VCCINT rail.
+
+    Defaults are representative of a ZCU102-class board: ~1 mOhm DC path
+    with an effective transient impedance around 2.5 mOhm at the current
+    step frequencies a DPU produces.
+    """
+
+    r_dc_ohm: float = 0.001
+    z_transient_ohm: float = 0.0025
+    #: Time constant of the droop recovery (s); the regulator loop.
+    recovery_s: float = 2.0e-6
+
+    def ir_drop_v(self, current_a: float) -> float:
+        """Static IR drop at a sustained current."""
+        if current_a < 0:
+            raise ValueError(f"current must be non-negative, got {current_a}")
+        return current_a * self.r_dc_ohm
+
+    def droop_v(self, current_step_a: float) -> float:
+        """Peak transient droop for a current step."""
+        if current_step_a < 0:
+            raise ValueError(f"step must be non-negative, got {current_step_a}")
+        return current_step_a * self.z_transient_ohm
+
+
+@dataclass(frozen=True)
+class WorkloadCurrentProfile:
+    """Current-step characteristics of one workload's execution phases.
+
+    ``step_fraction`` is the fraction of the workload's average current
+    that switches at once when a phase boundary is crossed.  Dense models
+    ramp the MAC array gradually (~0.3); pruned models skip zero weights
+    in bursts and step harder (~0.55).
+    """
+
+    name: str
+    step_fraction: float = 0.30
+
+    def __post_init__(self):
+        if not 0.0 <= self.step_fraction <= 1.0:
+            raise ValueError("step_fraction must be in [0, 1]")
+
+
+#: Calibrated profiles used by the crash-margin accounting.
+DENSE_PROFILE = WorkloadCurrentProfile("dense", step_fraction=0.30)
+PRUNED_PROFILE = WorkloadCurrentProfile("pruned", step_fraction=0.55)
+
+
+class TransientAnalyzer:
+    """Derives voltage margins from the PDN and workload profiles."""
+
+    def __init__(
+        self,
+        pdn: PdnModel | None = None,
+        cal: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.pdn = pdn or PdnModel()
+        self.cal = cal
+
+    def average_current_a(self, power_w: float, v: float) -> float:
+        if v <= 0:
+            raise ValueError(f"voltage must be positive, got {v}")
+        if power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        return power_w / v
+
+    def droop_for_workload(
+        self, profile: WorkloadCurrentProfile, power_w: float, v: float
+    ) -> float:
+        """Peak droop (V) when this workload crosses a phase boundary."""
+        i_avg = self.average_current_a(power_w, v)
+        return self.pdn.droop_v(i_avg * profile.step_fraction)
+
+    def crash_margin_v(
+        self,
+        profile: WorkloadCurrentProfile,
+        power_w: float,
+        v: float,
+        reference: WorkloadCurrentProfile = DENSE_PROFILE,
+    ) -> float:
+        """Extra DC voltage this workload needs above the reference's
+        crash point to ride out its own droop.
+
+        This is the physical counterpart of
+        :func:`repro.fpga.variation.workload_vcrash_offset_v`: the pruned
+        profile's sharper current steps produce ~10-20 mV of extra droop at
+        critical-region currents, matching Figure 8's measured 15 mV.
+        """
+        own = self.droop_for_workload(profile, power_w, v)
+        ref = self.droop_for_workload(reference, power_w, v)
+        return max(0.0, own - ref)
+
+    def recommended_guard_v(
+        self, profile: WorkloadCurrentProfile, power_w: float, v: float
+    ) -> float:
+        """Safety margin a deployment should keep above measured Vmin:
+        the workload's full droop plus the static IR drop."""
+        i_avg = self.average_current_a(power_w, v)
+        return self.droop_for_workload(profile, power_w, v) + self.pdn.ir_drop_v(
+            i_avg
+        )

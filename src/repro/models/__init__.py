@@ -1,0 +1,19 @@
+"""The five benchmark CNNs of Table 1.
+
+Each benchmark is described by a full-fidelity :class:`~repro.models.spec.ModelSpec`
+(layer structure, parameter count, op count — these drive power, performance
+and fault exposure) and can be *instantiated* as a reduced-width executable
+:class:`~repro.nn.graph.Graph` for fault-injection accuracy measurements.
+"""
+
+from repro.models.spec import ModelSpec, LayerSpec
+from repro.models.zoo import BENCHMARKS, build, get_spec, list_benchmarks
+
+__all__ = [
+    "ModelSpec",
+    "LayerSpec",
+    "BENCHMARKS",
+    "build",
+    "get_spec",
+    "list_benchmarks",
+]

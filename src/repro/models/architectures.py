@@ -1,0 +1,355 @@
+"""Layer-by-layer definitions of the five Table 1 benchmarks.
+
+Each ``*_layers()`` function returns the full-fidelity :class:`LayerSpec`
+sequence — names, wiring, geometry and full-size output resolutions — from
+which both the analytic totals (parameters, MACs) and the reduced executable
+graph are derived.  Tests check the analytic parameter sizes against
+Table 1's reported MB values.
+
+Spec conventions:
+
+* ``inputs=()`` means "previous layer in the list" (chains); branches and
+  merges name their producers explicitly.
+* ``out_hw`` is the full-size output resolution used for MAC counting; it is
+  not used by the executable builder (which infers shapes at its reduced
+  resolution).
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import LayerSpec, conv, dense
+
+
+def _relu(name: str, inputs: tuple[str, ...] = ()) -> LayerSpec:
+    return LayerSpec(kind="relu", name=name, inputs=inputs)
+
+
+def _maxpool(
+    name: str,
+    pool: int,
+    stride: int,
+    inputs: tuple[str, ...] = (),
+    padding: str = "valid",
+) -> LayerSpec:
+    return LayerSpec(
+        kind="maxpool", name=name, geometry=(pool,), stride=stride,
+        inputs=inputs, padding=padding,
+    )
+
+
+def _bn(name: str, channels: int, inputs: tuple[str, ...] = ()) -> LayerSpec:
+    return LayerSpec(kind="bn", name=name, geometry=(channels,), inputs=inputs)
+
+
+# ---------------------------------------------------------------------------
+# VGGNet — Cifar-10, 6 compute layers, 8.7 MB (Table 1).
+# ---------------------------------------------------------------------------
+
+def vggnet_layers() -> tuple[LayerSpec, ...]:
+    """A 6-layer VGG-style Cifar-10 network (4 conv + 2 dense)."""
+    return (
+        conv("conv1", 3, 3, 64, out_hw=32),
+        _relu("relu1"),
+        _maxpool("pool1", 2, 2),
+        conv("conv2", 3, 64, 128, out_hw=16),
+        _relu("relu2"),
+        _maxpool("pool2", 2, 2),
+        conv("conv3", 3, 128, 256, out_hw=8),
+        _relu("relu3"),
+        conv("conv4", 3, 256, 256, out_hw=8),
+        _relu("relu4"),
+        _maxpool("pool3", 2, 2),
+        LayerSpec(kind="flatten", name="flatten"),
+        dense("fc1", 4 * 4 * 256, 320),
+        _relu("relu5"),
+        dense("fc2", 320, 10),
+        LayerSpec(kind="softmax", name="softmax"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# GoogleNet — Cifar-10, 21 compute layers, 6.6 MB (Table 1).
+# ---------------------------------------------------------------------------
+
+def _inception_module(
+    prefix: str,
+    input_name: str,
+    cin: int,
+    o1: int,
+    r2: int,
+    o2: int,
+    r3: int,
+    o3: int,
+    o4: int,
+    out_hw: int,
+) -> tuple[tuple[LayerSpec, ...], str, int]:
+    """A GoogLeNet inception module: 6 convs across 4 branches + concat.
+
+    Returns (layers, output_name, output_channels).
+    """
+    p = prefix
+    layers = (
+        # Branch 1: 1x1.
+        conv(f"{p}_b1", 1, cin, o1, out_hw=out_hw, stride=1),
+        _relu(f"{p}_b1_relu", inputs=(f"{p}_b1",)),
+        # Branch 2: 1x1 reduce -> 3x3.
+        conv(f"{p}_b2r", 1, cin, r2, out_hw=out_hw),
+        _relu(f"{p}_b2r_relu", inputs=(f"{p}_b2r",)),
+        conv(f"{p}_b2", 3, r2, o2, out_hw=out_hw),
+        _relu(f"{p}_b2_relu", inputs=(f"{p}_b2",)),
+        # Branch 3: 1x1 reduce -> 5x5.
+        conv(f"{p}_b3r", 1, cin, r3, out_hw=out_hw),
+        _relu(f"{p}_b3r_relu", inputs=(f"{p}_b3r",)),
+        conv(f"{p}_b3", 5, r3, o3, out_hw=out_hw),
+        _relu(f"{p}_b3_relu", inputs=(f"{p}_b3",)),
+        # Branch 4: 3x3 same-pool -> 1x1 projection.
+        _maxpool(f"{p}_b4p", 3, 1, padding="same"),
+        conv(f"{p}_b4", 1, cin, o4, out_hw=out_hw),
+        _relu(f"{p}_b4_relu", inputs=(f"{p}_b4",)),
+        LayerSpec(
+            kind="concat",
+            name=f"{p}_out",
+            inputs=(
+                f"{p}_b1_relu",
+                f"{p}_b2_relu",
+                f"{p}_b3_relu",
+                f"{p}_b4_relu",
+            ),
+        ),
+    )
+    # Fix up explicit wiring for branch entry points.
+    fixed = []
+    for spec in layers:
+        if spec.name in (f"{p}_b1", f"{p}_b2r", f"{p}_b3r", f"{p}_b4p"):
+            fixed.append(
+                LayerSpec(
+                    kind=spec.kind,
+                    name=spec.name,
+                    geometry=spec.geometry,
+                    stride=spec.stride,
+                    out_hw=spec.out_hw,
+                    inputs=(input_name,),
+                    padding=spec.padding,
+                )
+            )
+        elif spec.name == f"{p}_b4":
+            fixed.append(
+                LayerSpec(
+                    kind=spec.kind,
+                    name=spec.name,
+                    geometry=spec.geometry,
+                    stride=spec.stride,
+                    out_hw=spec.out_hw,
+                    inputs=(f"{p}_b4p",),
+                    padding=spec.padding,
+                )
+            )
+        else:
+            fixed.append(spec)
+    return tuple(fixed), f"{p}_out", o1 + o2 + o3 + o4
+
+
+def googlenet_layers() -> tuple[LayerSpec, ...]:
+    """A 21-compute-layer GoogLeNet-style Cifar-10 network.
+
+    2 stem convs + 3 inception modules (6 convs each) + 1 dense = 21.
+    """
+    layers: list[LayerSpec] = [
+        conv("stem1", 3, 3, 64, out_hw=32),
+        _relu("stem1_relu"),
+        conv("stem2", 3, 64, 64, out_hw=32),
+        _relu("stem2_relu"),
+        _maxpool("stem_pool", 2, 2),
+    ]
+    mod_a, out_a, ch_a = _inception_module(
+        "incA", "stem_pool", 64, o1=32, r2=48, o2=64, r3=8, o3=16, o4=16, out_hw=16
+    )
+    layers.extend(mod_a)
+    layers.append(_maxpool("poolA", 2, 2, inputs=(out_a,)))
+    mod_b, out_b, ch_b = _inception_module(
+        "incB", "poolA", ch_a, o1=64, r2=128, o2=256, r3=24, o3=48, o4=48, out_hw=8
+    )
+    layers.extend(mod_b)
+    layers.append(_maxpool("poolB", 2, 2, inputs=(out_b,)))
+    mod_c, out_c, ch_c = _inception_module(
+        "incC", "poolB", ch_b, o1=160, r2=208, o2=512, r3=48, o3=96, o4=64, out_hw=4
+    )
+    layers.extend(mod_c)
+    layers.append(LayerSpec(kind="gap", name="gap", inputs=(out_c,)))
+    layers.append(dense("fc", ch_c, 10))
+    layers.append(LayerSpec(kind="softmax", name="softmax"))
+    return tuple(layers)
+
+
+# ---------------------------------------------------------------------------
+# AlexNet — Kaggle Dogs vs. Cats, 8 compute layers, 233.2 MB (Table 1).
+# ---------------------------------------------------------------------------
+
+def alexnet_layers() -> tuple[LayerSpec, ...]:
+    """Classic 8-layer AlexNet retargeted to 2 output classes.
+
+    Table 1 reports 233.2 MB, the size of the original 1000-class model
+    file; retargeting the final layer to 2 classes removes ~4 M parameters,
+    so the analytic size lands ~4.6% below (recorded in EXPERIMENTS.md).
+    """
+    return (
+        conv("conv1", 11, 3, 96, out_hw=55, stride=4, padding="valid"),
+        _relu("relu1"),
+        _maxpool("pool1", 3, 2),
+        conv("conv2", 5, 96, 256, out_hw=27),
+        _relu("relu2"),
+        _maxpool("pool2", 3, 2),
+        conv("conv3", 3, 256, 384, out_hw=13),
+        _relu("relu3"),
+        conv("conv4", 3, 384, 384, out_hw=13),
+        _relu("relu4"),
+        conv("conv5", 3, 384, 256, out_hw=13),
+        _relu("relu5"),
+        _maxpool("pool3", 3, 2),
+        LayerSpec(kind="flatten", name="flatten"),
+        dense("fc6", 6 * 6 * 256, 4096),
+        _relu("relu6"),
+        dense("fc7", 4096, 4096),
+        _relu("relu7"),
+        dense("fc8", 4096, 2),
+        LayerSpec(kind="softmax", name="softmax"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ResNet50 — ILSVRC2012, 50 conventional layers, 102.5 MB (Table 1).
+# ---------------------------------------------------------------------------
+
+def _bottleneck(
+    prefix: str,
+    input_name: str,
+    cin: int,
+    cmid: int,
+    cout: int,
+    stride: int,
+    out_hw: int,
+    project: bool,
+) -> tuple[tuple[LayerSpec, ...], str]:
+    """A ResNet v1 bottleneck block (1x1 -> 3x3 -> 1x1 + shortcut)."""
+    p = prefix
+    layers: list[LayerSpec] = [
+        conv(f"{p}_a", 1, cin, cmid, out_hw=out_hw, stride=stride),
+        _bn(f"{p}_a_bn", cmid),
+        _relu(f"{p}_a_relu"),
+        conv(f"{p}_b", 3, cmid, cmid, out_hw=out_hw),
+        _bn(f"{p}_b_bn", cmid),
+        _relu(f"{p}_b_relu"),
+        conv(f"{p}_c", 1, cmid, cout, out_hw=out_hw),
+        _bn(f"{p}_c_bn", cout),
+    ]
+    layers[0] = LayerSpec(
+        kind="conv",
+        name=f"{p}_a",
+        geometry=(1, 1, cin, cmid),
+        stride=stride,
+        out_hw=out_hw,
+        inputs=(input_name,),
+    )
+    if project:
+        layers.append(
+            LayerSpec(
+                kind="conv",
+                name=f"{p}_proj",
+                geometry=(1, 1, cin, cout),
+                stride=stride,
+                out_hw=out_hw,
+                inputs=(input_name,),
+            )
+        )
+        layers.append(_bn(f"{p}_proj_bn", cout))
+        shortcut = f"{p}_proj_bn"
+    else:
+        shortcut = input_name
+    layers.append(
+        LayerSpec(kind="add", name=f"{p}_add", inputs=(f"{p}_c_bn", shortcut))
+    )
+    layers.append(_relu(f"{p}_relu", inputs=(f"{p}_add",)))
+    return tuple(layers), f"{p}_relu"
+
+
+def resnet50_layers() -> tuple[LayerSpec, ...]:
+    """Standard ResNet-50 v1: conv1 + [3, 4, 6, 3] bottlenecks + fc."""
+    layers: list[LayerSpec] = [
+        conv("conv1", 7, 3, 64, out_hw=112, stride=2),
+        _bn("conv1_bn", 64),
+        _relu("conv1_relu"),
+        _maxpool("pool1", 3, 2, padding="same"),
+    ]
+    current = "pool1"
+    cin = 64
+    stage_plan = (
+        # (blocks, cmid, cout, first_stride, out_hw)
+        (3, 64, 256, 1, 56),
+        (4, 128, 512, 2, 28),
+        (6, 256, 1024, 2, 14),
+        (3, 512, 2048, 2, 7),
+    )
+    for stage_idx, (blocks, cmid, cout, first_stride, out_hw) in enumerate(
+        stage_plan, start=2
+    ):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            block, current = _bottleneck(
+                prefix=f"res{stage_idx}{chr(ord('a') + block_idx)}",
+                input_name=current,
+                cin=cin,
+                cmid=cmid,
+                cout=cout,
+                stride=stride,
+                out_hw=out_hw,
+                project=block_idx == 0,
+            )
+            layers.extend(block)
+            cin = cout
+    layers.append(LayerSpec(kind="gap", name="gap", inputs=(current,)))
+    layers.append(dense("fc", 2048, 1000))
+    layers.append(LayerSpec(kind="softmax", name="softmax"))
+    return tuple(layers)
+
+
+# ---------------------------------------------------------------------------
+# Inception — ILSVRC2012, 22 compute layers, 107.3 MB (Table 1).
+# ---------------------------------------------------------------------------
+
+def inception_layers() -> tuple[LayerSpec, ...]:
+    """A 22-compute-layer widened GoogLeNet-style ImageNet network.
+
+    3 stem convs + 3 inception modules (6 convs each) + 1 dense = 22,
+    sized so the fp32 parameter bytes land on Table 1's 107.3 MB.
+    """
+    layers: list[LayerSpec] = [
+        conv("stem1", 7, 3, 64, out_hw=112, stride=2),
+        _relu("stem1_relu"),
+        _maxpool("stem_pool1", 3, 2, padding="same"),
+        conv("stem2", 1, 64, 64, out_hw=56),
+        _relu("stem2_relu"),
+        conv("stem3", 3, 64, 192, out_hw=56),
+        _relu("stem3_relu"),
+        _maxpool("stem_pool2", 3, 2, padding="same"),
+    ]
+    mod1, out1, ch1 = _inception_module(
+        "inc1", "stem_pool2", 192,
+        o1=128, r2=192, o2=384, r3=48, o3=96, o4=96, out_hw=28,
+    )
+    layers.extend(mod1)
+    layers.append(_maxpool("pool1", 3, 2, inputs=(out1,), padding="same"))
+    mod2, out2, ch2 = _inception_module(
+        "inc2", "pool1", ch1,
+        o1=256, r2=384, o2=768, r3=96, o3=192, o4=128, out_hw=14,
+    )
+    layers.extend(mod2)
+    layers.append(_maxpool("pool2", 3, 2, inputs=(out2,), padding="same"))
+    mod3, out3, ch3 = _inception_module(
+        "inc3", "pool2", ch2,
+        o1=512, r2=1024, o2=1536, r3=256, o3=512, o4=256, out_hw=7,
+    )
+    layers.extend(mod3)
+    layers.append(LayerSpec(kind="gap", name="gap", inputs=(out3,)))
+    layers.append(dense("fc", ch3, 1000))
+    layers.append(LayerSpec(kind="softmax", name="softmax"))
+    return tuple(layers)

@@ -1,0 +1,194 @@
+"""Builder: materialize an executable graph from a full-fidelity spec.
+
+The executable instance preserves the spec's depth, topology and layer
+kinds, but scales channel widths by ``width_scale`` and reduces ImageNet
+inputs to ``exec_input_hw`` so a full fault-injection voltage sweep runs in
+seconds of NumPy time (DESIGN.md, substitution table).  All power,
+performance and fault-exposure arithmetic uses the *spec's* analytic
+counts, never the reduced instance's.
+
+Weights are He-initialized from a per-benchmark seed; dense layers whose
+spec output equals the class count keep it (the classifier head must stay
+full-width so chance accuracy matches the paper's datasets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.models.spec import LayerSpec, ModelSpec
+from repro.nn.graph import Graph
+from repro.nn import layers as L
+from repro.rng import child_rng
+
+#: Smallest channel count a scaled layer may have.
+MIN_CHANNELS = 4
+
+
+def _scaled(channels: int, width_scale: float) -> int:
+    return max(MIN_CHANNELS, int(round(channels * width_scale)))
+
+
+def build_executable(
+    spec: ModelSpec,
+    width_scale: float = 0.25,
+    exec_input_hw: int | None = None,
+    seed: int = 2020,
+) -> Graph:
+    """Materialize the spec into a runnable :class:`Graph`.
+
+    ``exec_input_hw`` defaults to the spec's input size capped at 56 pixels
+    (Cifar-scale inputs run at native resolution).
+    """
+    if not 0.0 < width_scale <= 1.0:
+        raise ValueError(f"width_scale must be in (0, 1], got {width_scale}")
+    if exec_input_hw is None:
+        exec_input_hw = min(spec.input_hw, 56)
+    rng = child_rng(seed, f"weights/{spec.name}")
+
+    graph = Graph(name=spec.name)
+    graph.add(L.Input("input", (exec_input_hw, exec_input_hw, spec.input_channels)))
+    shapes: dict[str, tuple[int, ...]] = {
+        "input": (1, exec_input_hw, exec_input_hw, spec.input_channels)
+    }
+    previous = "input"
+
+    for layer_spec in spec.layers:
+        inputs = layer_spec.inputs or (previous,)
+        for src in inputs:
+            if src not in shapes:
+                raise GraphError(
+                    f"{spec.name}: layer {layer_spec.name!r} references "
+                    f"unbuilt producer {src!r}"
+                )
+        in_shapes = [shapes[src] for src in inputs]
+        layer = _materialize(layer_spec, in_shapes, spec, width_scale, rng)
+        graph.add(layer, inputs)
+        shapes[layer_spec.name] = layer.output_shape(in_shapes)
+        previous = layer_spec.name
+    return graph
+
+
+def _he_conv(rng: np.random.Generator, kh: int, kw: int, cin: int, cout: int) -> np.ndarray:
+    std = np.sqrt(2.0 / (kh * kw * cin))
+    return rng.normal(0.0, std, size=(kh, kw, cin, cout)).astype(np.float32)
+
+
+def _he_dense(rng: np.random.Generator, fin: int, fout: int) -> np.ndarray:
+    std = np.sqrt(2.0 / fin)
+    return rng.normal(0.0, std, size=(fin, fout)).astype(np.float32)
+
+
+def _materialize(
+    ls: LayerSpec,
+    in_shapes: list[tuple[int, ...]],
+    spec: ModelSpec,
+    width_scale: float,
+    rng: np.random.Generator,
+) -> L.Layer:
+    kind = ls.kind
+    if kind == "conv":
+        kh, kw, _, cout_full = ls.geometry
+        cin_exec = in_shapes[0][-1]
+        cout_exec = _scaled(cout_full, width_scale)
+        return L.Conv2D(
+            ls.name,
+            weights=_he_conv(rng, kh, kw, cin_exec, cout_exec),
+            bias=np.zeros(cout_exec, dtype=np.float32),
+            stride=ls.stride,
+            padding=ls.padding,
+        )
+    if kind == "dense":
+        _, fout_full = ls.geometry
+        fin_exec = int(np.prod(in_shapes[0][1:]))
+        is_classifier = fout_full == spec.classes
+        fout_exec = fout_full if is_classifier else _scaled(fout_full, width_scale)
+        return L.Dense(
+            ls.name,
+            weights=_he_dense(rng, fin_exec, fout_exec),
+            bias=np.zeros(fout_exec, dtype=np.float32),
+        )
+    if kind == "maxpool":
+        # Reduced-resolution instances always same-pad pools so deep stacks
+        # of downsampling stages cannot collapse below the window size.
+        return L.MaxPool(ls.name, pool=ls.geometry[0], stride=ls.stride, padding="same")
+    if kind == "avgpool":
+        return L.AvgPool(ls.name, pool=ls.geometry[0], stride=ls.stride, padding="same")
+    if kind == "gap":
+        return L.GlobalAvgPool(ls.name)
+    if kind == "relu":
+        return L.ReLU(ls.name)
+    if kind == "bn":
+        channels = in_shapes[0][-1]
+        # Inference-time identity affine; spec-level BN params are counted
+        # analytically, the reduced instance needs no trained statistics.
+        return L.BatchNorm(
+            ls.name,
+            scale=np.ones(channels, dtype=np.float32),
+            shift=np.zeros(channels, dtype=np.float32),
+        )
+    if kind == "softmax":
+        return L.Softmax(ls.name)
+    if kind == "flatten":
+        return L.Flatten(ls.name)
+    if kind == "add":
+        return L.Add(ls.name)
+    if kind == "concat":
+        return L.Concat(ls.name)
+    raise GraphError(f"{spec.name}: unknown layer kind {kind!r}")
+
+
+def calibrate_classifier_head(graph: Graph, images: np.ndarray) -> None:
+    """Normalize the classifier head's logits on a calibration batch.
+
+    Untrained (randomly-initialized) networks are near-constant classifiers:
+    one class's logit dominates for every input, which would make accuracy
+    under total corruption stick far above chance (corrupted outputs keep
+    agreeing with the constant prediction).  Trained networks do not behave
+    this way, so the executable stand-ins are calibrated: the final dense
+    layer's columns are rescaled so per-class logits have zero mean and
+    unit variance over the calibration batch.  After calibration the clean
+    prediction distribution is diverse and fully-corrupted accuracy falls
+    to chance — matching the paper's trained benchmarks at ``Vcrash``
+    (Figure 6).
+    """
+    head = _final_dense(graph)
+    out_name = graph.output_name
+    graph.set_output(head.name)
+    try:
+        logits = graph.forward(images, activation_bits=None)
+    finally:
+        graph.set_output(out_name)
+    mu = logits.mean(axis=0)
+    sd = logits.std(axis=0)
+    sd = np.where(sd < 1e-6, 1.0, sd).astype(np.float32)
+    head.weights = (head.weights / sd).astype(np.float32)
+    head.bias = ((head.bias - mu) / sd).astype(np.float32)
+
+
+def _final_dense(graph: Graph) -> L.Dense:
+    """The last dense layer in topological order (the classifier head)."""
+    head = None
+    for name in graph.topological_order():
+        layer = graph.nodes[name].layer
+        if isinstance(layer, L.Dense):
+            head = layer
+    if head is None:
+        raise GraphError(f"{graph.name}: no dense classifier head found")
+    return head
+
+
+def exposure_by_node(spec: ModelSpec) -> dict[str, int]:
+    """Map each compute layer name to its full-size op count (1 MAC = 2 ops).
+
+    This is the fault-exposure weighting: a timing fault is equally likely
+    per executed op, so layers with more full-size work absorb
+    proportionally more injected faults (the mechanism behind the paper's
+    observation that parameter-heavy models are more vulnerable).
+    """
+    return {
+        ls.name: 2 * ls.mac_count()
+        for ls in spec.layers
+        if ls.kind in ("conv", "dense")
+    }

@@ -1,0 +1,118 @@
+"""Synthetic evaluation datasets with constructed ground-truth labels.
+
+The paper measures classification accuracy of *trained* CNNs on their test
+sets (Cifar-10, Kaggle Dogs-vs-Cats, ILSVRC2012).  Offline we cannot train
+ImageNet-scale networks, so we substitute (see DESIGN.md):
+
+1. synthesize a deterministic image set per benchmark (class-structured
+   Gaussian blobs, so activations look natural rather than white noise);
+2. run the benchmark's *clean* INT8 network once and take its argmax
+   predictions;
+3. construct labels so that exactly ``round(accuracy * n)`` samples are
+   labelled with the clean prediction and the rest with a different class.
+
+The constructed set then has, by measurement, the paper's reported clean
+accuracy at Vnom (Table 1's "Our design" column).  Under fault injection the
+network's predictions move and the measured accuracy genuinely degrades —
+collapsing to chance at Vcrash, exactly the Figure 6 behaviour — because
+labels are fixed while predictions are perturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import child_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An evaluation set: NHWC images plus integer labels."""
+
+    name: str
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels disagree on sample count")
+
+    @property
+    def n(self) -> int:
+        return int(self.images.shape[0])
+
+    def accuracy_of(self, predictions: np.ndarray) -> float:
+        """Top-1 accuracy of ``predictions`` (class indices) on this set."""
+        predictions = np.asarray(predictions)
+        if predictions.shape != self.labels.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} != labels {self.labels.shape}"
+            )
+        return float(np.mean(predictions == self.labels))
+
+
+def synth_images(
+    name: str,
+    n: int,
+    hw: int,
+    channels: int,
+    classes: int,
+    seed: int,
+) -> np.ndarray:
+    """Deterministic class-structured images.
+
+    Each sample is a smooth class prototype (low-frequency Gaussian field)
+    plus per-sample noise, normalized roughly to [-1, 1] — enough spatial
+    structure that convolutions produce realistically-correlated
+    activations.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive sample count, got {n}")
+    rng = child_rng(seed, f"dataset/{name}")
+    # A bank of class prototypes built from a coarse grid upsampled to hw
+    # (nearest-neighbour, so neighbouring pixels share the coarse value and
+    # the images have low-frequency spatial structure).
+    coarse = max(2, hw // 8)
+    prototypes = rng.normal(0.0, 1.0, size=(min(classes, 64), coarse, coarse, channels))
+    reps = -(-hw // coarse)
+    prototypes = np.repeat(np.repeat(prototypes, reps, axis=1), reps, axis=2)
+    prototypes = prototypes[:, :hw, :hw, :]
+    assignments = rng.integers(0, prototypes.shape[0], size=n)
+    noise = rng.normal(0.0, 0.6, size=(n, hw, hw, channels))
+    images = prototypes[assignments] + noise
+    peak = np.max(np.abs(images))
+    return (images / peak).astype(np.float32)
+
+
+def construct_labels(
+    predictions: np.ndarray,
+    classes: int,
+    target_accuracy: float,
+    seed: int,
+    name: str,
+) -> np.ndarray:
+    """Labels that make the clean model hit ``target_accuracy`` exactly.
+
+    ``round(target_accuracy * n)`` deterministic-randomly chosen samples are
+    labelled with the clean prediction; every other sample receives a label
+    drawn uniformly from the *other* classes.
+    """
+    if not 0.0 <= target_accuracy <= 1.0:
+        raise ValueError(f"target accuracy must be in [0, 1], got {target_accuracy}")
+    predictions = np.asarray(predictions)
+    n = predictions.shape[0]
+    rng = child_rng(seed, f"labels/{name}")
+    n_correct = int(round(target_accuracy * n))
+    correct_idx = rng.choice(n, size=n_correct, replace=False)
+    labels = predictions.copy()
+    wrong_mask = np.ones(n, dtype=bool)
+    wrong_mask[correct_idx] = False
+    n_wrong = int(wrong_mask.sum())
+    if n_wrong and classes < 2:
+        raise ValueError("cannot construct wrong labels with a single class")
+    if n_wrong:
+        offsets = rng.integers(1, classes, size=n_wrong)
+        labels[wrong_mask] = (predictions[wrong_mask] + offsets) % classes
+    return labels

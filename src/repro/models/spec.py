@@ -1,0 +1,141 @@
+"""Full-fidelity architecture specifications.
+
+A :class:`ModelSpec` captures a benchmark CNN exactly as Table 1 describes
+it — input size, output classes, layer structure, parameter size — without
+materializing weights.  Parameter and MAC counts are computed analytically
+from the layer geometry; tests check them against Table 1's reported sizes.
+
+The executable instance used for fault-injection accuracy measurement is a
+*width/resolution-reduced* realization of the same structure (see
+``DESIGN.md``, substitution table): channel counts are scaled by
+``width_scale`` and ImageNet-sized inputs are reduced, but depth, topology
+and layer types are preserved.  All power/performance/fault-exposure math
+uses the full-fidelity counts from this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+LayerKind = Literal[
+    "conv", "dense", "maxpool", "avgpool", "gap", "relu", "bn", "softmax",
+    "flatten", "add", "concat",
+]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Geometry of one layer in the full-size network.
+
+    Only compute layers (conv/dense) carry parameters and MACs.  ``inputs``
+    holds symbolic references for graph-shaped nets; chain nets leave it
+    empty and imply sequential wiring.
+    """
+
+    kind: LayerKind
+    name: str
+    #: conv: (kh, kw, cin, cout); dense: (features_in, features_out);
+    #: pools: (pool_size,); bn: (channels,).
+    geometry: tuple[int, ...] = ()
+    stride: int = 1
+    #: Output spatial size (h == w assumed) for conv layers, used for MACs.
+    out_hw: int = 0
+    #: Wiring: names of producer layers; empty means "previous in the list".
+    inputs: tuple[str, ...] = ()
+    #: Padding mode for conv/pool layers ('same' or 'valid').
+    padding: str = "same"
+
+    def param_count(self) -> int:
+        if self.kind == "conv":
+            kh, kw, cin, cout = self.geometry
+            return kh * kw * cin * cout + cout
+        if self.kind == "dense":
+            fin, fout = self.geometry
+            return fin * fout + fout
+        if self.kind == "bn":
+            (channels,) = self.geometry
+            return 2 * channels
+        return 0
+
+    def mac_count(self) -> int:
+        if self.kind == "conv":
+            kh, kw, cin, cout = self.geometry
+            return self.out_hw * self.out_hw * cout * kh * kw * cin
+        if self.kind == "dense":
+            fin, fout = self.geometry
+            return fin * fout
+        return 0
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A full benchmark description (one row of Table 1)."""
+
+    name: str
+    dataset: str
+    input_hw: int
+    input_channels: int
+    classes: int
+    #: The paper's layer count for Table 1 (counts compute layers).
+    reported_layers: int
+    #: The paper's parameter size in MB (fp32), Table 1.
+    reported_size_mb: float
+    #: The paper's measured accuracy at Vnom ("Our design @Vnom"), Table 1.
+    reported_accuracy: float
+    #: Literature accuracy, Table 1 (context only).
+    literature_accuracy: float
+    layers: tuple[LayerSpec, ...] = ()
+
+    # ---- analytic totals ---------------------------------------------------
+
+    def total_params(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def total_macs(self) -> int:
+        """MACs per sample for the full-size network."""
+        return sum(layer.mac_count() for layer in self.layers)
+
+    def total_ops(self) -> int:
+        """GOPs-style ops per sample (1 MAC = 2 ops)."""
+        return 2 * self.total_macs()
+
+    def param_size_mb(self) -> float:
+        """fp32 parameter size in MB (1 MB = 2^20 bytes, as Table 1 uses)."""
+        return self.total_params() * 4.0 / (1024.0 * 1024.0)
+
+    def compute_layer_count(self) -> int:
+        return sum(1 for l in self.layers if l.kind in ("conv", "dense"))
+
+    def size_error_vs_paper(self) -> float:
+        """Relative deviation of the analytic size from Table 1."""
+        return abs(self.param_size_mb() - self.reported_size_mb) / self.reported_size_mb
+
+    def chance_accuracy(self) -> float:
+        """Accuracy of a random classifier (the Vcrash floor in Figure 6)."""
+        return 1.0 / self.classes
+
+
+def conv(
+    name: str,
+    k: int,
+    cin: int,
+    cout: int,
+    out_hw: int,
+    stride: int = 1,
+    padding: str = "same",
+) -> LayerSpec:
+    """Shorthand for a square conv layer spec."""
+    return LayerSpec(
+        kind="conv",
+        name=name,
+        geometry=(k, k, cin, cout),
+        stride=stride,
+        out_hw=out_hw,
+        padding=padding,
+    )
+
+
+def dense(name: str, fin: int, fout: int) -> LayerSpec:
+    return LayerSpec(kind="dense", name=name, geometry=(fin, fout))

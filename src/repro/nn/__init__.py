@@ -1,0 +1,26 @@
+"""Quantized CNN inference framework (NumPy).
+
+Implements the pieces of the Xilinx DNNDK stack the paper relies on:
+fixed-point tensors (INT4..INT8), the layer types of Section 2.1.2
+(convolution, pooling, fully-connected, softmax, batch-norm, ReLU, residual
+add, inception concat), a DAG model graph, and the DECENT-like quantization
+and pruning utilities of Section 2.1.3.
+"""
+
+from repro.nn.tensor import QuantFormat, QuantizedTensor, quantize_array, dequantize_array
+from repro.nn.graph import Graph, Node
+from repro.nn.quantize import QuantizationSpec, quantize_model
+from repro.nn.prune import PruningSpec, prune_model
+
+__all__ = [
+    "QuantFormat",
+    "QuantizedTensor",
+    "quantize_array",
+    "dequantize_array",
+    "Graph",
+    "Node",
+    "QuantizationSpec",
+    "quantize_model",
+    "PruningSpec",
+    "prune_model",
+]

@@ -1,0 +1,39 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    gops_per_joule_proxy,
+    gops_per_watt,
+    improvement_factor,
+    normalize,
+    percent_gain,
+)
+
+
+class TestMetrics:
+    def test_gops_per_watt(self):
+        assert gops_per_watt(1200.0, 12.0) == pytest.approx(100.0)
+
+    def test_gops_per_watt_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            gops_per_watt(100.0, 0.0)
+
+    def test_gops_per_joule_ordering(self):
+        # Halving GOPs at constant power quarters the fixed-work ops/J proxy.
+        full = gops_per_joule_proxy(1000.0, 10.0)
+        half = gops_per_joule_proxy(500.0, 10.0)
+        assert half == pytest.approx(full / 4.0)
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0, 6.0], 2.0) == [1.0, 2.0, 3.0]
+
+    def test_normalize_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    def test_improvement_factor(self):
+        assert improvement_factor(334.0, 128.0) == pytest.approx(2.61, abs=0.01)
+
+    def test_percent_gain(self):
+        assert percent_gain(1.43, 1.0) == pytest.approx(43.0)

@@ -1,0 +1,33 @@
+"""ASCII plot tests."""
+
+from repro.analysis.plots import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_plots_single_series(self):
+        out = ascii_plot({"acc": [(540, 0.1), (570, 0.86), (850, 0.86)]})
+        assert "legend: o=acc" in out
+        assert "540" in out or "0.54" in out or "5.4e+02" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "o=a" in out and "x=b" in out
+
+    def test_title(self):
+        out = ascii_plot({"s": [(0, 0)]}, title="Figure 6")
+        assert out.splitlines()[0] == "Figure 6"
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot({})
+
+    def test_degenerate_single_point(self):
+        out = ascii_plot({"s": [(5.0, 5.0)]})
+        assert "o" in out
+
+    def test_canvas_dimensions(self):
+        out = ascii_plot({"s": [(0, 0), (1, 1)]}, width=30, height=8)
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(rows) == 8
+        assert all(len(r) <= 31 for r in rows)

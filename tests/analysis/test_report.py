@@ -1,0 +1,54 @@
+"""Report generation tests."""
+
+import pytest
+
+from repro.analysis.report import (
+    DEFAULT_ORDER,
+    generate_report,
+    render_experiment_markdown,
+)
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import ExperimentResult, list_experiments
+
+
+class TestRenderMarkdown:
+    def test_renders_summary_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="demo",
+            rows=[{"a": 1, "b": 2}],
+            summary={"k": 3},
+            notes=["careful"],
+        )
+        text = render_experiment_markdown(result)
+        assert "## t: demo" in text
+        assert "`k` = 3" in text
+        assert "| a | b |" in text
+        assert "> careful" in text
+
+    def test_row_limit_truncates(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="demo",
+            rows=[{"i": i} for i in range(50)],
+        )
+        text = render_experiment_markdown(result, row_limit=10)
+        assert "more rows" in text
+
+    def test_empty_rows(self):
+        result = ExperimentResult(experiment_id="t", title="demo")
+        assert "(no rows)" in render_experiment_markdown(result)
+
+
+class TestOrder:
+    def test_default_order_covers_every_experiment(self):
+        assert sorted(DEFAULT_ORDER) == list_experiments()
+
+
+class TestGenerate:
+    def test_small_report_generates(self):
+        config = ExperimentConfig(seed=2020, repeats=1, samples=48)
+        text = generate_report(config, experiment_ids=["table1", "sec41"])
+        assert text.startswith("# EXPERIMENTS")
+        assert "## table1" in text and "## sec41" in text
+        assert "repeats=1" in text

@@ -1,0 +1,51 @@
+"""Statistics helper tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, mean_of, spread, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert (s.n, s.mean, s.std, s.ci95_half_width) == (1, 3.0, 0.0, 0.0)
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+
+    def test_ci_contains_mean(self):
+        s = summarize([10.0, 12.0, 11.0, 9.5])
+        lo, hi = s.ci95
+        assert lo < s.mean < hi
+
+    def test_relative_std(self):
+        s = summarize([10.0, 10.0, 10.0])
+        assert s.relative_std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=20))
+    @settings(max_examples=100)
+    def test_ci_width_nonnegative(self, values):
+        assert summarize(values).ci95_half_width >= 0.0
+
+
+class TestHelpers:
+    def test_mean_of(self):
+        assert mean_of([1.0, 3.0]) == 2.0
+
+    def test_spread_matches_paper_delta_statistic(self):
+        # The paper's dVmin = max - min across boards.
+        assert spread([554.5, 570.0, 585.5]) == pytest.approx(31.0)
+
+    def test_helpers_reject_empty(self):
+        with pytest.raises(ValueError):
+            mean_of([])
+        with pytest.raises(ValueError):
+            spread([])

@@ -1,0 +1,46 @@
+"""Table renderer and CSV writer tests."""
+
+import pytest
+
+from repro.analysis.tables import render_table, write_csv
+
+
+class TestRenderTable:
+    def test_renders_header_and_rows(self):
+        out = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+
+    def test_title_prepended(self):
+        out = render_table([{"a": 1}], title="T2")
+        assert out.splitlines()[0] == "T2"
+
+    def test_column_selection_and_order(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = out.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_render_empty(self):
+        out = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="x")
+
+    def test_floats_trimmed(self):
+        out = render_table([{"v": 1.5}])
+        assert "1.5" in out and "1.500" not in out
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2.5"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "x.csv"), [])

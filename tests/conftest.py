@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Workload construction is the expensive step (forward passes for label
+construction), so the commonly-used variants are session-scoped; the zoo's
+own memoization makes repeated builds cheap within a process anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession
+from repro.fpga.board import ZCU102Board, make_board
+from repro.models.zoo import Workload, build as build_workload
+
+#: Small-but-meaningful evaluation size for tests.
+TEST_SAMPLES = 48
+TEST_SEED = 2020
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ExperimentConfig:
+    return ExperimentConfig(seed=TEST_SEED, repeats=2, samples=TEST_SAMPLES)
+
+
+@pytest.fixture()
+def board() -> ZCU102Board:
+    """The median board sample: landmarks equal the fleet means."""
+    return make_board(sample=1)
+
+
+@pytest.fixture()
+def board0() -> ZCU102Board:
+    return make_board(sample=0)
+
+
+@pytest.fixture(scope="session")
+def vggnet_workload() -> Workload:
+    return build_workload("vggnet", samples=TEST_SAMPLES, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def googlenet_workload() -> Workload:
+    return build_workload("googlenet", samples=TEST_SAMPLES, seed=TEST_SEED)
+
+
+@pytest.fixture()
+def vggnet_session(board, vggnet_workload, fast_config) -> AcceleratorSession:
+    return AcceleratorSession(board, vggnet_workload, fast_config)

@@ -1,0 +1,99 @@
+"""Edge-deployment simulation tests."""
+
+import pytest
+
+from repro.core.deployment import (
+    DeploymentReport,
+    EdgeDeployment,
+    RequestTrace,
+    diurnal_trace,
+    poisson_trace,
+    steady_trace,
+)
+from repro.core.session import AcceleratorSession
+from repro.fpga.board import make_board
+
+
+@pytest.fixture()
+def deployment(fast_config, vggnet_workload):
+    session = AcceleratorSession(make_board(sample=1), vggnet_workload, fast_config)
+    return EdgeDeployment(session)
+
+
+class TestTraces:
+    def test_steady_trace_rate(self):
+        trace = steady_trace(rate_hz=100.0, duration_s=10.0)
+        assert trace.n_requests == 1000
+        assert trace.mean_rate_hz == pytest.approx(100.0)
+
+    def test_poisson_trace_is_deterministic_per_seed(self):
+        a = poisson_trace(50.0, 5.0, seed=3)
+        b = poisson_trace(50.0, 5.0, seed=3)
+        assert a.arrivals_s == b.arrivals_s
+
+    def test_poisson_rate_approximate(self):
+        trace = poisson_trace(200.0, 20.0, seed=1)
+        assert trace.mean_rate_hz == pytest.approx(200.0, rel=0.15)
+
+    def test_diurnal_trace_oscillates(self):
+        trace = diurnal_trace(100.0, 120.0, period_s=60.0, seed=2)
+        first_half = sum(1 for t in trace.arrivals_s if t < 60.0)
+        second_half = trace.n_requests - first_half
+        assert trace.n_requests > 0
+        assert first_half != second_half  # non-uniform by construction
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            RequestTrace("bad", arrivals_s=(5.0, 1.0), duration_s=10.0)
+        with pytest.raises(ValueError):
+            RequestTrace("bad", arrivals_s=(11.0,), duration_s=10.0)
+        with pytest.raises(ValueError):
+            steady_trace(0.0, 1.0)
+
+
+class TestServing:
+    def test_undervolted_serving_saves_energy(self, deployment):
+        trace = steady_trace(rate_hz=200.0, duration_s=5.0)
+        nominal, undervolted = deployment.compare_operating_points(
+            trace, [850.0, 570.0]
+        )
+        assert undervolted.energy_j < nominal.energy_j / 2.0
+        assert undervolted.served_accuracy == pytest.approx(
+            nominal.served_accuracy, abs=0.02
+        )
+        assert undervolted.battery_extension_vs(nominal) > 2.0
+
+    def test_critical_region_serving_trades_accuracy(self, deployment):
+        trace = steady_trace(rate_hz=200.0, duration_s=5.0)
+        report = deployment.serve(trace, 550.0)
+        assert report.served_accuracy < 0.8  # degraded vs clean 0.86
+
+    def test_busy_fraction_tracks_load(self, deployment):
+        light = deployment.serve(steady_trace(50.0, 5.0), 700.0)
+        heavy = deployment.serve(steady_trace(500.0, 5.0), 700.0)
+        assert heavy.busy_fraction > light.busy_fraction
+
+    def test_overload_rejected(self, deployment):
+        overload = steady_trace(rate_hz=1e6, duration_s=1.0)
+        with pytest.raises(ValueError):
+            deployment.serve(overload, 700.0)
+
+    def test_deadlines_checked(self, deployment):
+        trace = steady_trace(rate_hz=100.0, duration_s=2.0)
+        report = deployment.serve(trace, 700.0, deadline_s=1e-9)
+        assert report.deadline_misses == trace.n_requests
+        relaxed = deployment.serve(trace, 700.0, deadline_s=1.0)
+        assert relaxed.deadline_misses == 0
+
+    def test_frequency_underscaling_raises_latency(self, deployment):
+        trace = steady_trace(rate_hz=100.0, duration_s=2.0)
+        fast = deployment.serve(trace, 570.0, f_mhz=333.0)
+        slow = deployment.serve(trace, 570.0, f_mhz=200.0)
+        assert slow.latency_s > fast.latency_s
+
+    def test_idle_fraction_validated(self, fast_config, vggnet_workload):
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        with pytest.raises(ValueError):
+            EdgeDeployment(session, idle_power_fraction=0.0)

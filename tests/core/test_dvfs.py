@@ -1,0 +1,78 @@
+"""Dynamic voltage controller tests (the paper's future-work direction)."""
+
+import pytest
+
+from repro.core.dvfs import DynamicVoltageController
+from repro.core.session import AcceleratorSession
+from repro.fpga.board import make_board
+from repro.models.zoo import build
+
+
+@pytest.fixture()
+def controller(fast_config, vggnet_workload):
+    session = AcceleratorSession(make_board(sample=1), vggnet_workload, fast_config)
+    return DynamicVoltageController(session, step_mv=10.0)
+
+
+class TestAdaptation:
+    def test_settles_near_vmin(self, controller):
+        held = controller.adapt(start_mv=850.0)
+        assert held.action == "hold"
+        # Lowest loss-free point + backoff lands just above Vmin (570).
+        assert 560.0 <= held.vccint_mv <= 590.0
+        assert held.accuracy == pytest.approx(
+            controller.session.workload.clean_accuracy, abs=0.02
+        )
+
+    def test_history_descends_monotonically_until_hold(self, controller):
+        controller.adapt(start_mv=850.0)
+        descents = [s.vccint_mv for s in controller.history if s.action == "descend"]
+        assert descents == sorted(descents, reverse=True)
+
+    def test_power_savings_reported(self, controller):
+        controller.adapt(start_mv=850.0)
+        summary = controller.savings_summary()
+        assert summary["power_saving_pct"] > 50.0
+        assert summary["gops_per_watt_gain"] > 2.0
+
+    def test_held_point_is_loss_free(self, controller):
+        held = controller.adapt(start_mv=850.0)
+        assert held.loss_free
+
+    def test_crash_recovery_protocol(self, fast_config, vggnet_workload):
+        # A controller with a huge step jumps straight past the critical
+        # region into a hang; it must recover and settle safely.
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        controller = DynamicVoltageController(session, step_mv=200.0)
+        held = controller.adapt(start_mv=700.0)
+        assert held.action == "hold"
+        assert session.board.is_alive
+        actions = {s.action for s in controller.history}
+        assert "recover" in actions
+
+    def test_temperature_headroom_is_exploited(self, fast_config, vggnet_workload):
+        """At a hot die the controller settles lower (ITD, Section 7.3)."""
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        cold_controller = DynamicVoltageController(session, step_mv=5.0)
+        session.set_temperature(34.0)
+        cold_hold = cold_controller.adapt(start_mv=600.0)
+
+        session.set_temperature(52.0)
+        hot_controller = DynamicVoltageController(session, step_mv=5.0)
+        hot_hold = hot_controller.adapt(start_mv=600.0)
+        assert hot_hold.vccint_mv <= cold_hold.vccint_mv
+
+    def test_validation(self, fast_config, vggnet_workload):
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        with pytest.raises(ValueError):
+            DynamicVoltageController(session, step_mv=0.0)
+
+    def test_savings_require_a_hold(self, controller):
+        with pytest.raises(RuntimeError):
+            controller.savings_summary()

@@ -1,0 +1,39 @@
+"""Experiment configuration tests."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, FAST_CONFIG, PAPER_CONFIG
+from repro.errors import CampaignError
+
+
+class TestConfig:
+    def test_paper_config_uses_10_repeats(self):
+        assert PAPER_CONFIG.repeats == 10
+
+    def test_fast_config_is_light(self):
+        assert FAST_CONFIG.repeats <= 3
+
+    def test_default_step_is_5mv(self):
+        assert ExperimentConfig().v_step == pytest.approx(0.005)
+
+    def test_seed_bank_is_deterministic(self):
+        a = ExperimentConfig(seed=7).seeds.rng("x")
+        b = ExperimentConfig(seed=7).seeds.rng("x")
+        assert a.random() == b.random()
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig().with_overrides(repeats=7)
+        assert cfg.repeats == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"repeats": 0},
+            {"samples": 1},
+            {"v_step": 0.0},
+            {"accuracy_tolerance": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CampaignError):
+            ExperimentConfig(**kwargs)

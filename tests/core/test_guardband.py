@@ -1,0 +1,61 @@
+"""Guardband-table calibration tests."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.guardband import GuardbandCalibrator, GuardbandEntry, GuardbandTable
+from repro.errors import CampaignError
+
+CFG = ExperimentConfig(seed=2020, repeats=2, samples=48)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return GuardbandCalibrator(CFG).calibrate(["vggnet"], board_samples=[0, 1, 2])
+
+
+class TestCalibration:
+    def test_one_entry_per_pair(self, table):
+        assert len(table.entries) == 3
+        assert {e.board_sample for e in table.entries} == {0, 1, 2}
+
+    def test_vmin_tracks_board_landmarks(self, table):
+        by_board = {e.board_sample: e.vmin_mv for e in table.entries}
+        # Board ordering: sample 0 tolerates the deepest undervolting.
+        assert by_board[0] < by_board[1] < by_board[2]
+
+    def test_safety_margin_is_sane(self, table):
+        for entry in table.entries:
+            assert 2.0 < entry.safety_margin_mv < 40.0
+            assert entry.safe_mv > entry.vmin_mv
+
+    def test_reclaimed_guardband_close_to_paper(self, table):
+        """~33% guardband minus the transient margin."""
+        assert 0.27 < table.average_reclaimed_fraction() < 0.34
+
+    def test_safe_point_keeps_efficiency_gain(self, table):
+        for entry in table.entries:
+            assert entry.gops_per_watt > 250.0  # >> the ~129 nominal
+
+
+class TestTable:
+    def test_lookup(self, table):
+        entry = table.lookup("vggnet-int8", 1)
+        assert isinstance(entry, GuardbandEntry)
+
+    def test_lookup_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.lookup("vggnet-int8", 9)
+
+    def test_worst_case_covers_all_boards(self, table):
+        worst = table.worst_case_mv("vggnet-int8")
+        assert worst == max(e.safe_mv for e in table.entries)
+
+    def test_rows_shape(self, table):
+        rows = table.as_rows()
+        assert len(rows) == 3
+        assert set(rows[0]) >= {"workload", "board", "safe_mv", "reclaimed_mv"}
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CampaignError):
+            GuardbandTable().average_reclaimed_fraction()

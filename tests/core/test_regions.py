@@ -1,0 +1,63 @@
+"""Region detection tests against the calibrated board landmarks."""
+
+import pytest
+
+from repro.core.regions import (
+    VoltageRegions,
+    detect_regions,
+    find_vcrash,
+    find_vmin,
+)
+from repro.core.undervolt import VoltageSweep
+from repro.errors import CampaignError
+
+
+class TestVoltageRegions:
+    def test_derived_quantities(self):
+        regions = VoltageRegions(vnom_mv=850.0, vmin_mv=570.0, vcrash_mv=540.0)
+        assert regions.guardband_mv == pytest.approx(280.0)
+        assert regions.guardband_fraction == pytest.approx(0.33, abs=0.005)
+        assert regions.critical_mv == pytest.approx(30.0)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(CampaignError):
+            VoltageRegions(vnom_mv=850.0, vmin_mv=500.0, vcrash_mv=540.0)
+
+    def test_as_dict(self):
+        d = VoltageRegions(850.0, 570.0, 540.0).as_dict()
+        assert d["guardband_pct"] == pytest.approx(32.9, abs=0.1)
+
+
+class TestDetectRegions:
+    def test_median_board_reproduces_paper_landmarks(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
+        regions = detect_regions(sweep, accuracy_tolerance=0.015)
+        assert regions.vmin_mv == pytest.approx(570.0, abs=5.0)
+        assert regions.vcrash_mv == pytest.approx(540.0, abs=5.0)
+        assert regions.critical_mv == pytest.approx(30.0, abs=10.0)
+
+    def test_incomplete_sweep_rejected(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(
+            start_mv=700.0, floor_mv=650.0
+        )
+        with pytest.raises(CampaignError):
+            detect_regions(sweep)
+
+
+class TestSearches:
+    def test_find_vmin_matches_board_landmark(self, vggnet_session):
+        vmin = find_vmin(vggnet_session, accuracy_tolerance=0.015)
+        assert vmin == pytest.approx(570.0, abs=8.0)
+
+    def test_find_vcrash_matches_board_landmark(self, vggnet_session):
+        vcrash = find_vcrash(vggnet_session)
+        expected = vggnet_session.board.variation.vcrash_v * 1000.0
+        assert vcrash == pytest.approx(expected, abs=1.5)
+        assert vggnet_session.board.is_alive
+
+    def test_find_vcrash_on_board0(self, board0, fast_config, vggnet_workload):
+        from repro.core.session import AcceleratorSession
+
+        session = AcceleratorSession(board0, vggnet_workload, fast_config)
+        vcrash = find_vcrash(session)
+        assert vcrash == pytest.approx(531.0, abs=1.5)

@@ -1,0 +1,92 @@
+"""AcceleratorSession tests."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession, make_session
+from repro.errors import BoardHangError
+from repro.fpga.board import make_board
+
+
+class TestMeasurement:
+    def test_nominal_point(self, vggnet_session):
+        m = vggnet_session.run_nominal()
+        assert m.vccint_mv == pytest.approx(850.0)
+        assert m.accuracy == pytest.approx(m.clean_accuracy)
+        assert m.power_w > 10.0
+        assert m.gops > 500.0
+        assert m.faults_per_run == 0
+
+    def test_guardband_point_keeps_accuracy(self, vggnet_session):
+        m = vggnet_session.run_at(600.0)
+        assert m.accuracy == pytest.approx(m.clean_accuracy)
+
+    def test_critical_point_degrades(self, vggnet_session):
+        m = vggnet_session.run_at(550.0)
+        assert m.accuracy < m.clean_accuracy
+        assert m.faults_per_run > 0
+        assert m.accuracy_min <= m.accuracy
+
+    def test_power_efficiency_gain_at_vmin(self, vggnet_session):
+        base = vggnet_session.run_nominal()
+        vmin = vggnet_session.run_at(570.0)
+        assert vmin.gops_per_watt / base.gops_per_watt == pytest.approx(2.6, abs=0.1)
+
+    def test_crash_raises_and_power_cycle_recovers(self, vggnet_session):
+        with pytest.raises(BoardHangError):
+            vggnet_session.run_at(535.0)
+        vggnet_session.board.power_cycle()
+        m = vggnet_session.run_nominal()
+        assert m.accuracy == pytest.approx(m.clean_accuracy)
+
+    def test_repeats_recorded(self, vggnet_session):
+        m = vggnet_session.run_at(555.0, repeats=3)
+        assert m.repeats == 3
+
+    def test_fault_free_points_skip_repeats(self, vggnet_session):
+        m = vggnet_session.run_at(700.0, repeats=5)
+        assert m.repeats == 1  # deterministic, no need to re-run
+
+    def test_as_dict_round_trip(self, vggnet_session):
+        d = vggnet_session.run_at(600.0).as_dict()
+        assert d["benchmark"] == "vggnet"
+        assert d["vccint_mv"] == pytest.approx(600.0)
+
+    def test_frequency_affects_gops(self, vggnet_session):
+        fast = vggnet_session.run_at(700.0, f_mhz=333.0)
+        slow = vggnet_session.run_at(700.0, f_mhz=200.0)
+        assert slow.gops < fast.gops
+
+
+class TestDeterminism:
+    def test_same_config_reproduces_measurements(self, fast_config, vggnet_workload):
+        a = AcceleratorSession(make_board(sample=1), vggnet_workload, fast_config)
+        b = AcceleratorSession(make_board(sample=1), vggnet_workload, fast_config)
+        m_a = a.run_at(555.0)
+        m_b = b.run_at(555.0)
+        assert m_a.accuracy == m_b.accuracy
+        assert m_a.faults_per_run == m_b.faults_per_run
+
+    def test_different_seed_changes_fault_realizations(self, vggnet_workload):
+        cfg_a = ExperimentConfig(seed=1, repeats=2, samples=48)
+        cfg_b = ExperimentConfig(seed=2, repeats=2, samples=48)
+        a = AcceleratorSession(make_board(sample=1), vggnet_workload, cfg_a)
+        b = AcceleratorSession(make_board(sample=1), vggnet_workload, cfg_b)
+        assert a.run_at(555.0).faults_per_run != b.run_at(555.0).faults_per_run
+
+
+class TestMakeSession:
+    def test_accepts_benchmark_name(self, board, fast_config):
+        session = make_session(board, "googlenet", fast_config)
+        assert session.workload.name == "googlenet"
+
+    def test_accepts_workload_object(self, board, vggnet_workload, fast_config):
+        session = make_session(board, vggnet_workload, fast_config)
+        assert session.workload is vggnet_workload
+
+    def test_temperature_setpoint(self, vggnet_session):
+        achieved = vggnet_session.set_temperature(40.0)
+        assert achieved == pytest.approx(40.0, abs=1.0)
+        m = vggnet_session.run_at(700.0)
+        assert m.temperature_c == pytest.approx(40.0, abs=1.0)
+        vggnet_session.release_temperature()

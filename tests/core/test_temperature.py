@@ -1,0 +1,88 @@
+"""Temperature study tests (Figures 9 and 10 mechanisms)."""
+
+import pytest
+
+from repro.core.temperature import TemperatureStudy
+
+
+@pytest.fixture(scope="module")
+def study_points(fast_config):
+    from repro.core.session import AcceleratorSession
+    from repro.fpga.board import make_board
+    from repro.models.zoo import build
+
+    session = AcceleratorSession(
+        make_board(sample=1), build("googlenet", samples=48), fast_config
+    )
+    study = TemperatureStudy(session, fast_config)
+    return study.run(
+        voltages_mv=[850.0, 650.0, 570.0, 560.0, 555.0],
+        temperatures_c=[34.0, 52.0],
+    )
+
+
+def _lookup(points, temp, mv):
+    for p in points:
+        if p.target_temp_c == temp and p.vccint_mv == pytest.approx(mv):
+            return p
+    raise KeyError((temp, mv))
+
+
+class TestFig9Power:
+    def test_power_rises_with_temperature(self, study_points):
+        cold = _lookup(study_points, 34.0, 850.0).power_w
+        hot = _lookup(study_points, 52.0, 850.0).power_w
+        assert hot > cold
+
+    def test_effect_shrinks_at_lower_voltage(self, study_points):
+        delta_850 = (
+            _lookup(study_points, 52.0, 850.0).power_w
+            - _lookup(study_points, 34.0, 850.0).power_w
+        )
+        delta_650 = (
+            _lookup(study_points, 52.0, 650.0).power_w
+            - _lookup(study_points, 34.0, 650.0).power_w
+        )
+        assert delta_650 < delta_850 / 2.0
+
+    def test_deltas_match_paper_magnitudes(self, study_points):
+        delta_850 = (
+            _lookup(study_points, 52.0, 850.0).power_w
+            - _lookup(study_points, 34.0, 850.0).power_w
+        )
+        assert delta_850 == pytest.approx(0.46, abs=0.2)
+
+    def test_achieved_temperature_tracks_target(self, study_points):
+        for p in study_points:
+            assert p.measurement.temperature_c == pytest.approx(
+                p.target_temp_c, abs=1.0
+            )
+
+
+class TestFig10Accuracy:
+    def test_higher_temperature_heals_accuracy(self, study_points):
+        cold = _lookup(study_points, 34.0, 555.0).accuracy
+        hot = _lookup(study_points, 52.0, 555.0).accuracy
+        assert hot > cold
+
+    def test_guardband_unchanged_across_temperature(self, study_points):
+        for temp in (34.0, 52.0):
+            p = _lookup(study_points, temp, 570.0)
+            assert p.accuracy == pytest.approx(
+                p.measurement.clean_accuracy, abs=0.02
+            )
+
+    def test_grouping_helper(self, study_points):
+        grouped = TemperatureStudy.by_temperature(study_points)
+        assert set(grouped) == {34.0, 52.0}
+        assert len(grouped[34.0]) == len(grouped[52.0])
+
+
+class TestLadder:
+    def test_default_ladder_spans_paper_window(self, fast_config, board, vggnet_workload):
+        from repro.core.session import AcceleratorSession
+
+        session = AcceleratorSession(board, vggnet_workload, fast_config)
+        ladder = TemperatureStudy(session, fast_config).default_ladder_c()
+        assert ladder[0] == pytest.approx(34.0)
+        assert ladder[-1] == pytest.approx(52.0)

@@ -1,0 +1,55 @@
+"""Voltage sweep campaign tests."""
+
+import pytest
+
+from repro.core.undervolt import VoltageSweep
+from repro.errors import BoardHangError
+
+
+class TestSweep:
+    def test_full_sweep_reaches_crash(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
+        assert sweep.crash_mv is not None
+        assert sweep.crash_mv < 540.0 + 1e-6
+        # Board was power-cycled after the hang.
+        assert vggnet_session.board.is_alive
+
+    def test_points_are_monotonically_decreasing(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
+        voltages = sweep.voltages_mv
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_step_override(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(
+            start_mv=620.0, step_mv=10.0
+        )
+        diffs = {
+            round(a - b, 3)
+            for a, b in zip(sweep.voltages_mv, sweep.voltages_mv[1:])
+        }
+        assert diffs == {10.0}
+
+    def test_floor_stops_before_crash(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(
+            start_mv=700.0, floor_mv=650.0
+        )
+        assert sweep.crash_mv is None
+        assert sweep.last_alive.vccint_mv >= 650.0
+
+    def test_last_alive_is_at_or_above_board_vcrash(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
+        assert sweep.last_alive.vccint_mv >= vggnet_session.board.vcrash_v * 1000 - 1e-6
+
+    def test_point_lookup(self, vggnet_session, fast_config):
+        sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
+        point = sweep.point_at(570.0)
+        assert point.vccint_mv == pytest.approx(570.0)
+        with pytest.raises(KeyError):
+            sweep.point_at(571.3)
+
+    def test_validation(self, vggnet_session, fast_config):
+        campaign = VoltageSweep(vggnet_session, fast_config)
+        with pytest.raises(ValueError):
+            campaign.run(start_mv=600.0, floor_mv=700.0)
+        with pytest.raises(ValueError):
+            campaign.run(step_mv=-5.0)

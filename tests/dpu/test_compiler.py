@@ -1,0 +1,49 @@
+"""DPU compiler tests."""
+
+import pytest
+
+from repro.dpu.compiler import compile_model
+from repro.dpu.config import B4096, Deployment
+from repro.errors import CompileError
+from repro.models.zoo import BENCHMARKS, get_spec
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_kernel_totals_match_spec(self, name):
+        spec = get_spec(name)
+        compiled = compile_model(spec)
+        assert compiled.total_macs == spec.total_macs()
+        assert compiled.total_ops == spec.total_ops()
+
+    def test_kernels_cover_compute_layers(self):
+        spec = get_spec("vggnet")
+        compiled = compile_model(spec)
+        assert [k.name for k in compiled.kernels] == [
+            "conv1", "conv2", "conv3", "conv4", "fc1", "fc2",
+        ]
+
+    def test_param_bytes_follow_weight_bits(self):
+        spec = get_spec("vggnet")
+        int8 = compile_model(spec, weight_bits=8)
+        int4 = compile_model(spec, weight_bits=4)
+        assert int4.total_param_bytes == pytest.approx(
+            int8.total_param_bytes / 2, rel=0.01
+        )
+
+    def test_oversized_deployment_rejected(self):
+        with pytest.raises(CompileError):
+            compile_model(get_spec("vggnet"), Deployment(config=B4096, cores=4))
+
+    def test_resource_validation_can_be_skipped(self):
+        compiled = compile_model(
+            get_spec("vggnet"),
+            Deployment(config=B4096, cores=4),
+            validate_resources=False,
+        )
+        assert compiled.deployment.cores == 4
+
+    def test_ops_by_kernel(self):
+        compiled = compile_model(get_spec("vggnet"))
+        by_kernel = compiled.ops_by_kernel()
+        assert sum(by_kernel.values()) == compiled.total_ops

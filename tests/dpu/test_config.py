@@ -1,0 +1,55 @@
+"""DPU configuration tests."""
+
+import pytest
+
+from repro.dpu.config import (
+    B4096,
+    DPU_CONFIGS,
+    Deployment,
+    default_deployment,
+    max_cores,
+)
+from repro.errors import CompileError
+from repro.fpga.resources import ResourceLedger, XCZU9EG_BUDGET
+
+
+class TestConfigs:
+    def test_b4096_matches_section_31(self):
+        """B4096: 4096 ops/cycle, 24.3% BRAM, 25.6% DSP of the XCZU9EG."""
+        assert B4096.ops_per_cycle == 4096
+        assert B4096.bram_kbits / XCZU9EG_BUDGET.bram_kbits == pytest.approx(
+            0.243, abs=0.001
+        )
+        assert B4096.dsps / XCZU9EG_BUDGET.dsps == pytest.approx(0.256, abs=0.001)
+
+    def test_family_ordered_by_throughput(self):
+        sizes = [c.ops_per_cycle for c in DPU_CONFIGS.values()]
+        assert sizes == sorted(sizes)
+
+    def test_at_most_three_b4096_fit(self):
+        """Section 3.1: a maximum of three B4096 DPUs fit the platform."""
+        assert max_cores(B4096) == 3
+
+    def test_smaller_cores_fit_more(self):
+        assert max_cores(DPU_CONFIGS["B512"]) > 3
+
+
+class TestDeployment:
+    def test_default_is_three_b4096(self):
+        d = default_deployment()
+        assert d.config is B4096 and d.cores == 3
+        assert d.peak_ops_per_cycle == 3 * 4096
+
+    def test_place_on_ledger(self):
+        ledger = ResourceLedger()
+        default_deployment().place(ledger)
+        assert ledger.utilization()["dsp"] > 0.75  # "more than 75%" (S3.3.1)
+
+    def test_four_cores_overflow(self):
+        ledger = ResourceLedger()
+        with pytest.raises(CompileError):
+            Deployment(config=B4096, cores=4).place(ledger)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(CompileError):
+            Deployment(config=B4096, cores=0)

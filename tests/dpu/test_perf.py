@@ -1,0 +1,87 @@
+"""Performance model tests: the Table 2 GOPs(F) staircase and variants."""
+
+import pytest
+
+from repro.dpu.compiler import compile_model
+from repro.dpu.perf import PerformanceModel
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.models.zoo import get_spec
+
+
+@pytest.fixture()
+def perf() -> PerformanceModel:
+    compiled = compile_model(get_spec("vggnet"))
+    return PerformanceModel(compiled, utilization=0.62)
+
+
+class TestGopsStaircase:
+    def test_gops_at_300mhz_matches_table2(self, perf):
+        ratio = perf.gops(300.0) / perf.gops(333.0)
+        assert ratio == pytest.approx(0.94, abs=0.01)
+
+    def test_gops_at_250mhz_matches_table2(self, perf):
+        ratio = perf.gops(250.0) / perf.gops(333.0)
+        assert ratio == pytest.approx(0.83, abs=0.01)
+
+    def test_gops_at_200mhz_matches_table2(self, perf):
+        ratio = perf.gops(200.0) / perf.gops(333.0)
+        assert ratio == pytest.approx(0.70, abs=0.015)
+
+    def test_compute_fraction_at_default_clock(self, perf):
+        report = perf.report()
+        assert report.compute_fraction == pytest.approx(
+            CAL.compute_bound_fraction, abs=0.01
+        )
+
+    def test_gops_sublinear_in_frequency(self, perf):
+        """DDR-bound fraction means halving F loses less than half the GOPs."""
+        assert perf.gops(166.5) / perf.gops(333.0) > 0.5
+
+
+class TestVariants:
+    def test_pruning_speeds_up_but_sublinearly(self):
+        compiled = compile_model(get_spec("vggnet"))
+        dense = PerformanceModel(compiled, utilization=0.62)
+        pruned = PerformanceModel(
+            compiled, utilization=0.62, effective_ops_fraction=0.5
+        )
+        ratio = pruned.gops() / dense.gops()
+        assert 1.2 < ratio < 1.7  # compute halves, DDR term does not
+
+    def test_quantization_speedup(self):
+        compiled = compile_model(get_spec("vggnet"))
+        int8 = PerformanceModel(compiled, utilization=0.62, quant_bits=8)
+        int4 = PerformanceModel(compiled, utilization=0.62, quant_bits=4)
+        assert int4.gops() > int8.gops()
+
+    def test_utilization_scales_throughput(self):
+        compiled = compile_model(get_spec("vggnet"))
+        low = PerformanceModel(compiled, utilization=0.3)
+        high = PerformanceModel(compiled, utilization=0.6)
+        assert high.gops() > 1.5 * low.gops()
+
+    def test_credited_ops_are_dense_equivalent(self):
+        compiled = compile_model(get_spec("vggnet"))
+        pruned = PerformanceModel(
+            compiled, utilization=0.62, effective_ops_fraction=0.5
+        )
+        assert pruned.credited_ops == compiled.total_ops
+        assert pruned.executed_ops == pytest.approx(compiled.total_ops * 0.5)
+
+
+class TestValidation:
+    def test_utilization_bounds(self):
+        compiled = compile_model(get_spec("vggnet"))
+        with pytest.raises(ValueError):
+            PerformanceModel(compiled, utilization=0.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(compiled, utilization=1.5)
+
+    def test_frequency_positive(self, perf):
+        with pytest.raises(ValueError):
+            perf.report(0.0)
+
+    def test_ops_fraction_bounds(self):
+        compiled = compile_model(get_spec("vggnet"))
+        with pytest.raises(ValueError):
+            PerformanceModel(compiled, utilization=0.5, effective_ops_fraction=0.0)

@@ -1,0 +1,39 @@
+"""VCCBRAM-undervolting extension tests."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+CFG = ExperimentConfig(seed=2020, repeats=2, samples=48)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("ext_bram", CFG)
+
+
+class TestExtBram:
+    def test_guardband_above_onset(self, result):
+        for row in result.rows:
+            if row["vccbram_mv"] >= 620.0:
+                assert row["weight_bit_flips"] == 0
+                assert row["accuracy"] == pytest.approx(row["clean_accuracy"])
+
+    def test_degradation_below_onset(self, result):
+        floor = result.rows[-1]
+        assert floor["vccbram_mv"] == 560.0
+        assert floor["weight_bit_flips"] > 0
+        assert floor["accuracy"] < floor["clean_accuracy"] - 0.05
+
+    def test_flips_grow_as_voltage_drops(self, result):
+        faulty = [r["weight_bit_flips"] for r in result.rows if r["weight_bit_flips"] > 0]
+        assert faulty == sorted(faulty)
+
+    def test_onset_matches_bram_model(self, result):
+        assert result.summary["fault_onset_mv"] <= result.summary["bram_model_onset_mv"]
+
+    def test_bram_power_is_negligible(self, result):
+        """Unlike VCCINT, this rail is a reliability story, not a power one."""
+        for row in result.rows:
+            assert row["vccbram_power_w"] < 0.05

@@ -1,0 +1,46 @@
+"""Extension-experiment tests (fault mitigation at Fmax)."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+CFG = ExperimentConfig(seed=2020, repeats=2, samples=48)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("ext_mitigation", CFG)
+
+
+class TestExtMitigation:
+    def test_rows_cover_all_policies_and_voltages(self, result):
+        policies = {row["policy"] for row in result.rows}
+        assert policies == {"none", "ecc", "razor", "tmr"}
+        voltages = {row["vccint_mv"] for row in result.rows}
+        assert voltages == {570.0, 565.0, 560.0, 555.0, 550.0, 545.0}
+
+    def test_mitigation_recovers_accuracy_in_critical_region(self, result):
+        by_policy = {
+            (row["policy"], row["vccint_mv"]): row["accuracy"]
+            for row in result.rows
+        }
+        for policy in ("ecc", "razor", "tmr"):
+            assert by_policy[(policy, 555.0)] > by_policy[("none", 555.0)]
+
+    def test_tmr_pays_the_most_power(self, result):
+        at_555 = {
+            row["policy"]: row["power_w"]
+            for row in result.rows
+            if row["vccint_mv"] == 555.0
+        }
+        assert at_555["tmr"] > at_555["ecc"] > at_555["none"]
+
+    def test_none_policy_matches_unmitigated_gops_w(self, result):
+        for row in result.rows:
+            if row["policy"] == "none" and row["vccint_mv"] == 570.0:
+                # Loss-free baseline point keeps the ~334 GOPs/W of Vmin.
+                assert row["gops_per_watt"] > 300.0
+
+    def test_summary_has_recovery_numbers(self, result):
+        assert any(k.startswith("accuracy_recovered") for k in result.summary)

@@ -1,0 +1,53 @@
+"""Experiment registry tests."""
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_table_and_figure_is_registered(self):
+        """One runner per evaluation artefact of the paper, plus ablations."""
+        assert list_experiments() == [
+            "ablations",
+            "ext_bram",
+            "ext_mitigation",
+            "fig10",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "sec41",
+            "table1",
+            "table2",
+        ]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_runner_lookup_returns_callable(self):
+        assert callable(get_experiment("table1"))
+
+
+class TestExperimentResult:
+    def test_render_includes_rows_and_summary(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            rows=[{"a": 1}],
+            summary={"k": 2},
+            notes=["n"],
+        )
+        out = result.render()
+        assert "[x] demo" in out
+        assert "k=2" in out
+        assert "note: n" in out

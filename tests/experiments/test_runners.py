@@ -1,0 +1,179 @@
+"""End-to-end experiment runner tests.
+
+Each runner executes with a reduced configuration and its headline summary
+is checked against the paper's anchors with loose tolerances.  The heavier
+sweep experiments are exercised through the lighter config; the benchmark
+harness runs them at full fidelity.
+"""
+
+import pytest
+
+from repro.analysis import expectations as paper
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+CFG = ExperimentConfig(seed=2020, repeats=2, samples=48)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_experiment("table1", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_experiment("fig5", CFG)
+
+
+class TestTable1:
+    def test_five_rows(self, table1):
+        assert len(table1.rows) == 5
+
+    def test_sizes_within_tolerance(self, table1):
+        for row in table1.rows:
+            assert row["size_mb"] == pytest.approx(row["size_mb_paper"], rel=0.06)
+
+    def test_accuracies_close_to_paper(self, table1):
+        for row in table1.rows:
+            assert row["acc_vnom"] == pytest.approx(row["acc_vnom_paper"], abs=0.04)
+
+
+class TestSec41:
+    def test_power_breakdown(self):
+        result = run_experiment("sec41", CFG)
+        assert result.summary["avg_total_w"] == pytest.approx(
+            paper.P_TOTAL_VNOM_W, abs=0.2
+        )
+        for row in result.rows:
+            assert row["vccint_share_pct"] > 99.9
+
+
+class TestFig3:
+    def test_region_landmarks(self):
+        result = run_experiment("fig3", CFG)
+        assert result.summary["vmin_mean_mv"] == pytest.approx(570.0, abs=8.0)
+        assert result.summary["vcrash_mean_mv"] == pytest.approx(540.0, abs=8.0)
+        assert result.summary["guardband_pct"] == pytest.approx(33.0, abs=1.5)
+        assert len(result.rows) == 5
+
+
+class TestFig4:
+    def test_sweep_shape(self):
+        result = run_experiment("fig4", CFG)
+        regions = {row["region"] for row in result.rows}
+        assert regions == {"guardband", "critical"}
+        # GOPs/W increases monotonically as voltage drops.
+        effs = [row["gops_per_watt_norm"] for row in result.rows]
+        assert effs == sorted(effs)
+
+
+class TestFig5:
+    def test_headline_gains(self, fig5):
+        assert fig5.summary["gain_at_vmin"] == pytest.approx(
+            paper.GAIN_AT_VMIN, abs=0.15
+        )
+        assert fig5.summary["gain_at_vcrash"] > paper.GAIN_TOTAL_MIN
+
+    def test_extra_gain_below_guardband(self, fig5):
+        assert fig5.summary["extra_gain_below_guardband_pct"] == pytest.approx(
+            43.0, abs=8.0
+        )
+
+    def test_per_benchmark_rows(self, fig5):
+        assert len(fig5.rows) == 5
+        for row in fig5.rows:
+            assert row["gain_vcrash"] > row["gain_vmin"] > 2.0
+
+
+class TestTable2:
+    def test_staircase_and_conclusions(self):
+        result = run_experiment("table2", CFG)
+        fmax = {row["vccint_mv"]: row["fmax_mhz"] for row in result.rows}
+        assert fmax == {
+            570.0: 333.0, 565.0: 300.0, 560.0: 250.0, 555.0: 250.0,
+            550.0: 250.0, 545.0: 250.0, 540.0: 200.0,
+        }
+        assert result.summary["best_gops_j_point_mv"] == pytest.approx(570.0)
+        assert 10.0 < result.summary["gops_w_gain_at_vcrash_pct"] < 35.0
+
+
+class TestFig7:
+    def test_quantization_scaling(self):
+        result = run_experiment("fig7", CFG)
+        assert result.summary["int4_over_int8"] > 1.5
+        # Lower precision keeps near-baseline accuracy at Vnom (S6.1).
+        vnom_rows = [r for r in result.rows if r["vccint_mv"] == 850.0]
+        assert len(vnom_rows) == 5
+        for row in vnom_rows:
+            assert row["accuracy"] >= 0.78
+
+
+class TestFig8:
+    def test_pruning_effects(self):
+        result = run_experiment("fig8", CFG)
+        assert result.summary["vcrash_pruned_mv"] > result.summary["vcrash_baseline_mv"]
+        assert result.summary["pruned_gops_w_gain"] > 1.2
+
+
+class TestFig9:
+    def test_temperature_power_deltas(self):
+        result = run_experiment("fig9", CFG)
+        assert result.summary["power_delta_850mv_w"] == pytest.approx(
+            paper.TEMP_POWER_DELTA_850MV_W, abs=0.2
+        )
+        assert (
+            result.summary["power_delta_650mv_w"]
+            < result.summary["power_delta_850mv_w"]
+        )
+
+
+class TestFig10:
+    def test_temperature_heals_accuracy(self):
+        result = run_experiment("fig10", CFG)
+        assert (
+            result.summary["acc_560mv_at_52c"] >= result.summary["acc_560mv_at_34c"]
+        )
+
+
+class TestFig6:
+    def test_vulnerability_ordering_and_spreads(self):
+        result = run_experiment("fig6", CFG)
+        assert result.summary["delta_vmin_mv"] == pytest.approx(31.0, abs=8.0)
+        assert result.summary["delta_vcrash_mv"] == pytest.approx(18.0, abs=8.0)
+
+        # Parameter-heavy models lose more accuracy at 565 mV on board 1.
+        def loss_at(benchmark):
+            rows = [
+                r
+                for r in result.rows
+                if r["benchmark"] == benchmark
+                and r["board"] == 1
+                and r["vccint_mv"] == 565.0
+            ]
+            return rows[0]["faults_per_run"] if rows else 0.0
+
+        assert loss_at("resnet50") > loss_at("vggnet")
+
+
+class TestAblations:
+    def test_ablation_rows(self):
+        result = run_experiment("ablations", CFG)
+        kinds = {row["ablation"] for row in result.rows}
+        assert kinds == {
+            "delay_model",
+            "activity_collapse",
+            "masking_exponent",
+            "bit_weighting",
+        }
+        collapse = {
+            row["enabled"]: row["gain_at_vcrash"]
+            for row in result.rows
+            if row["ablation"] == "activity_collapse"
+        }
+        assert collapse[True] > collapse[False]
+        bits = {
+            row["weighting"]: row["accuracy"]
+            for row in result.rows
+            if row["ablation"] == "bit_weighting"
+        }
+        assert bits["msb_only"] <= bits["lsb_only"]

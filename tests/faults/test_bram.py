@@ -1,0 +1,64 @@
+"""BRAM fault-model (extension) tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bram import BramFaultModel
+from repro.models.zoo import get_spec
+from repro.models.builders import build_executable
+from repro.rng import child_rng
+
+
+class TestRateCurve:
+    def test_zero_at_or_above_onset(self):
+        model = BramFaultModel()
+        assert model.p_per_bit(model.v_onset) == 0.0
+        assert model.p_per_bit(0.850) == 0.0
+
+    def test_exponential_below_onset(self):
+        model = BramFaultModel()
+        p1 = model.p_per_bit(0.600)
+        p2 = model.p_per_bit(0.590)
+        assert p2 > p1 > 0.0
+
+    def test_capped(self):
+        model = BramFaultModel()
+        assert model.p_per_bit(0.30) == model.p_max
+
+    def test_voltage_validated(self):
+        with pytest.raises(ValueError):
+            BramFaultModel().p_per_bit(0.0)
+
+
+class TestWeightCorruption:
+    def test_no_corruption_above_onset(self):
+        graph = build_executable(get_spec("vggnet"))
+        flipped = BramFaultModel().corrupt_weights(graph, 0.700, child_rng(0, "b"))
+        assert flipped == 0
+
+    def test_corruption_below_onset_changes_weights(self):
+        graph = build_executable(get_spec("vggnet"))
+        before = {
+            name: node.layer.weights.copy()
+            for name, node in graph.nodes.items()
+            if hasattr(node.layer, "weights")
+        }
+        model = BramFaultModel()
+        flipped = model.corrupt_weights(graph, 0.520, child_rng(0, "b"))
+        assert flipped > 0
+        changed = any(
+            not np.array_equal(before[name], graph.nodes[name].layer.weights)
+            for name in before
+        )
+        assert changed
+
+    def test_corruption_is_deterministic_per_stream(self):
+        g1 = build_executable(get_spec("vggnet"))
+        g2 = build_executable(get_spec("vggnet"))
+        model = BramFaultModel()
+        f1 = model.corrupt_weights(g1, 0.540, child_rng(7, "s"))
+        f2 = model.corrupt_weights(g2, 0.540, child_rng(7, "s"))
+        assert f1 == f2
+        np.testing.assert_array_equal(
+            g1.nodes["conv1"].layer.weights, g2.nodes["conv1"].layer.weights
+        )

@@ -1,0 +1,93 @@
+"""Fault injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector, InjectionStats
+from repro.models.zoo import build
+from repro.rng import child_rng
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build("vggnet", samples=48)
+
+
+def _run(workload, p, rng_label="t", **kwargs):
+    injector = FaultInjector(
+        exposure_ops=workload.exposure,
+        p_per_op=p,
+        rng=child_rng(42, rng_label),
+        batch_size=workload.dataset.n,
+        **kwargs,
+    )
+    accuracy = workload.accuracy(activation_hook=injector)
+    return accuracy, injector
+
+
+class TestBasics:
+    def test_zero_rate_injects_nothing(self, workload):
+        accuracy, injector = _run(workload, 0.0)
+        assert injector.stats.faults_injected == 0
+        assert accuracy == pytest.approx(workload.clean_accuracy)
+
+    def test_positive_rate_injects(self, workload):
+        _, injector = _run(workload, 1e-7)
+        assert injector.stats.faults_injected > 0
+        assert injector.stats.layers_hit > 0
+
+    def test_planned_matches_expectation(self, workload):
+        _, injector = _run(workload, 1e-8)
+        expected = 1e-8 * sum(workload.exposure.values()) * workload.dataset.n
+        assert injector.stats.faults_planned == pytest.approx(expected, rel=1e-6)
+
+    def test_determinism_per_stream(self, workload):
+        a, inj_a = _run(workload, 1e-8, rng_label="s")
+        b, inj_b = _run(workload, 1e-8, rng_label="s")
+        assert a == b
+        assert inj_a.stats.faults_injected == inj_b.stats.faults_injected
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            FaultInjector({}, -1.0, child_rng(0, "x"))
+        with pytest.raises(ValueError):
+            FaultInjector({}, 1e-9, child_rng(0, "x"), batch_size=0)
+
+    def test_stats_reset(self):
+        stats = InjectionStats(faults_planned=5.0, faults_injected=3, layers_hit=1)
+        stats.reset()
+        assert stats.faults_injected == 0 and stats.faults_planned == 0.0
+
+
+class TestSeverity:
+    def test_accuracy_monotone_in_rate(self, workload):
+        accuracies = [
+            _run(workload, p)[0] for p in (0.0, 1e-8, 1e-7, 1e-6)
+        ]
+        assert accuracies[0] >= accuracies[1] >= accuracies[3]
+
+    def test_saturation_randomizes_layers(self, workload):
+        accuracy, injector = _run(workload, 1e-3)
+        chance = workload.spec.chance_accuracy()
+        assert accuracy == pytest.approx(chance, abs=0.12)
+
+    def test_control_collapse_forces_noise(self, workload):
+        accuracy, injector = _run(workload, 0.0, control_collapse=True)
+        assert injector.enabled
+        assert accuracy == pytest.approx(workload.spec.chance_accuracy(), abs=0.12)
+        # Every compute layer was randomized.
+        assert injector.stats.layers_hit == len(workload.exposure)
+
+
+class TestBitWeights:
+    def test_msb_flips_hurt_more_than_lsb(self, workload):
+        lsb = np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=float)
+        msb = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=float)
+        p = 3e-8
+        acc_lsb, _ = _run(workload, p, rng_label="bits", bit_weights=lsb)
+        acc_msb, _ = _run(workload, p, rng_label="bits", bit_weights=msb)
+        assert acc_msb <= acc_lsb
+
+    def test_weight_shape_validated(self, workload):
+        with pytest.raises(ValueError):
+            _run(workload, 1e-7, bit_weights=np.ones(3))

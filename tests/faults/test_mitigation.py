@@ -1,0 +1,97 @@
+"""Fault-mitigation policy tests."""
+
+import pytest
+
+from repro.core.session import AcceleratorSession
+from repro.faults.mitigation import (
+    EccMitigation,
+    MitigatedSession,
+    RazorMitigation,
+    TmrMitigation,
+)
+from repro.fpga.board import make_board
+from repro.models.zoo import build
+
+
+@pytest.fixture()
+def mitigated(fast_config, vggnet_workload):
+    session = AcceleratorSession(make_board(sample=1), vggnet_workload, fast_config)
+    return MitigatedSession(session, EccMitigation())
+
+
+class TestEcc:
+    def test_zero_rate_survives_nothing(self):
+        assert EccMitigation().surviving_fault_fraction(0.0) == 0.0
+
+    def test_low_rates_are_mostly_corrected(self):
+        ecc = EccMitigation()
+        # Single-bit faults dominate at low rates -> high correction.
+        assert ecc.surviving_fault_fraction(1e-9) < 0.01
+
+    def test_high_rates_escape(self):
+        ecc = EccMitigation()
+        assert ecc.surviving_fault_fraction(0.5) > 0.9
+
+    def test_survival_monotone_in_rate(self):
+        ecc = EccMitigation()
+        rates = [1e-9, 1e-7, 1e-5, 1e-3, 1e-1]
+        fractions = [ecc.surviving_fault_fraction(r) for r in rates]
+        assert fractions == sorted(fractions)
+
+    def test_power_cost(self):
+        assert EccMitigation().power_scale() > 1.0
+
+
+class TestRazor:
+    def test_residual_rate_is_uncovered_fraction(self):
+        razor = RazorMitigation(detection_coverage=0.97)
+        assert razor.surviving_fault_fraction(1e-6) == pytest.approx(0.03)
+
+    def test_replay_costs_throughput_under_faults(self):
+        razor = RazorMitigation()
+        assert razor.performance_scale(1e-5) < 1.0
+        assert razor.performance_scale(0.0) == pytest.approx(1.0)
+
+    def test_coverage_validated(self):
+        with pytest.raises(ValueError):
+            RazorMitigation(detection_coverage=0.0)
+
+
+class TestTmr:
+    def test_small_rates_almost_fully_masked(self):
+        tmr = TmrMitigation()
+        assert tmr.surviving_fault_fraction(1e-6) == pytest.approx(3e-6, rel=0.01)
+
+    def test_power_triples_protected_share(self):
+        tmr = TmrMitigation(protected_power_share=0.6)
+        assert tmr.power_scale() == pytest.approx(2.2)
+
+
+class TestMitigatedSession:
+    def test_no_effect_in_guardband(self, mitigated):
+        m = mitigated.run_at(600.0)
+        assert m.accuracy == pytest.approx(m.raw.accuracy)
+        assert m.power_w > m.raw.power_w  # ECC logic still costs power
+
+    def test_recovers_accuracy_in_critical_region(self, mitigated):
+        m = mitigated.run_at(555.0)
+        assert m.raw.accuracy < m.raw.clean_accuracy - 0.05
+        assert m.accuracy > m.raw.accuracy
+        assert m.accuracy_recovered > 0.05
+
+    def test_collapse_is_not_recoverable(self, mitigated):
+        """Control-logic collapse at the crash edge defeats datapath ECC."""
+        m = mitigated.run_at(540.0)
+        assert m.accuracy == pytest.approx(m.raw.accuracy)
+
+    def test_policy_comparison(self, mitigated):
+        results = mitigated.compare_policies(
+            555.0, [EccMitigation(), RazorMitigation(), TmrMitigation()]
+        )
+        names = [r.policy_name for r in results]
+        assert names == ["ecc", "razor", "tmr"]
+        for r in results:
+            assert r.accuracy >= r.raw.accuracy - 1e-9
+        # TMR pays the most power.
+        by_name = {r.policy_name: r for r in results}
+        assert by_name["tmr"].power_w > by_name["ecc"].power_w

@@ -1,0 +1,85 @@
+"""Fault-rate model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.model import FaultRateModel
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.timing import CalibratedDelayModel
+
+
+@pytest.fixture()
+def model() -> FaultRateModel:
+    return FaultRateModel(delay_model=CalibratedDelayModel(CAL), cal=CAL)
+
+
+class TestOnset:
+    def test_zero_at_or_above_vmin(self, model):
+        assert model.p_per_op(CAL.vmin_mean, CAL.f_default_mhz) == 0.0
+        assert model.p_per_op(CAL.vnom, CAL.f_default_mhz) == 0.0
+
+    def test_positive_below_vmin(self, model):
+        assert model.p_per_op(CAL.vmin_mean - 0.005, CAL.f_default_mhz) > 0.0
+
+    def test_fault_free_predicate(self, model):
+        assert model.is_fault_free(0.700, 333.0)
+        assert not model.is_fault_free(0.550, 333.0)
+
+    def test_frequency_underscaling_restores_fault_free(self, model):
+        """At 540 mV the default clock faults but 200 MHz does not (Table 2)."""
+        assert model.p_per_op(0.540, 333.0) > 0.0
+        assert model.p_per_op(0.540, 200.0) == 0.0
+
+
+class TestShape:
+    def test_exponential_growth_per_5mv_step(self, model):
+        p_values = [
+            model.p_per_op(v, 333.0) for v in (0.565, 0.560, 0.555, 0.550)
+        ]
+        ratios = [b / a for a, b in zip(p_values, p_values[1:])]
+        assert all(r > 1.0 for r in ratios)
+
+    def test_probability_capped(self, model):
+        assert model.p_from_slack(-100.0) == CAL.fault_p_max
+
+    @given(st.floats(min_value=-5.0, max_value=-0.001))
+    @settings(max_examples=100)
+    def test_monotone_in_slack(self, slack):
+        m = FaultRateModel(delay_model=CalibratedDelayModel(CAL), cal=CAL)
+        assert m.p_from_slack(slack - 0.01) >= m.p_from_slack(slack)
+
+    def test_positive_slack_is_fault_free(self, model):
+        assert model.p_from_slack(0.0) == 0.0
+        assert model.p_from_slack(0.5) == 0.0
+
+    def test_temperature_heals_faults(self, model):
+        """ITD (Section 7.2): same voltage, higher temperature, fewer faults."""
+        cold = model.p_per_op(0.560, 333.0, 34.0)
+        hot = model.p_per_op(0.560, 333.0, 52.0)
+        assert hot < cold
+
+
+class TestExpectedFaults:
+    def test_scales_with_exposure(self, model):
+        a = model.expected_faults(0.560, 333.0, exposure_ops=1e8)
+        b = model.expected_faults(0.560, 333.0, exposure_ops=2e8)
+        assert b == pytest.approx(2 * a)
+
+    def test_vulnerability_multiplier(self, model):
+        base = model.expected_faults(0.560, 333.0, 1e8)
+        vulnerable = model.expected_faults(0.560, 333.0, 1e8, vulnerability=1.5)
+        assert vulnerable == pytest.approx(1.5 * base)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.expected_faults(0.560, 333.0, -1.0)
+        with pytest.raises(ValueError):
+            model.expected_faults(0.560, 333.0, 1.0, vulnerability=0.0)
+
+    def test_workload_shift_moves_onset(self):
+        shifted = FaultRateModel(
+            delay_model=CalibratedDelayModel(CAL), cal=CAL, workload_shift_v=0.005
+        )
+        # Positive shift = this workload faults at higher voltages.
+        assert shifted.p_per_op(CAL.vmin_mean, 333.0) > 0.0

@@ -1,0 +1,140 @@
+"""ZCU102 board model tests: crash semantics, telemetry, workload config."""
+
+import pytest
+
+from repro.errors import BoardHangError, RailError
+from repro.fpga.board import BoardState, ZCU102Board, make_board, make_fleet
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.regulator import VCCINT_ADDRESS
+
+
+class TestConstruction:
+    def test_fleet_has_three_boards(self):
+        fleet = make_fleet()
+        assert [b.sample for b in fleet] == [0, 1, 2]
+
+    def test_unknown_delay_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_board(delay_model_kind="quantum")
+
+    def test_alpha_power_variant_available(self):
+        board = make_board(delay_model_kind="alpha-power")
+        assert board.delay_model.fsafe_mhz(0.570) > 0
+
+    def test_fleet_size_validation(self):
+        with pytest.raises(ValueError):
+            make_fleet(0)
+
+
+class TestVoltageControl:
+    def test_starts_at_nominal(self, board):
+        assert board.vccint_v == pytest.approx(0.850)
+        assert board.vccbram_v == pytest.approx(0.850)
+
+    def test_set_vccint_over_pmbus(self, board):
+        board.set_vccint(0.570)
+        assert board.vccint_v == pytest.approx(0.570, abs=1e-3)
+        assert board.pmbus.read_voltage(VCCINT_ADDRESS) == pytest.approx(
+            0.570, abs=1e-3
+        )
+
+    def test_out_of_range_rejected(self, board):
+        with pytest.raises(RailError):
+            board.set_vccint(0.2)
+
+    def test_unknown_rail_rejected(self, board):
+        with pytest.raises(RailError):
+            board.rail("VCC_NOPE")
+
+
+class TestCrashSemantics:
+    def test_alive_at_vcrash_exactly(self, board):
+        board.set_vccint(board.vcrash_v)
+        board.check_alive()
+        assert board.is_alive
+
+    def test_hangs_below_vcrash(self, board):
+        board.set_vccint(board.vcrash_v - 0.002)
+        with pytest.raises(BoardHangError):
+            board.check_alive()
+        assert board.state is BoardState.HUNG
+
+    def test_hang_is_latched_until_power_cycle(self, board):
+        board.set_vccint(board.vcrash_v - 0.002)
+        with pytest.raises(BoardHangError):
+            board.check_alive()
+        # Raising the voltage alone does not recover the board.
+        board.set_vccint(0.850)
+        with pytest.raises(BoardHangError):
+            board.check_alive()
+
+    def test_power_cycle_recovers_and_resets_rails(self, board):
+        board.set_vccint(board.vcrash_v - 0.002)
+        with pytest.raises(BoardHangError):
+            board.check_alive()
+        board.power_cycle()
+        assert board.is_alive
+        assert board.vccint_v == pytest.approx(0.850)
+        assert board.clock_mhz == pytest.approx(CAL.f_default_mhz)
+
+    def test_crash_count_increments(self, board):
+        assert board.crash_count == 0
+        board.set_vccint(board.vcrash_v - 0.002)
+        with pytest.raises(BoardHangError):
+            board.check_alive()
+        assert board.crash_count == 1
+
+    def test_pruned_workload_raises_effective_vcrash(self, board):
+        base_vcrash = board.vcrash_v
+        board.configure_workload(p_vnom_w=12.0, vcrash_offset_v=0.015)
+        assert board.vcrash_v == pytest.approx(base_vcrash + 0.015)
+
+
+class TestTelemetry:
+    def test_telemetry_fields(self, board):
+        t = board.telemetry()
+        assert t.vccint_v == pytest.approx(0.850, abs=1e-3)
+        assert t.vccint_power_w > 10.0
+        assert t.vccbram_power_w < 0.05
+        assert t.on_chip_power_w == pytest.approx(
+            t.vccint_power_w + t.vccbram_power_w
+        )
+
+    def test_power_drops_with_undervolting(self, board):
+        p_nom = board.telemetry().vccint_power_w
+        board.set_vccint(0.570)
+        assert board.telemetry().vccint_power_w < p_nom / 2.0
+
+    def test_clock_scaling_affects_power(self, board):
+        p_full = board.telemetry().vccint_power_w
+        board.set_clock_mhz(200.0)
+        assert board.telemetry().vccint_power_w < p_full
+
+    def test_workload_configuration_sets_power(self, board):
+        board.configure_workload(p_vnom_w=10.0)
+        assert board.telemetry().vccint_power_w == pytest.approx(10.0, rel=0.05)
+
+    def test_workload_power_validation(self, board):
+        with pytest.raises(ValueError):
+            board.configure_workload(p_vnom_w=0.0)
+
+    def test_clock_validation(self, board):
+        with pytest.raises(ValueError):
+            board.set_clock_mhz(0.0)
+
+    def test_operating_point_snapshot(self, board):
+        board.set_vccint(0.6)
+        board.set_clock_mhz(250.0)
+        op = board.operating_point()
+        assert op.vccint_v == pytest.approx(0.6, abs=1e-3)
+        assert op.f_mhz == 250.0
+
+
+class TestVariationAcrossFleet:
+    def test_boards_have_distinct_landmarks(self):
+        fleet = make_fleet()
+        vmins = {b.vmin_v for b in fleet}
+        assert len(vmins) == 3
+
+    def test_repr_mentions_state(self, board):
+        assert "running" in repr(board)

@@ -1,0 +1,161 @@
+"""PMBus codec and transport tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PMBusError
+from repro.fpga.pmbus import (
+    Command,
+    PMBus,
+    StatusBit,
+    decode_linear11,
+    decode_linear16,
+    decode_vout_mode,
+    encode_linear11,
+    encode_linear16,
+    encode_vout_mode,
+)
+
+
+class TestLinear11:
+    def test_zero_round_trips(self):
+        assert decode_linear11(encode_linear11(0.0)) == 0.0
+
+    @pytest.mark.parametrize("value", [0.85, 12.59, 3.3, 100.0, 0.001, 52.0])
+    def test_positive_values_round_trip_closely(self, value):
+        # 11-bit mantissa: worst-case relative error is ~1/1024.
+        decoded = decode_linear11(encode_linear11(value))
+        assert decoded == pytest.approx(value, rel=1e-2)
+
+    @pytest.mark.parametrize("value", [-1.5, -0.25, -100.0])
+    def test_negative_values_round_trip_closely(self, value):
+        decoded = decode_linear11(encode_linear11(value))
+        assert decoded == pytest.approx(value, rel=2e-3)
+
+    def test_decode_rejects_out_of_range_words(self):
+        with pytest.raises(PMBusError):
+            decode_linear11(0x10000)
+        with pytest.raises(PMBusError):
+            decode_linear11(-1)
+
+    def test_encode_rejects_unrepresentable_magnitudes(self):
+        with pytest.raises(PMBusError):
+            encode_linear11(1e12)
+
+    @given(st.floats(min_value=1e-3, max_value=1e4))
+    @settings(max_examples=200)
+    def test_round_trip_relative_error_bounded(self, value):
+        decoded = decode_linear11(encode_linear11(value))
+        assert abs(decoded - value) / value < 1e-2
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=200)
+    def test_decode_encode_decode_is_stable(self, word):
+        value = decode_linear11(word)
+        if value == 0.0:
+            return
+        assert decode_linear11(encode_linear11(value)) == pytest.approx(
+            value, rel=1e-2
+        )
+
+
+class TestLinear16:
+    def test_voltage_round_trip_at_default_exponent(self):
+        word = encode_linear16(0.850, -13)
+        assert decode_linear16(word, -13) == pytest.approx(0.850, abs=1e-4)
+
+    def test_resolution_finer_than_sweep_step(self):
+        # 2^-13 V ~ 0.122 mV << the paper's 5 mV step.
+        a = encode_linear16(0.570, -13)
+        b = encode_linear16(0.565, -13)
+        assert a != b
+
+    def test_rejects_negative_voltage_words(self):
+        with pytest.raises(PMBusError):
+            decode_linear16(-1, -13)
+
+    def test_rejects_unrepresentable_voltage(self):
+        with pytest.raises(PMBusError):
+            encode_linear16(9.0, -13)  # mantissa overflows 16 bits
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(PMBusError):
+            encode_linear16(0.85, -20)
+
+    @given(st.floats(min_value=0.0, max_value=7.9))
+    @settings(max_examples=200)
+    def test_round_trip_error_below_half_lsb(self, volts):
+        word = encode_linear16(volts, -13)
+        assert abs(decode_linear16(word, -13) - volts) <= 2.0 ** -14 + 1e-12
+
+
+class TestVoutMode:
+    def test_round_trip(self):
+        assert decode_vout_mode(encode_vout_mode(-13)) == -13
+
+    def test_rejects_non_linear_mode(self):
+        with pytest.raises(PMBusError):
+            decode_vout_mode(0b010_00000)
+
+
+class _EchoDevice:
+    """Minimal device recording the last write."""
+
+    def __init__(self):
+        self.last = None
+
+    def read_word(self, command):
+        return 0x1234
+
+    def write_word(self, command, word):
+        self.last = (command, word)
+
+
+class TestBus:
+    def test_attach_and_read(self):
+        bus = PMBus()
+        bus.attach(0x13, _EchoDevice())
+        assert bus.read_word(0x13, Command.READ_VOUT) == 0x1234
+
+    def test_write_reaches_device(self):
+        bus = PMBus()
+        device = _EchoDevice()
+        bus.attach(0x13, device)
+        bus.write_word(0x13, Command.VOUT_COMMAND, 0xBEEF)
+        assert device.last == (Command.VOUT_COMMAND, 0xBEEF)
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(PMBusError):
+            PMBus().read_word(0x13, Command.READ_VOUT)
+
+    def test_address_collision_raises(self):
+        bus = PMBus()
+        bus.attach(0x13, _EchoDevice())
+        with pytest.raises(PMBusError):
+            bus.attach(0x13, _EchoDevice())
+
+    def test_invalid_address_raises(self):
+        with pytest.raises(PMBusError):
+            PMBus().attach(0x80, _EchoDevice())
+
+    def test_word_range_checked(self):
+        bus = PMBus()
+        bus.attach(0x13, _EchoDevice())
+        with pytest.raises(PMBusError):
+            bus.write_word(0x13, Command.VOUT_COMMAND, 0x10000)
+
+    def test_transaction_log_records_traffic(self):
+        bus = PMBus()
+        bus.attach(0x13, _EchoDevice())
+        bus.read_word(0x13, Command.READ_VOUT)
+        bus.write_word(0x13, Command.VOUT_COMMAND, 1)
+        assert len(bus.log) == 2
+        assert bus.log[0][3] is False and bus.log[1][3] is True
+
+    def test_log_is_bounded(self):
+        bus = PMBus(log_limit=10)
+        bus.attach(0x13, _EchoDevice())
+        for _ in range(50):
+            bus.read_word(0x13, Command.READ_VOUT)
+        assert len(bus.log) == 10

@@ -1,0 +1,129 @@
+"""Power model tests: monotonicity and the paper's calibration anchors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.power import (
+    VccbramPowerModel,
+    VccintPowerModel,
+    quant_power_factor,
+)
+
+
+@pytest.fixture()
+def model() -> VccintPowerModel:
+    return VccintPowerModel(CAL)
+
+
+class TestCalibrationAnchors:
+    def test_power_at_vnom_matches_section_41(self, model):
+        total = model.power_w(CAL.vnom) + VccbramPowerModel(CAL).power_w(CAL.vnom)
+        assert total == pytest.approx(CAL.p_total_vnom, rel=1e-3)
+
+    def test_guardband_elimination_gain_is_2_6x(self, model):
+        """P(Vnom)/P(Vmin) = 2.6 -- Section 4.3's headline split."""
+        ratio = model.power_w(CAL.vnom) / model.power_w(CAL.vmin_mean)
+        assert ratio == pytest.approx(2.6, rel=0.02)
+
+    def test_total_gain_at_vcrash_exceeds_3x(self, model):
+        """P(Vnom)/P(Vcrash) = 2.6 * 1.43 under a timing-violating clock."""
+        ratio = model.power_w(CAL.vnom) / model.power_w(
+            CAL.vcrash_mean, timing_violated=True
+        )
+        assert ratio == pytest.approx(2.6 * 1.43, rel=0.03)
+        assert ratio > 3.0
+
+    def test_vccint_dominates_on_chip_power(self, model):
+        bram = VccbramPowerModel(CAL).power_w(CAL.vnom)
+        share = model.power_w(CAL.vnom) / (model.power_w(CAL.vnom) + bram)
+        assert share > 0.999
+
+
+class TestMonotonicity:
+    @given(st.floats(min_value=0.45, max_value=0.99))
+    @settings(max_examples=100)
+    def test_power_increases_with_voltage(self, v):
+        m = VccintPowerModel(CAL)
+        assert m.power_w(v + 0.01) > m.power_w(v)
+
+    @given(st.floats(min_value=150.0, max_value=333.0))
+    @settings(max_examples=50)
+    def test_power_increases_with_frequency(self, f):
+        m = VccintPowerModel(CAL)
+        assert m.power_w(0.7, f + 10.0) > m.power_w(0.7, f)
+
+    @given(st.floats(min_value=30.0, max_value=50.0))
+    @settings(max_examples=50)
+    def test_power_increases_with_temperature(self, t):
+        m = VccintPowerModel(CAL)
+        assert m.power_w(0.85, 333.0, t + 2.0) > m.power_w(0.85, 333.0, t)
+
+    def test_temperature_effect_shrinks_at_low_voltage(self):
+        """Figure 9: delta-P over 34->52 degC is much smaller at 650 mV."""
+        m = VccintPowerModel(CAL)
+        delta_850 = m.power_w(0.850, 333, 52.0) - m.power_w(0.850, 333, 34.0)
+        delta_650 = m.power_w(0.650, 333, 52.0) - m.power_w(0.650, 333, 34.0)
+        assert delta_650 < delta_850 / 2.0
+        assert delta_850 == pytest.approx(0.46, abs=0.15)
+
+
+class TestActivityCollapse:
+    def test_no_collapse_at_or_above_vmin(self, model):
+        assert model.activity_factor(CAL.vmin_mean) == 1.0
+        assert model.activity_factor(CAL.vnom) == 1.0
+
+    def test_full_collapse_at_vcrash(self, model):
+        factor = model.activity_factor(CAL.vcrash_mean)
+        assert factor == pytest.approx(1.0 - CAL.activity_collapse_max)
+
+    def test_collapse_requires_timing_violation(self, model):
+        assert model.activity_factor(CAL.vcrash_mean, timing_violated=False) == 1.0
+
+    def test_collapse_can_be_disabled(self):
+        m = VccintPowerModel(CAL, activity_collapse_enabled=False)
+        assert m.activity_factor(CAL.vcrash_mean) == 1.0
+
+    def test_collapse_ramps_monotonically(self, model):
+        voltages = [0.569, 0.560, 0.550, 0.541]
+        factors = [model.activity_factor(v) for v in voltages]
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestBreakdownAndValidation:
+    def test_breakdown_sums_to_total(self, model):
+        b = model.breakdown(0.7, 300.0, 40.0)
+        assert b.total_w == pytest.approx(b.dynamic_w + b.static_w)
+
+    def test_dynamic_fraction_at_vnom_matches_calibration(self, model):
+        b = model.breakdown(CAL.vnom, CAL.f_default_mhz, CAL.t_ref)
+        assert b.dynamic_w / b.total_w == pytest.approx(
+            CAL.dynamic_fraction_vnom, rel=1e-6
+        )
+
+    def test_rejects_nonpositive_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.power_w(0.0)
+        with pytest.raises(ValueError):
+            model.power_w(0.7, -1.0)
+
+    def test_vcrash_must_be_below_vmin(self):
+        with pytest.raises(ValueError):
+            VccintPowerModel(CAL, vmin_v=0.5, vcrash_v=0.6)
+
+
+class TestQuantPowerFactor:
+    def test_int8_is_identity(self):
+        assert quant_power_factor(CAL, 8) == pytest.approx(1.0)
+
+    def test_lower_bits_lower_power(self):
+        factors = [quant_power_factor(CAL, k) for k in (8, 7, 6, 5, 4)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_static_floor_respected(self):
+        assert quant_power_factor(CAL, 4) > CAL.static_fraction_vnom
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quant_power_factor(CAL, 0)

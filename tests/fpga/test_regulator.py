@@ -1,0 +1,118 @@
+"""Voltage rail and rail-bank tests."""
+
+import pytest
+
+from repro.errors import PMBusError, RailError
+from repro.fpga.pmbus import Command, PMBus
+from repro.fpga.regulator import (
+    VCCBRAM_ADDRESS,
+    VCCINT_ADDRESS,
+    ZCU102_RAILS,
+    RailSpec,
+    VoltageRail,
+    build_rail_bank,
+)
+
+
+def _vccint_rail(**kwargs) -> VoltageRail:
+    spec = RailSpec("VCCINT", VCCINT_ADDRESS, 0.850, 0.400, 1.000)
+    return VoltageRail(spec, **kwargs)
+
+
+class TestRailSpec:
+    def test_vnom_must_be_in_range(self):
+        with pytest.raises(RailError):
+            RailSpec("X", 0x13, 2.0, 0.4, 1.0)
+
+    def test_inventory_has_26_rails(self):
+        assert len(ZCU102_RAILS) == 26
+
+    def test_paper_addresses(self):
+        by_name = {spec.name: spec for spec in ZCU102_RAILS}
+        assert by_name["VCCINT"].address == 0x13
+        assert by_name["VCCBRAM"].address == 0x14
+        assert by_name["VCCINT"].vnom == pytest.approx(0.850)
+        assert by_name["VCCBRAM"].vnom == pytest.approx(0.850)
+
+    def test_only_on_chip_pl_rails_are_scalable(self):
+        scalable = {s.name for s in ZCU102_RAILS if s.scalable}
+        assert scalable == {"VCCINT", "VCCBRAM"}
+
+    def test_unique_addresses(self):
+        addresses = [s.address for s in ZCU102_RAILS]
+        assert len(addresses) == len(set(addresses))
+
+
+class TestVoltageRail:
+    def test_starts_at_nominal(self):
+        assert _vccint_rail().voltage == pytest.approx(0.850)
+
+    def test_set_voltage(self):
+        rail = _vccint_rail()
+        rail.set_voltage(0.570)
+        assert rail.voltage == pytest.approx(0.570)
+
+    def test_range_enforced(self):
+        rail = _vccint_rail()
+        with pytest.raises(RailError):
+            rail.set_voltage(0.2)
+        with pytest.raises(RailError):
+            rail.set_voltage(1.2)
+
+    def test_fixed_rail_rejects_scaling(self):
+        spec = RailSpec("VCCAUX", 0x15, 1.8, 1.8, 1.8, scalable=False)
+        with pytest.raises(RailError):
+            VoltageRail(spec).set_voltage(1.7)
+
+    def test_reset_restores_nominal(self):
+        rail = _vccint_rail()
+        rail.set_voltage(0.5)
+        rail.reset()
+        assert rail.voltage == pytest.approx(0.850)
+
+    def test_voltage_change_callback_fires(self):
+        seen = []
+        rail = _vccint_rail(on_voltage_change=seen.append)
+        rail.set_voltage(0.6)
+        assert seen == [0.6]
+
+    def test_pmbus_vout_command_round_trip(self):
+        rail = _vccint_rail()
+        bus = PMBus()
+        bus.attach(VCCINT_ADDRESS, rail)
+        bus.set_voltage(VCCINT_ADDRESS, 0.570)
+        assert bus.read_voltage(VCCINT_ADDRESS) == pytest.approx(0.570, abs=1e-3)
+
+    def test_power_telemetry_uses_sensor(self):
+        rail = _vccint_rail(power_sensor=lambda: 12.5)
+        bus = PMBus()
+        bus.attach(VCCINT_ADDRESS, rail)
+        assert bus.read_power(VCCINT_ADDRESS) == pytest.approx(12.5, rel=1e-2)
+
+    def test_unsupported_command_raises(self):
+        rail = _vccint_rail()
+        with pytest.raises(PMBusError):
+            rail.read_word(Command.READ_FAN_SPEED_1)
+
+
+class TestRailBank:
+    def test_bank_builds_all_rails(self):
+        bus, rails = build_rail_bank({}, lambda: 30.0)
+        assert len(rails) == 26
+        assert bus.read_voltage(VCCBRAM_ADDRESS) == pytest.approx(0.850, abs=1e-3)
+
+    def test_bank_wires_power_sensors(self):
+        bus, _ = build_rail_bank({"VCCINT": lambda: 7.7}, lambda: 30.0)
+        assert bus.read_power(VCCINT_ADDRESS) == pytest.approx(7.7, rel=1e-2)
+
+    def test_bank_reports_temperature(self):
+        bus, _ = build_rail_bank({}, lambda: 41.5)
+        assert bus.read_temperature(VCCINT_ADDRESS) == pytest.approx(41.5, rel=1e-2)
+
+    def test_change_hook_carries_rail_name(self):
+        seen = []
+        bus, rails = build_rail_bank(
+            {}, lambda: 30.0, on_voltage_change=lambda name, v: seen.append((name, v))
+        )
+        rails["VCCINT"].set_voltage(0.6)
+        assert seen == [("VCCINT", 0.6)]

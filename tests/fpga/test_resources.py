@@ -1,0 +1,57 @@
+"""Resource ledger tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.fpga.resources import (
+    ResourceBudget,
+    ResourceLedger,
+    ResourceUse,
+    XCZU9EG_BUDGET,
+)
+
+
+class TestBudget:
+    def test_xczu9eg_inventory_matches_section_331(self):
+        assert XCZU9EG_BUDGET.bram_kbits == 32_100  # 32.1 Mbit
+        assert XCZU9EG_BUDGET.luts == 600_000
+        assert XCZU9EG_BUDGET.dsps == 2_520
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(bram_kbits=0, luts=1, dsps=1)
+
+
+class TestLedger:
+    def test_place_within_budget(self):
+        ledger = ResourceLedger()
+        ledger.place(ResourceUse("dpu", bram_kbits=1000, luts=1000, dsps=100))
+        assert ledger.utilization()["dsp"] == pytest.approx(100 / 2520)
+
+    def test_overflow_raises_per_resource(self):
+        ledger = ResourceLedger(ResourceBudget(bram_kbits=10, luts=10, dsps=10))
+        with pytest.raises(CompileError):
+            ledger.place(ResourceUse("x", bram_kbits=11))
+        with pytest.raises(CompileError):
+            ledger.place(ResourceUse("x", luts=11))
+        with pytest.raises(CompileError):
+            ledger.place(ResourceUse("x", dsps=11))
+
+    def test_failed_placement_leaves_ledger_unchanged(self):
+        ledger = ResourceLedger(ResourceBudget(bram_kbits=10, luts=10, dsps=10))
+        ledger.place(ResourceUse("a", bram_kbits=8))
+        with pytest.raises(CompileError):
+            ledger.place(ResourceUse("b", bram_kbits=5))
+        assert len(ledger.placements) == 1
+
+    def test_clear(self):
+        ledger = ResourceLedger()
+        ledger.place(ResourceUse("a", bram_kbits=100))
+        ledger.clear()
+        assert ledger.utilization()["bram"] == 0.0
+
+    def test_use_addition(self):
+        total = ResourceUse("a", bram_kbits=1, luts=2, dsps=3) + ResourceUse(
+            "b", bram_kbits=10, luts=20, dsps=30
+        )
+        assert (total.bram_kbits, total.luts, total.dsps) == (11, 22, 33)

@@ -1,0 +1,83 @@
+"""Thermal plant and fan model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.thermal import FanModel, ThermalPlant
+
+
+class TestFanModel:
+    def test_full_duty_gives_min_resistance(self):
+        fan = FanModel()
+        assert fan.r_theta(100.0) == pytest.approx(fan.r_min_c_per_w)
+
+    def test_zero_duty_gives_max_resistance(self):
+        fan = FanModel()
+        assert fan.r_theta(0.0) == pytest.approx(fan.r_max_c_per_w)
+
+    @given(st.floats(min_value=0.0, max_value=99.0))
+    @settings(max_examples=100)
+    def test_resistance_monotonically_decreasing_in_duty(self, duty):
+        fan = FanModel()
+        assert fan.r_theta(duty + 1.0) <= fan.r_theta(duty)
+
+    @given(st.floats(min_value=0.56, max_value=5.99))
+    @settings(max_examples=100)
+    def test_duty_for_r_theta_inverts(self, r_target):
+        fan = FanModel()
+        duty = fan.duty_for_r_theta(r_target)
+        assert fan.r_theta(duty) == pytest.approx(r_target, rel=1e-6)
+
+    def test_duty_clamped_outside_authority(self):
+        fan = FanModel()
+        assert fan.duty_for_r_theta(0.01) == pytest.approx(100.0)
+        assert fan.duty_for_r_theta(100.0) == pytest.approx(0.0)
+
+
+class TestThermalPlant:
+    def test_settle_tracks_power(self):
+        plant = ThermalPlant(CAL, ambient_c=26.0)
+        t_low = plant.settle(4.0)
+        t_high = plant.settle(12.0)
+        assert t_high > t_low > 26.0
+
+    def test_fan_duty_cools_the_die(self):
+        plant = ThermalPlant(CAL)
+        plant.set_fan_duty(0.0)
+        hot = plant.settle(8.0)
+        plant.set_fan_duty(100.0)
+        cool = plant.settle(8.0)
+        assert cool < hot
+
+    def test_paper_window_reachable_at_critical_region_power(self):
+        """Fan authority must span 34..52 degC at ~4.6 W (Section 7)."""
+        plant = ThermalPlant(CAL)
+        achieved_low = plant.set_target_temperature(34.0, power_w=4.6)
+        assert achieved_low == pytest.approx(34.0, abs=1.0)
+        achieved_high = plant.set_target_temperature(52.0, power_w=4.6)
+        assert achieved_high == pytest.approx(52.0, abs=1.0)
+
+    def test_window_reachable_at_nominal_power(self):
+        plant = ThermalPlant(CAL)
+        assert plant.set_target_temperature(34.0, 12.6) == pytest.approx(34.0, abs=1.0)
+        assert plant.set_target_temperature(52.0, 12.6) == pytest.approx(52.0, abs=1.0)
+
+    def test_target_clamped_by_fan_authority(self):
+        plant = ThermalPlant(CAL)
+        achieved = plant.set_target_temperature(120.0, power_w=4.6)
+        assert achieved < 120.0
+
+    def test_set_fan_duty_validates_range(self):
+        plant = ThermalPlant(CAL)
+        with pytest.raises(ValueError):
+            plant.set_fan_duty(101.0)
+
+    def test_settle_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ThermalPlant(CAL).settle(-1.0)
+
+    def test_target_requires_positive_power(self):
+        with pytest.raises(ValueError):
+            ThermalPlant(CAL).set_target_temperature(40.0, 0.0)

@@ -1,0 +1,74 @@
+"""Voltage-transient (di/dt) model tests."""
+
+import pytest
+
+from repro.fpga.transients import (
+    DENSE_PROFILE,
+    PRUNED_PROFILE,
+    PdnModel,
+    TransientAnalyzer,
+    WorkloadCurrentProfile,
+)
+
+
+class TestPdn:
+    def test_ir_drop_linear(self):
+        pdn = PdnModel()
+        assert pdn.ir_drop_v(10.0) == pytest.approx(0.010)
+
+    def test_droop_linear_in_step(self):
+        pdn = PdnModel()
+        assert pdn.droop_v(8.0) == pytest.approx(2.0 * pdn.droop_v(4.0))
+
+    def test_validation(self):
+        pdn = PdnModel()
+        with pytest.raises(ValueError):
+            pdn.ir_drop_v(-1.0)
+        with pytest.raises(ValueError):
+            pdn.droop_v(-1.0)
+
+
+class TestProfiles:
+    def test_pruned_steps_harder_than_dense(self):
+        assert PRUNED_PROFILE.step_fraction > DENSE_PROFILE.step_fraction
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadCurrentProfile("bad", step_fraction=1.5)
+
+
+class TestAnalyzer:
+    def test_current_from_power(self):
+        analyzer = TransientAnalyzer()
+        # 4.2 W at 555 mV -> ~7.6 A (critical-region operating point).
+        assert analyzer.average_current_a(4.2, 0.555) == pytest.approx(7.57, abs=0.05)
+
+    def test_pruned_crash_margin_matches_figure8(self):
+        """The pruned profile's extra droop explains the measured 15 mV
+        Vcrash offset (555 vs 540 mV) within a factor of ~2."""
+        analyzer = TransientAnalyzer()
+        margin = analyzer.crash_margin_v(PRUNED_PROFILE, power_w=3.5, v=0.545)
+        assert 0.003 < margin < 0.030
+
+    def test_dense_reference_has_zero_margin(self):
+        analyzer = TransientAnalyzer()
+        assert analyzer.crash_margin_v(DENSE_PROFILE, 4.0, 0.56) == 0.0
+
+    def test_guard_exceeds_droop(self):
+        analyzer = TransientAnalyzer()
+        droop = analyzer.droop_for_workload(DENSE_PROFILE, 4.0, 0.56)
+        guard = analyzer.recommended_guard_v(DENSE_PROFILE, 4.0, 0.56)
+        assert guard > droop
+
+    def test_droop_grows_with_power(self):
+        analyzer = TransientAnalyzer()
+        low = analyzer.droop_for_workload(DENSE_PROFILE, 4.0, 0.56)
+        high = analyzer.droop_for_workload(DENSE_PROFILE, 12.0, 0.56)
+        assert high > low
+
+    def test_validation(self):
+        analyzer = TransientAnalyzer()
+        with pytest.raises(ValueError):
+            analyzer.average_current_a(4.0, 0.0)
+        with pytest.raises(ValueError):
+            analyzer.average_current_a(-1.0, 0.5)

@@ -1,0 +1,91 @@
+"""Process-variation model tests."""
+
+import pytest
+
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.variation import (
+    BoardVariation,
+    board_variation,
+    workload_vcrash_offset_v,
+    workload_vmin_jitter_v,
+)
+
+
+class TestFleetLandmarks:
+    def test_fleet_mean_vmin_is_570mv(self):
+        vmins = [board_variation(i).vmin_v for i in range(3)]
+        assert sum(vmins) / 3 == pytest.approx(0.570, abs=1e-4)
+
+    def test_fleet_mean_vcrash_is_540mv(self):
+        vcrashes = [board_variation(i).vcrash_v for i in range(3)]
+        assert sum(vcrashes) / 3 == pytest.approx(0.540, abs=1e-4)
+
+    def test_delta_vmin_is_31mv(self):
+        """Section 4.4's board-to-board spread."""
+        vmins = [board_variation(i).vmin_v for i in range(3)]
+        assert (max(vmins) - min(vmins)) * 1000 == pytest.approx(31.0, abs=0.5)
+
+    def test_delta_vcrash_is_18mv(self):
+        vcrashes = [board_variation(i).vcrash_v for i in range(3)]
+        assert (max(vcrashes) - min(vcrashes)) * 1000 == pytest.approx(18.0, abs=0.5)
+
+    def test_landmark_ordering_per_board(self):
+        for i in range(3):
+            bv = board_variation(i)
+            assert bv.vcrash_v < bv.vmin_v < CAL.vnom
+
+
+class TestSyntheticBoards:
+    def test_extra_samples_are_deterministic(self):
+        a, b = board_variation(7), board_variation(7)
+        assert a == b
+
+    def test_extra_samples_stay_physical(self):
+        for i in range(3, 20):
+            bv = board_variation(i)
+            assert bv.vcrash_v < bv.vmin_v
+
+    def test_extra_samples_cluster_around_fleet_means(self):
+        vmins = [board_variation(i).vmin_v for i in range(3, 30)]
+        mean = sum(vmins) / len(vmins)
+        assert mean == pytest.approx(0.570, abs=0.01)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            board_variation(-1)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            BoardVariation(sample=0, vmin_v=0.5, vcrash_v=0.6)
+
+
+class TestWorkloadEffects:
+    def test_jitter_bounded_by_calibration(self):
+        for name in ("vggnet", "googlenet", "alexnet", "resnet50", "inception"):
+            jitter = workload_vmin_jitter_v(name)
+            assert -CAL.workload_vmin_jitter <= jitter <= 0.0
+
+    def test_jitter_zero_by_default(self):
+        """Default calibration treats workload Vmin variation as
+        insignificant (paper S1.1): zero jitter."""
+        assert workload_vmin_jitter_v("vggnet") == 0.0
+
+    def test_jitter_deterministic_per_name(self):
+        cal = CAL.with_overrides(workload_vmin_jitter=0.003)
+        assert workload_vmin_jitter_v("vggnet", cal) == workload_vmin_jitter_v(
+            "vggnet", cal
+        )
+
+    def test_jitter_differs_across_names_when_enabled(self):
+        cal = CAL.with_overrides(workload_vmin_jitter=0.003)
+        values = {
+            workload_vmin_jitter_v(n, cal)
+            for n in ("vggnet", "googlenet", "alexnet", "resnet50", "inception")
+        }
+        assert len(values) > 1
+        assert all(-0.003 <= v <= 0.0 for v in values)
+
+    def test_pruned_vcrash_offset_matches_figure8(self):
+        """Pruned VGGNet crashes at 555 mV vs 540 mV baseline."""
+        assert workload_vcrash_offset_v(pruned=True) == pytest.approx(0.015)
+        assert workload_vcrash_offset_v(pruned=False) == 0.0

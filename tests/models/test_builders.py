@@ -1,0 +1,95 @@
+"""Executable-graph builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.builders import (
+    MIN_CHANNELS,
+    build_executable,
+    calibrate_classifier_head,
+    exposure_by_node,
+)
+from repro.models.datasets import synth_images
+from repro.models.zoo import BENCHMARKS, get_spec
+
+
+class TestBuildExecutable:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_every_benchmark_builds_and_runs(self, name):
+        spec = get_spec(name)
+        graph = build_executable(spec, width_scale=0.25)
+        hw = min(spec.input_hw, 56)
+        x = synth_images(name, 4, hw, spec.input_channels, spec.classes, seed=0)
+        out = graph.forward(x)
+        assert out.shape == (4, spec.classes)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-3)
+
+    def test_width_scale_shrinks_parameters(self):
+        spec = get_spec("vggnet")
+        small = build_executable(spec, width_scale=0.25)
+        large = build_executable(spec, width_scale=0.5)
+        assert small.total_params() < large.total_params()
+
+    def test_classifier_head_keeps_class_count(self):
+        spec = get_spec("resnet50")
+        graph = build_executable(spec, width_scale=0.25)
+        shapes = graph.infer_shapes(batch=1)
+        assert shapes[graph.output_name][-1] == 1000
+
+    def test_min_channels_enforced(self):
+        spec = get_spec("googlenet")
+        graph = build_executable(spec, width_scale=0.05)
+        for node in graph.compute_nodes():
+            if hasattr(node.layer, "weights") and node.layer.weights.ndim == 4:
+                assert node.layer.weights.shape[-1] >= MIN_CHANNELS
+
+    def test_deterministic_given_seed(self):
+        spec = get_spec("vggnet")
+        a = build_executable(spec, seed=5)
+        b = build_executable(spec, seed=5)
+        np.testing.assert_array_equal(
+            a.nodes["conv1"].layer.weights, b.nodes["conv1"].layer.weights
+        )
+
+    def test_seed_changes_weights(self):
+        spec = get_spec("vggnet")
+        a = build_executable(spec, seed=5)
+        b = build_executable(spec, seed=6)
+        assert not np.array_equal(
+            a.nodes["conv1"].layer.weights, b.nodes["conv1"].layer.weights
+        )
+
+    def test_width_scale_validated(self):
+        with pytest.raises(ValueError):
+            build_executable(get_spec("vggnet"), width_scale=0.0)
+
+
+class TestHeadCalibration:
+    def test_predictions_become_diverse(self):
+        spec = get_spec("vggnet")
+        graph = build_executable(spec)
+        x = synth_images("v", 48, 32, 3, 10, seed=0)
+        raw_preds = np.argmax(graph.forward(x, activation_bits=None), axis=-1)
+        calibrate_classifier_head(graph, x)
+        cal_preds = np.argmax(graph.forward(x, activation_bits=None), axis=-1)
+        assert len(np.unique(cal_preds)) > len(np.unique(raw_preds))
+        assert len(np.unique(cal_preds)) >= 5
+
+    def test_calibration_restores_output_node(self):
+        spec = get_spec("vggnet")
+        graph = build_executable(spec)
+        out_before = graph.output_name
+        calibrate_classifier_head(graph, synth_images("v", 8, 32, 3, 10, seed=0))
+        assert graph.output_name == out_before
+
+
+class TestExposure:
+    def test_exposure_covers_all_compute_layers(self):
+        spec = get_spec("googlenet")
+        exposure = exposure_by_node(spec)
+        compute = [l.name for l in spec.layers if l.kind in ("conv", "dense")]
+        assert sorted(exposure) == sorted(compute)
+
+    def test_exposure_sums_to_total_ops(self):
+        spec = get_spec("resnet50")
+        assert sum(exposure_by_node(spec).values()) == spec.total_ops()

@@ -1,0 +1,90 @@
+"""Synthetic dataset and constructed-label tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.datasets import Dataset, construct_labels, synth_images
+
+
+class TestSynthImages:
+    def test_deterministic(self):
+        a = synth_images("x", 8, 32, 3, 10, seed=1)
+        b = synth_images("x", 8, 32, 3, 10, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_content(self):
+        a = synth_images("x", 8, 32, 3, 10, seed=1)
+        b = synth_images("x", 8, 32, 3, 10, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_shape_and_range(self):
+        images = synth_images("x", 5, 56, 3, 1000, seed=0)
+        assert images.shape == (5, 56, 56, 3)
+        assert np.max(np.abs(images)) <= 1.0 + 1e-6
+
+    def test_images_have_spatial_structure(self):
+        """Neighbouring pixels correlate (prototype field), unlike white noise."""
+        images = synth_images("x", 16, 32, 3, 10, seed=0)
+        shifted = np.roll(images, 1, axis=1)
+        corr = np.corrcoef(images.reshape(-1), shifted.reshape(-1))[0, 1]
+        assert corr > 0.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synth_images("x", 0, 32, 3, 10, seed=0)
+
+
+class TestConstructLabels:
+    def test_exact_accuracy_by_construction(self):
+        preds = np.arange(100) % 10
+        labels = construct_labels(preds, 10, 0.86, seed=0, name="t")
+        assert np.mean(labels == preds) == pytest.approx(0.86)
+
+    def test_wrong_labels_are_valid_classes(self):
+        preds = np.zeros(50, dtype=int)
+        labels = construct_labels(preds, 10, 0.5, seed=0, name="t")
+        assert labels.min() >= 0 and labels.max() < 10
+
+    def test_deterministic(self):
+        preds = np.arange(64) % 7
+        a = construct_labels(preds, 7, 0.7, seed=3, name="t")
+        b = construct_labels(preds, 7, 0.7, seed=3, name="t")
+        np.testing.assert_array_equal(a, b)
+
+    def test_accuracy_bounds_checked(self):
+        with pytest.raises(ValueError):
+            construct_labels(np.zeros(4, dtype=int), 10, 1.5, seed=0, name="t")
+
+    def test_single_class_with_errors_rejected(self):
+        with pytest.raises(ValueError):
+            construct_labels(np.zeros(4, dtype=int), 1, 0.5, seed=0, name="t")
+
+    @given(
+        st.integers(min_value=10, max_value=300),
+        st.integers(min_value=2, max_value=1000),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_constructed_accuracy_matches_rounded_target(self, n, classes, acc):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, classes, size=n)
+        labels = construct_labels(preds, classes, acc, seed=1, name="h")
+        expected = round(acc * n) / n
+        assert np.mean(labels == preds) == pytest.approx(expected, abs=1e-9)
+
+
+class TestDataset:
+    def test_accuracy_of(self):
+        ds = Dataset("d", np.zeros((4, 2, 2, 1)), np.array([0, 1, 2, 3]))
+        assert ds.accuracy_of(np.array([0, 1, 0, 3])) == pytest.approx(0.75)
+
+    def test_shape_mismatch_rejected(self):
+        ds = Dataset("d", np.zeros((4, 2, 2, 1)), np.array([0, 1, 2, 3]))
+        with pytest.raises(ValueError):
+            ds.accuracy_of(np.array([0, 1]))
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset("d", np.zeros((4, 2, 2, 1)), np.array([0, 1]))

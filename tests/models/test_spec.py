@@ -1,0 +1,105 @@
+"""Model spec tests: Table 1 fidelity of the five architectures."""
+
+import pytest
+
+from repro.models.spec import LayerSpec, ModelSpec, conv, dense
+from repro.models.zoo import BENCHMARKS, get_spec, list_benchmarks
+
+
+class TestLayerSpec:
+    def test_conv_params(self):
+        layer = conv("c", 3, 64, 128, out_hw=16)
+        assert layer.param_count() == 3 * 3 * 64 * 128 + 128
+
+    def test_conv_macs(self):
+        layer = conv("c", 3, 64, 128, out_hw=16)
+        assert layer.mac_count() == 16 * 16 * 128 * 3 * 3 * 64
+
+    def test_dense_params(self):
+        layer = dense("d", 4096, 320)
+        assert layer.param_count() == 4096 * 320 + 320
+
+    def test_bn_params(self):
+        layer = LayerSpec(kind="bn", name="b", geometry=(64,))
+        assert layer.param_count() == 128
+
+    def test_non_compute_layers_have_no_params(self):
+        pool = LayerSpec(kind="maxpool", name="p", geometry=(2,), stride=2)
+        assert pool.param_count() == 0
+        assert pool.mac_count() == 0
+
+
+class TestTable1Fidelity:
+    def test_all_five_benchmarks_registered(self):
+        assert list_benchmarks() == [
+            "vggnet", "googlenet", "alexnet", "resnet50", "inception",
+        ]
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_parameter_size_within_6pct_of_table1(self, name):
+        spec = get_spec(name)
+        assert spec.size_error_vs_paper() < 0.06, (
+            f"{name}: {spec.param_size_mb():.1f} MB vs paper "
+            f"{spec.reported_size_mb} MB"
+        )
+
+    @pytest.mark.parametrize(
+        "name,layers", [("vggnet", 6), ("googlenet", 21), ("alexnet", 8), ("inception", 22)]
+    )
+    def test_compute_layer_counts_match_paper(self, name, layers):
+        assert get_spec(name).compute_layer_count() == layers
+
+    def test_resnet50_uses_conventional_count(self):
+        """ResNet's '50' excludes the 4 projection convs; the spec has 54
+        compute layers but reports the conventional name."""
+        spec = get_spec("resnet50")
+        assert spec.reported_layers == 50
+        assert spec.compute_layer_count() == 54
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_dataset_shapes_match_table1(self, name):
+        spec = get_spec(name)
+        expected = {
+            "vggnet": (32, 10), "googlenet": (32, 10), "alexnet": (227, 2),
+            "resnet50": (224, 1000), "inception": (224, 1000),
+        }[name]
+        assert (spec.input_hw, spec.classes) == expected
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_macs_are_positive_and_ordered_sanely(self, name):
+        spec = get_spec(name)
+        assert spec.total_macs() > 0
+        assert spec.total_ops() == 2 * spec.total_macs()
+
+    def test_imagenet_models_have_most_ops(self):
+        ops = {n: get_spec(n).total_ops() for n in BENCHMARKS}
+        assert ops["resnet50"] > ops["alexnet"] > ops["googlenet"]
+        assert ops["inception"] > ops["alexnet"]
+
+    def test_chance_accuracy(self):
+        assert get_spec("alexnet").chance_accuracy() == 0.5
+        assert get_spec("resnet50").chance_accuracy() == 0.001
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("lenet")
+
+
+class TestSpecWiring:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_all_input_references_resolve(self, name):
+        spec = get_spec(name)
+        seen = set()
+        for layer in spec.layers:
+            for src in layer.inputs:
+                assert src in seen, f"{name}: {layer.name} references {src} early"
+            seen.add(layer.name)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_layer_names_unique(self, name):
+        names = [l.name for l in get_spec(name).layers]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_ends_with_softmax(self, name):
+        assert get_spec(name).layers[-1].kind == "softmax"

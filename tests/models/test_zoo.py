@@ -1,0 +1,83 @@
+"""Workload-assembly tests (the zoo's build pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.models.zoo import BENCHMARKS, Workload, build, get_spec
+
+
+class TestBaselineWorkloads:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_clean_accuracy_hits_table1_target(self, name):
+        w = build(name, samples=48)
+        target = get_spec(name).reported_accuracy
+        # Constructed labels hit the target exactly up to 1/48 granularity.
+        assert w.clean_accuracy == pytest.approx(target, abs=1.5 / 48)
+
+    def test_workload_is_memoized(self):
+        a = build("vggnet", samples=48)
+        b = build("vggnet", samples=48)
+        assert a is b
+
+    def test_different_configs_are_distinct(self):
+        a = build("vggnet", samples=48)
+        b = build("vggnet", samples=48, weight_bits=4)
+        assert a is not b
+
+    def test_variant_label(self):
+        assert build("vggnet", samples=48).variant_label == "vggnet-int8"
+        assert (
+            build("vggnet", samples=48, weight_bits=4, pruned=True).variant_label
+            == "vggnet-int4-pruned"
+        )
+
+    def test_exposure_scaled_by_masking(self):
+        w = build("vggnet", samples=48)
+        total_ops = get_spec("vggnet").total_ops()
+        expected = total_ops * (total_ops / CAL.fault_exposure_ref_ops) ** (
+            CAL.fault_masking_exponent - 1.0
+        )
+        assert sum(w.exposure.values()) == pytest.approx(expected, rel=1e-6)
+
+    def test_bigger_models_have_more_visible_exposure(self):
+        small = sum(build("vggnet", samples=48).exposure.values())
+        big = sum(build("resnet50", samples=48).exposure.values())
+        assert big > 3.0 * small
+
+    def test_predictions_shape(self):
+        w = build("vggnet", samples=48)
+        assert w.predictions().shape == (48,)
+
+
+class TestVariants:
+    def test_quantized_clean_accuracy_decreases_with_bits(self):
+        accs = [
+            build("vggnet", samples=96, weight_bits=b).clean_accuracy
+            for b in (8, 6, 4)
+        ]
+        assert accs[0] >= accs[1] >= accs[2]
+        assert accs[0] - accs[2] < 0.08  # "no significant loss" (S6.1)
+
+    def test_quantized_vulnerability_multiplier(self):
+        w8 = build("vggnet", samples=48)
+        w4 = build("vggnet", samples=48, weight_bits=4)
+        assert w4.vulnerability == pytest.approx(
+            1.0 + CAL.quant_vulnerability_per_bit * 4
+        )
+        assert w8.vulnerability == pytest.approx(1.0)
+
+    def test_pruned_flags(self):
+        w = build("vggnet", samples=48, pruned=True)
+        assert w.pruned
+        assert w.effective_ops_fraction == pytest.approx(0.5, abs=0.02)
+        assert w.vulnerability == pytest.approx(CAL.prune_vulnerability)
+
+    def test_pruned_clean_accuracy_slightly_lower(self):
+        base = build("vggnet", samples=96).clean_accuracy
+        pruned = build("vggnet", samples=96, pruned=True).clean_accuracy
+        assert base - 0.06 < pruned <= base
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build("mobilenet", samples=48)

@@ -1,0 +1,76 @@
+"""Pruner tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv2D, Dense, Input, ReLU
+from repro.nn.prune import (
+    PruningSpec,
+    effective_ops_fraction,
+    prune_model,
+    sparsity_of,
+)
+
+RNG = np.random.default_rng(9)
+
+
+def small_graph() -> Graph:
+    g = Graph("p")
+    g.add(Input("input", (4, 4, 2)))
+    g.add(Conv2D("conv", RNG.normal(size=(3, 3, 2, 8)).astype(np.float32)), ["input"])
+    g.add(ReLU("relu"), ["conv"])
+    g.add(Dense("fc", RNG.normal(size=(128, 5)).astype(np.float32)), ["relu"])
+    return g
+
+
+class TestSpec:
+    def test_label(self):
+        assert PruningSpec(0.5).label == "pruned50"
+
+    @pytest.mark.parametrize("s", [0.0, 1.0, -0.1, 1.5])
+    def test_bounds(self, s):
+        with pytest.raises(QuantizationError):
+            PruningSpec(s)
+
+
+class TestPruneModel:
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_sparsity_hits_target(self, target):
+        pruned = prune_model(small_graph(), PruningSpec(target))
+        assert sparsity_of(pruned) == pytest.approx(target, abs=0.02)
+
+    def test_small_magnitudes_removed_first(self):
+        g = small_graph()
+        pruned = prune_model(g, PruningSpec(0.5))
+        original = g.nodes["conv"].layer.weights
+        kept = pruned.nodes["conv"].layer.weights
+        removed_mags = np.abs(original[kept == 0.0])
+        surviving_mags = np.abs(original[kept != 0.0])
+        assert removed_mags.max() <= surviving_mags.min() + 1e-6
+
+    def test_original_untouched(self):
+        g = small_graph()
+        before = g.nodes["conv"].layer.weights.copy()
+        prune_model(g, PruningSpec(0.5))
+        np.testing.assert_array_equal(g.nodes["conv"].layer.weights, before)
+
+    def test_effective_ops_fraction(self):
+        pruned = prune_model(small_graph(), PruningSpec(0.45))
+        assert effective_ops_fraction(pruned) == pytest.approx(0.55, abs=0.02)
+
+    def test_unpruned_graph_is_dense(self):
+        assert sparsity_of(small_graph()) == pytest.approx(0.0, abs=0.01)
+
+    def test_pruned_model_still_runs(self):
+        pruned = prune_model(small_graph(), PruningSpec(0.6))
+        out = pruned.forward(RNG.normal(size=(2, 4, 4, 2)).astype(np.float32))
+        assert out.shape == (2, 5)
+
+    def test_name_carries_label(self):
+        pruned = prune_model(small_graph(), PruningSpec(0.5))
+        assert pruned.name.endswith("pruned50")

@@ -1,0 +1,170 @@
+"""Quantized tensor tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.nn.tensor import (
+    SUPPORTED_BITS,
+    QuantFormat,
+    QuantizedTensor,
+    choose_frac_bits,
+    dequantize_array,
+    quantize_array,
+    saturate,
+)
+
+
+class TestQuantFormat:
+    def test_int8_range(self):
+        fmt = QuantFormat(bits=8, frac_bits=7)
+        assert (fmt.qmin, fmt.qmax) == (-128, 127)
+
+    def test_int4_range(self):
+        fmt = QuantFormat(bits=4, frac_bits=3)
+        assert (fmt.qmin, fmt.qmax) == (-8, 7)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 9, 16])
+    def test_unsupported_widths_rejected(self, bits):
+        """INT3 and below lose accuracy even at Vnom (paper Section 6.1)."""
+        with pytest.raises(QuantizationError):
+            QuantFormat(bits=bits, frac_bits=0)
+
+    def test_scale(self):
+        assert QuantFormat(bits=8, frac_bits=7).scale == pytest.approx(1 / 128)
+
+    def test_str_shows_q_notation(self):
+        assert "INT8" in str(QuantFormat(bits=8, frac_bits=7))
+
+
+class TestChooseFracBits:
+    def test_unit_range_uses_full_precision(self):
+        data = np.array([0.99, -0.5])
+        frac = choose_frac_bits(data, 8)
+        fmt = QuantFormat(8, frac)
+        assert fmt.max_real >= 0.99
+        # One fewer fractional bit would waste range.
+        assert QuantFormat(8, frac + 1).max_real < 0.99
+
+    def test_zero_tensor_defaults(self):
+        assert choose_frac_bits(np.zeros(4), 8) == 7
+
+    def test_large_values_get_negative_frac(self):
+        frac = choose_frac_bits(np.array([1e4]), 8)
+        assert QuantFormat(8, frac).max_real >= 1e4
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            choose_frac_bits(np.ones(2), 3)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=32),
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=150)
+    def test_chosen_format_never_saturates(self, data):
+        frac = choose_frac_bits(data, 8)
+        frac = int(np.clip(frac, -16, 16))
+        fmt = QuantFormat(8, frac)
+        peak = float(np.max(np.abs(data))) if data.size else 0.0
+        if peak == 0.0 or frac in (-16, 16):
+            return  # degenerate or clamped window
+        assert fmt.max_real >= peak * (1.0 - 2 ** -12)
+
+
+class TestQuantizeDequantize:
+    def test_round_trip_error_bounded_by_half_step(self):
+        fmt = QuantFormat(8, 7)
+        data = np.linspace(-0.9, 0.9, 101)
+        recovered = dequantize_array(quantize_array(data, fmt), fmt)
+        assert np.max(np.abs(recovered - data)) <= fmt.scale / 2 + 1e-9
+
+    def test_saturation_clamps(self):
+        fmt = QuantFormat(8, 7)
+        stored = quantize_array(np.array([10.0, -10.0]), fmt)
+        assert stored.tolist() == [127, -128]
+
+    def test_saturate_helper(self):
+        fmt = QuantFormat(8, 0)
+        assert saturate(np.array([300, -300]), fmt).tolist() == [127, -128]
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            st.integers(min_value=1, max_value=64),
+            elements=st.floats(
+                min_value=-100.0, max_value=100.0, allow_nan=False, width=32
+            ),
+        ),
+        st.sampled_from(SUPPORTED_BITS),
+    )
+    @settings(max_examples=150)
+    def test_from_real_error_bounded(self, data, bits):
+        qt = QuantizedTensor.from_real(data, bits=bits)
+        err = np.max(np.abs(qt.real - data)) if data.size else 0.0
+        assert err <= qt.fmt.scale  # within one step everywhere
+
+
+class TestBitFlips:
+    def test_flip_low_bit_changes_value_by_one_step(self):
+        qt = QuantizedTensor.from_real(np.array([0.5, 0.25]), bits=8, frac_bits=7)
+        before = qt.stored.copy()
+        qt.flip_bits(np.array([0]), np.array([0]))
+        assert abs(int(qt.stored[0]) - int(before[0])) == 1
+        assert qt.stored[1] == before[1]
+
+    def test_flip_sign_bit_swings_across_zero(self):
+        qt = QuantizedTensor.from_real(np.array([0.5]), bits=8, frac_bits=7)
+        before = int(qt.stored[0])
+        qt.flip_bits(np.array([0]), np.array([7]))
+        assert int(qt.stored[0]) == before - 128
+
+    def test_double_flip_cancels(self):
+        qt = QuantizedTensor.from_real(np.array([0.3]), bits=8, frac_bits=7)
+        before = int(qt.stored[0])
+        qt.flip_bits(np.array([0]), np.array([4]))
+        qt.flip_bits(np.array([0]), np.array([4]))
+        assert int(qt.stored[0]) == before
+
+    def test_flipped_values_stay_in_format_range(self):
+        rng = np.random.default_rng(7)
+        qt = QuantizedTensor.from_real(rng.normal(size=256), bits=8)
+        qt.flip_bits(
+            rng.integers(0, 256, size=500), rng.integers(0, 8, size=500)
+        )
+        assert qt.stored.max() <= qt.fmt.qmax
+        assert qt.stored.min() >= qt.fmt.qmin
+
+    @given(st.sampled_from(SUPPORTED_BITS), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100)
+    def test_flip_round_trip_property(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        qt = QuantizedTensor.from_real(rng.normal(size=32), bits=bits)
+        before = qt.stored.copy()
+        idx = rng.integers(0, 32, size=8)
+        positions = rng.integers(0, bits, size=8)
+        qt.flip_bits(idx, positions)
+        qt.flip_bits(idx[::-1], positions[::-1])
+        # Flipping the same (index, bit) pairs twice restores the tensor as
+        # long as pairs are distinct; duplicates cancel pairwise too because
+        # XOR is an involution applied sequentially in both orders.
+        assert np.array_equal(qt.stored, before)
+
+
+class TestRequantize:
+    def test_requantize_to_narrower_format(self):
+        qt = QuantizedTensor.from_real(np.linspace(-1, 1, 17), bits=8)
+        narrow = qt.requantize(bits=4)
+        assert narrow.fmt.bits == 4
+        assert np.max(np.abs(narrow.real - qt.real)) <= narrow.fmt.scale
+
+    def test_quantization_error_metric(self):
+        data = np.linspace(-1, 1, 33)
+        qt = QuantizedTensor.from_real(data, bits=8)
+        assert qt.quantization_error(data) <= qt.fmt.scale

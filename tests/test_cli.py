@@ -1,0 +1,57 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig6" in out
+
+    def test_run_command(self, capsys):
+        code = main(["run", "sec41", "--repeats", "1", "--samples", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sec41" in out
+        assert "vccint_w" in out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "rows.csv"
+        code = main(
+            ["run", "table1", "--repeats", "1", "--samples", "48", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "model" in csv_path.read_text().splitlines()[0]
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "vggnet", "--board", "1", "--repeats", "1", "--samples", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "board 1" in out
+        assert "hung at" in out
+
+    def test_report_command(self, tmp_path, capsys, monkeypatch):
+        # Restrict the report to two cheap experiments for test speed.
+        import repro.analysis.report as report_mod
+
+        monkeypatch.setattr(report_mod, "DEFAULT_ORDER", ("table1", "sec41"))
+        out_path = tmp_path / "EXP.md"
+        code = main(
+            ["report", "--out", str(out_path), "--repeats", "1", "--samples", "48"]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "## table1" in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_fails_loudly(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])

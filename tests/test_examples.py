@@ -1,0 +1,74 @@
+"""Examples stay runnable: execute each script in a subprocess.
+
+The examples are part of the public deliverable; a refactor that breaks
+them should fail CI, not a user.  Each script runs with a tightened
+environment so the whole set stays under a couple of minutes.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str, args: list[str] | None = None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *(args or [])],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamplesRun:
+    def test_expected_examples_present(self):
+        assert EXAMPLES == [
+            "characterize_board.py",
+            "dvfs_explorer.py",
+            "edge_deployment.py",
+            "optimize_accelerator.py",
+            "quickstart.py",
+            "resilient_operation.py",
+            "thermal_study.py",
+        ]
+
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "power-efficiency gain at the crash edge" in result.stdout
+        assert "3." in result.stdout  # >3x headline
+
+    def test_characterize_board(self):
+        result = _run("characterize_board.py", ["1", "vggnet"])
+        assert result.returncode == 0, result.stderr
+        assert "binary-searched Vmin" in result.stdout
+        assert "guardband" in result.stdout
+
+    def test_dvfs_explorer(self):
+        result = _run("dvfs_explorer.py")
+        assert result.returncode == 0, result.stderr
+        assert "energy-efficiency optimum: 570 mV @ 333 MHz" in result.stdout
+
+    def test_optimize_accelerator(self):
+        result = _run("optimize_accelerator.py")
+        assert result.returncode == 0, result.stderr
+        assert "HUNG" in result.stdout  # the pruned model's earlier crash
+
+    def test_thermal_study(self):
+        result = _run("thermal_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 9" in result.stdout and "Figure 10" in result.stdout
+
+    def test_resilient_operation(self):
+        result = _run("resilient_operation.py")
+        assert result.returncode == 0, result.stderr
+        assert "controller settled" in result.stdout
+
+    def test_edge_deployment(self):
+        result = _run("edge_deployment.py")
+        assert result.returncode == 0, result.stderr
+        assert "battery-life extension" in result.stdout

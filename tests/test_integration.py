@@ -1,0 +1,125 @@
+"""End-to-end integration tests: the paper's headline claims.
+
+These tests run the full stack — PMBus-regulated board, DPU engine, fault
+injection, campaign logic — and assert the abstract's numbers:
+
+* >3x total power-efficiency gain; 2.6x from eliminating the guardband;
+* a ~33% average guardband with Vmin ~570 mV and Vcrash ~540 mV;
+* exponential accuracy collapse below the guardband and chance-level
+  behaviour at the crash edge;
+* frequency underscaling trading the +43% critical-region gain for +~25%
+  with no accuracy loss.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.regions import detect_regions
+from repro.core.session import AcceleratorSession
+from repro.core.undervolt import VoltageSweep
+from repro.errors import BoardHangError
+from repro.fpga.board import make_fleet
+from repro.models.zoo import build
+
+CFG = ExperimentConfig(seed=2020, repeats=2, samples=48)
+
+
+@pytest.fixture(scope="module")
+def fleet_sweeps():
+    """One (nominal measurement, sweep) pair per board sample for VGGNet."""
+    results = []
+    for board in make_fleet():
+        session = AcceleratorSession(board, build("vggnet", samples=48), CFG)
+        nominal = session.run_nominal()
+        sweep = VoltageSweep(session, CFG).run(start_mv=620.0)
+        results.append((nominal, sweep))
+    return results
+
+
+class TestHeadlineClaims:
+    def test_every_board_crashes_eventually(self, fleet_sweeps):
+        for _, sweep in fleet_sweeps:
+            assert sweep.crash_mv is not None
+
+    def test_fleet_guardband_is_about_one_third(self, fleet_sweeps):
+        vmins = [
+            detect_regions(s, accuracy_tolerance=CFG.accuracy_tolerance).vmin_mv
+            for _, s in fleet_sweeps
+        ]
+        mean_vmin = sum(vmins) / len(vmins)
+        guardband_fraction = (850.0 - mean_vmin) / 850.0
+        assert guardband_fraction == pytest.approx(0.33, abs=0.02)
+
+    def test_fleet_vcrash_near_540mv(self, fleet_sweeps):
+        vcrashes = [
+            detect_regions(s, accuracy_tolerance=CFG.accuracy_tolerance).vcrash_mv
+            for _, s in fleet_sweeps
+        ]
+        assert sum(vcrashes) / len(vcrashes) == pytest.approx(540.0, abs=7.0)
+
+    def test_power_efficiency_gains(self, fleet_sweeps):
+        gains_vmin, gains_vcrash = [], []
+        for nominal, sweep in fleet_sweeps:
+            regions = detect_regions(sweep, accuracy_tolerance=CFG.accuracy_tolerance)
+            base = nominal.gops_per_watt
+            gains_vmin.append(
+                sweep.point_at(regions.vmin_mv).measurement.gops_per_watt / base
+            )
+            gains_vcrash.append(
+                sweep.last_alive.measurement.gops_per_watt / base
+            )
+        assert sum(gains_vmin) / 3 == pytest.approx(2.6, abs=0.15)
+        assert sum(gains_vcrash) / 3 > 3.0
+
+    def test_accuracy_collapses_to_chance_at_crash_edge(self, fleet_sweeps):
+        for _, sweep in fleet_sweeps:
+            last = sweep.last_alive.measurement
+            assert last.accuracy == pytest.approx(0.10, abs=0.12)
+
+    def test_accuracy_decay_is_monotone_through_critical_region(self, fleet_sweeps):
+        _, sweep = fleet_sweeps[1]  # median board
+        regions = detect_regions(sweep, accuracy_tolerance=CFG.accuracy_tolerance)
+        critical = [
+            p.measurement.accuracy
+            for p in sweep.points
+            if regions.vcrash_mv <= p.vccint_mv <= regions.vmin_mv
+        ]
+        # Allow small non-monotonic wiggles from finite repeats, but the
+        # start-to-end collapse must be strict and large.
+        assert critical[0] - critical[-1] > 0.5
+
+
+class TestCrossBenchmarkClaims:
+    def test_bigger_models_are_more_vulnerable(self):
+        """Section 4.4: ResNet/Inception degrade faster below Vmin."""
+        losses = {}
+        for name in ("vggnet", "resnet50"):
+            board = make_fleet()[1]
+            session = AcceleratorSession(board, build(name, samples=48), CFG)
+            m = session.run_at(565.0)
+            losses[name] = m.clean_accuracy - m.accuracy
+        assert losses["resnet50"] > losses["vggnet"]
+
+    def test_workload_vmin_variation_is_insignificant(self):
+        """Section 1.1: guardband variation across workloads is small."""
+        vmins = []
+        for name in ("vggnet", "googlenet", "alexnet"):
+            board = make_fleet()[1]
+            session = AcceleratorSession(board, build(name, samples=48), CFG)
+            sweep = VoltageSweep(session, CFG).run(start_mv=600.0)
+            regions = detect_regions(sweep, accuracy_tolerance=CFG.accuracy_tolerance)
+            vmins.append(regions.vmin_mv)
+        assert max(vmins) - min(vmins) <= 10.0
+
+
+class TestRecoveryProtocol:
+    def test_campaigns_survive_repeated_crashes(self):
+        board = make_fleet()[1]
+        session = AcceleratorSession(board, build("vggnet", samples=48), CFG)
+        for _ in range(3):
+            with pytest.raises(BoardHangError):
+                session.run_at(500.0)
+            board.power_cycle()
+        m = session.run_nominal()
+        assert m.accuracy == pytest.approx(m.clean_accuracy)
+        assert board.crash_count == 3

