@@ -3,15 +3,100 @@
 Examples::
 
     repro-undervolt list
-    repro-undervolt run fig3 --repeats 3 --samples 64
+    repro-undervolt run fig3 --repeats 3 --samples 64 --jobs 5
     repro-undervolt run table2 --csv out.csv
     repro-undervolt sweep vggnet --board 0
+    repro-undervolt sweep vggnet --board all --jobs 3
+    repro-undervolt report --jobs 4
+    repro-undervolt campaign paper --jobs 8
+    repro-undervolt campaign fig3 fig6 --no-cache
+
+Every campaign-shaped command accepts ``--jobs`` (process fan-out),
+``--cache-dir``/``--no-cache`` (the content-addressed result cache), and
+the full set of :class:`~repro.core.experiment.ExperimentConfig` knobs
+(``--v-step``, ``--width-scale``, ``--accuracy-tolerance``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _config_from_args(args):
+    """The one place CLI flags become an ExperimentConfig."""
+    from repro.core.experiment import ExperimentConfig
+
+    return ExperimentConfig(
+        seed=args.seed,
+        repeats=args.repeats,
+        samples=args.samples,
+        v_step=args.v_step,
+        width_scale=args.width_scale,
+        accuracy_tolerance=args.accuracy_tolerance,
+    )
+
+
+def _board_arg(value: str):
+    """``--board`` accepts a sample index or 'all' (the whole fleet)."""
+    if value == "all":
+        return "all"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a board index or 'all', got {value!r}"
+        ) from None
+
+
+def _cache_from_args(args):
+    """A ResultCache per the cache flags, or None when disabled."""
+    if args.no_cache:
+        return None
+    from repro.runtime.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _add_config_flags(parser, *, repeats: int, samples: int) -> None:
+    from repro.core.experiment import ExperimentConfig
+
+    defaults = ExperimentConfig()
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--repeats", type=int, default=repeats)
+    parser.add_argument("--samples", type=int, default=samples)
+    parser.add_argument(
+        "--v-step", dest="v_step", type=float, default=defaults.v_step,
+        help=f"voltage sweep step in volts (default {defaults.v_step})",
+    )
+    parser.add_argument(
+        "--width-scale", dest="width_scale", type=float,
+        default=defaults.width_scale,
+        help=f"executable-model width scale (default {defaults.width_scale})",
+    )
+    parser.add_argument(
+        "--accuracy-tolerance", dest="accuracy_tolerance", type=float,
+        default=defaults.accuracy_tolerance,
+        help="absolute accuracy-loss tolerance defining 'no loss' "
+             f"(default {defaults.accuracy_tolerance})",
+    )
+
+
+def _add_runtime_flags(parser) -> None:
+    from repro.runtime.cache import DEFAULT_CACHE_DIR
+
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign runtime (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely",
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -23,14 +108,17 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.core.experiment import ExperimentConfig
-    from repro.experiments.registry import run_experiment
+    from repro.runtime.campaign import run_campaign
 
-    config = ExperimentConfig(
-        seed=args.seed, repeats=args.repeats, samples=args.samples
+    config = _config_from_args(args)
+    outcome = run_campaign(
+        [args.experiment], config, jobs=args.jobs, cache=_cache_from_args(args)
     )
-    result = run_experiment(args.experiment, config)
+    entry = outcome.entries[0]
+    result = entry.result
     print(result.render())
+    if entry.cache_hit:
+        print(f"(cache hit {entry.fingerprint}; computed in {entry.wall_s:.2f}s)")
     if args.csv:
         from repro.analysis.tables import write_csv
 
@@ -40,36 +128,77 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.core.experiment import ExperimentConfig
-    from repro.core.session import make_session
-    from repro.core.undervolt import VoltageSweep
-    from repro.fpga.board import make_board
     from repro.analysis.tables import render_table
+    from repro.runtime.campaign import run_sweep_campaign
 
-    config = ExperimentConfig(
-        seed=args.seed, repeats=args.repeats, samples=args.samples
+    config = _config_from_args(args)
+    if args.board == "all":
+        boards = list(range(config.cal.n_boards))
+    else:
+        boards = [args.board]
+    outcome = run_sweep_campaign(
+        args.benchmark, boards, config, jobs=args.jobs,
+        cache=_cache_from_args(args),
     )
-    board = make_board(sample=args.board)
-    session = make_session(board, args.benchmark, config)
-    sweep = VoltageSweep(session).run()
-    rows = [p.measurement.as_dict() for p in sweep.points]
-    print(render_table(rows, title=f"sweep: {args.benchmark} on board {args.board}"))
-    if sweep.crash_mv is not None:
-        print(f"board hung at {sweep.crash_mv:.0f} mV (power-cycled)")
+    for board, entry in zip(boards, outcome.entries):
+        print(
+            render_table(
+                entry.result.rows,
+                title=f"sweep: {args.benchmark} on board {board}",
+            )
+        )
+        crash_mv = entry.result.summary.get("crash_mv")
+        if crash_mv is not None:
+            print(f"board hung at {crash_mv:.0f} mV (power-cycled)")
     return 0
 
 
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
-    from repro.core.experiment import ExperimentConfig
 
-    config = ExperimentConfig(
-        seed=args.seed, repeats=args.repeats, samples=args.samples
+    config = _config_from_args(args)
+    report = generate_report(
+        config, jobs=args.jobs, cache=_cache_from_args(args)
     )
-    report = generate_report(config)
     with open(args.out, "w") as f:
         f.write(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.analysis.report import render_campaign_report
+    from repro.analysis.tables import render_table
+    from repro.runtime.campaign import resolve_campaign, run_campaign
+
+    config = _config_from_args(args)
+    ids = resolve_campaign(args.targets)
+    outcome = run_campaign(
+        ids, config, jobs=args.jobs, cache=_cache_from_args(args)
+    )
+    rows = [
+        {
+            "experiment": e.experiment_id,
+            "hash": e.fingerprint,
+            "cache": "hit" if e.cache_hit else "computed",
+            "shards": e.n_shards if not e.cache_hit else "-",
+            "wall_s": round(e.wall_s, 2),
+            "rows": len(e.result.rows),
+        }
+        for e in outcome.entries
+    ]
+    print(
+        render_table(
+            rows,
+            title=f"campaign: {len(ids)} experiments, jobs={args.jobs}, "
+                  f"{outcome.cache_hits} cached / {outcome.computed} computed",
+        )
+    )
+    if args.out:
+        report = render_campaign_report(outcome)
+        with open(args.out, "w") as f:
+            f.write(report)
+        print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     return 0
 
 
@@ -85,9 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment (table/figure)")
     p_run.add_argument("experiment", help="experiment id, e.g. fig3")
-    p_run.add_argument("--seed", type=int, default=2020)
-    p_run.add_argument("--repeats", type=int, default=3)
-    p_run.add_argument("--samples", type=int, default=96)
+    _add_config_flags(p_run, repeats=3, samples=96)
+    _add_runtime_flags(p_run)
     p_run.add_argument("--csv", help="also write rows to this CSV path")
     p_run.set_defaults(func=_cmd_run)
 
@@ -95,18 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run every experiment and write EXPERIMENTS.md"
     )
     p_report.add_argument("--out", default="EXPERIMENTS.md")
-    p_report.add_argument("--seed", type=int, default=2020)
-    p_report.add_argument("--repeats", type=int, default=3)
-    p_report.add_argument("--samples", type=int, default=64)
+    _add_config_flags(p_report, repeats=3, samples=64)
+    _add_runtime_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_sweep = sub.add_parser("sweep", help="voltage-sweep one benchmark")
     p_sweep.add_argument("benchmark", help="vggnet|googlenet|alexnet|resnet50|inception")
-    p_sweep.add_argument("--board", type=int, default=0)
-    p_sweep.add_argument("--seed", type=int, default=2020)
-    p_sweep.add_argument("--repeats", type=int, default=3)
-    p_sweep.add_argument("--samples", type=int, default=96)
+    p_sweep.add_argument(
+        "--board", type=_board_arg, default=0,
+        help="board sample index, or 'all' for the whole fleet",
+    )
+    _add_config_flags(p_sweep, repeats=3, samples=96)
+    _add_runtime_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a named experiment set (paper|tables|figures|extensions|all) "
+             "or explicit ids in one parallel batch",
+    )
+    p_campaign.add_argument(
+        "targets", nargs="+",
+        help="campaign name (paper, tables, figures, extensions, all) or "
+             "experiment ids",
+    )
+    p_campaign.add_argument("--out", help="also write a markdown report here")
+    _add_config_flags(p_campaign, repeats=3, samples=64)
+    _add_runtime_flags(p_campaign)
+    p_campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 

@@ -9,7 +9,7 @@ recorded EXPERIMENTS.md numbers use ``repeats=10``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import CampaignError
 from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
@@ -49,6 +49,15 @@ class ExperimentConfig:
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)
+
+    def as_dict(self) -> dict:
+        """Every field as plain data (nested :class:`Calibration` included).
+
+        This is the serialization the runtime's content-addressed result
+        cache hashes: any change to any knob — including a calibration
+        override — changes the dict and therefore the cache key.
+        """
+        return asdict(self)
 
 
 #: Configuration matching the paper's methodology (10 repeats).

@@ -1,9 +1,29 @@
 """Experiment registry: one runner per paper table/figure.
 
 Populated by the per-experiment modules; ``REGISTRY`` maps experiment ids
-("table1", "fig3", ...) to runner callables.
+("table1", "fig3", ...) to runner callables, and ``SPECS`` additionally
+carries each experiment's shard metadata for the campaign runtime
+(:mod:`repro.runtime`).
 """
 
-from repro.experiments.registry import REGISTRY, ExperimentResult, get_experiment, run_experiment
+from repro.experiments.registry import (
+    REGISTRY,
+    SPECS,
+    ExperimentResult,
+    ExperimentSpec,
+    ShardPlan,
+    get_experiment,
+    get_spec,
+    run_experiment,
+)
 
-__all__ = ["REGISTRY", "ExperimentResult", "get_experiment", "run_experiment"]
+__all__ = [
+    "REGISTRY",
+    "SPECS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ShardPlan",
+    "get_experiment",
+    "get_spec",
+    "run_experiment",
+]

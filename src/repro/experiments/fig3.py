@@ -4,6 +4,12 @@ For every benchmark, sweep each board down to its hang point, detect the
 (Vmin, Vcrash) landmarks, and report the fleet-averaged guardband and
 critical-region widths.  Paper anchors: guardband 280 mV (33%), critical
 region 30 mV, with slight workload-to-workload variation.
+
+The per-benchmark loop bodies are fully independent (each builds its own
+sessions and boards, and every RNG stream is named, not positional), so
+the experiment registers a per-benchmark :class:`ShardPlan`: the campaign
+runtime can sweep the five benchmarks in parallel and merge the rows and
+fleet statistics back in paper order, bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -13,45 +19,40 @@ from repro.analysis.stats import mean_of
 from repro.core.experiment import ExperimentConfig
 from repro.core.regions import detect_regions
 from repro.experiments.common import BENCHMARK_ORDER, fleet_sessions, sweep_to_crash
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.registry import ExperimentResult, ShardPlan, register
 
 #: Sweeping from 600 mV keeps runtime low without moving any landmark: all
 #: boards are fault-free well above 590 mV.
 SWEEP_START_MV = 620.0
 
+TITLE = "Voltage regions: guardband / critical / crash (Figure 3)"
 
-@register("fig3")
-def run(config: ExperimentConfig | None = None) -> ExperimentResult:
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig3",
-        title="Voltage regions: guardband / critical / crash (Figure 3)",
-    )
-    all_vmin: list[float] = []
-    all_vcrash: list[float] = []
-    for name in BENCHMARK_ORDER:
-        vmins, vcrashes = [], []
-        for session in fleet_sessions(name, config):
-            sweep = sweep_to_crash(session, config, start_mv=SWEEP_START_MV)
-            regions = detect_regions(
-                sweep, accuracy_tolerance=config.accuracy_tolerance
-            )
-            vmins.append(regions.vmin_mv)
-            vcrashes.append(regions.vcrash_mv)
-        vmin, vcrash = mean_of(vmins), mean_of(vcrashes)
-        all_vmin.extend(vmins)
-        all_vcrash.extend(vcrashes)
-        result.rows.append(
-            {
-                "benchmark": name,
-                "vmin_mv": round(vmin, 1),
-                "vcrash_mv": round(vcrash, 1),
-                "guardband_mv": round(850.0 - vmin, 1),
-                "guardband_pct": round((850.0 - vmin) / 850.0 * 100.0, 1),
-                "critical_mv": round(vmin - vcrash, 1),
-            }
-        )
-    result.summary = {
+
+def _benchmark_landmarks(
+    name: str, config: ExperimentConfig
+) -> tuple[dict, list[float], list[float]]:
+    """One benchmark's fleet sweep: its report row plus raw landmarks."""
+    vmins: list[float] = []
+    vcrashes: list[float] = []
+    for session in fleet_sessions(name, config):
+        sweep = sweep_to_crash(session, config, start_mv=SWEEP_START_MV)
+        regions = detect_regions(sweep, accuracy_tolerance=config.accuracy_tolerance)
+        vmins.append(regions.vmin_mv)
+        vcrashes.append(regions.vcrash_mv)
+    vmin, vcrash = mean_of(vmins), mean_of(vcrashes)
+    row = {
+        "benchmark": name,
+        "vmin_mv": round(vmin, 1),
+        "vcrash_mv": round(vcrash, 1),
+        "guardband_mv": round(850.0 - vmin, 1),
+        "guardband_pct": round((850.0 - vmin) / 850.0 * 100.0, 1),
+        "critical_mv": round(vmin - vcrash, 1),
+    }
+    return row, vmins, vcrashes
+
+
+def _summary(all_vmin: list[float], all_vcrash: list[float]) -> dict:
+    return {
         "vmin_mean_mv": round(mean_of(all_vmin), 1),
         "vmin_mean_paper": paper.VMIN_MEAN_MV,
         "vcrash_mean_mv": round(mean_of(all_vcrash), 1),
@@ -59,4 +60,38 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         "guardband_pct": round((850.0 - mean_of(all_vmin)) / 850.0 * 100.0, 1),
         "guardband_pct_paper": round(paper.GUARDBAND_FRACTION * 100.0, 1),
     }
+
+
+def _shard_keys(config: ExperimentConfig) -> list[tuple]:
+    return [(name,) for name in BENCHMARK_ORDER]
+
+
+def _run_shard(key: tuple, config: ExperimentConfig) -> ExperimentResult:
+    (name,) = key
+    row, vmins, vcrashes = _benchmark_landmarks(name, config)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title=TITLE,
+        rows=[row],
+        merge_state={"vmins": vmins, "vcrashes": vcrashes},
+    )
+
+
+def _merge(config: ExperimentConfig, shards: list[ExperimentResult]) -> ExperimentResult:
+    result = ExperimentResult(experiment_id="fig3", title=TITLE)
+    all_vmin: list[float] = []
+    all_vcrash: list[float] = []
+    for shard in shards:
+        result.rows.extend(shard.rows)
+        all_vmin.extend(shard.merge_state["vmins"])
+        all_vcrash.extend(shard.merge_state["vcrashes"])
+    result.summary = _summary(all_vmin, all_vcrash)
     return result
+
+
+@register("fig3", shards=ShardPlan(keys=_shard_keys, run=_run_shard, merge=_merge))
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    # The serial run IS the shard composition: same per-benchmark work in
+    # the same order, so serial-vs-parallel equivalence holds structurally.
+    return _merge(config, [_run_shard(key, config) for key in _shard_keys(config)])

@@ -1,9 +1,17 @@
-"""Experiment registry and the common result container."""
+"""Experiment registry: runners, shard metadata, and the result container.
+
+Every paper table/figure registers a *runner* (``config -> ExperimentResult``).
+Runners whose work factors into independent pieces additionally register a
+:class:`ShardPlan` — the metadata the parallel campaign runtime
+(:mod:`repro.runtime`) uses to split one experiment into work units such as
+``(benchmark,)`` or ``(benchmark, board)`` shards and to merge the per-shard
+results back into the exact result a serial run would have produced.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.core.experiment import ExperimentConfig
 
@@ -14,6 +22,9 @@ class ExperimentResult:
 
     ``rows`` are table-shaped records; ``summary`` carries the headline
     scalars compared against the paper; ``notes`` records deviations.
+    ``merge_state`` is scratch data a shard hands to its plan's merge hook
+    (raw per-board landmark lists and the like); it is never rendered and
+    never cached.
     """
 
     experiment_id: str
@@ -21,6 +32,7 @@ class ExperimentResult:
     rows: list[dict] = field(default_factory=list)
     summary: dict = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    merge_state: dict = field(default_factory=dict)
 
     def render(self) -> str:
         from repro.analysis.tables import render_table
@@ -33,16 +45,53 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
-#: experiment id -> runner(config) -> ExperimentResult
-REGISTRY: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {}
+#: A runner computes one whole experiment at a given config.
+Runner = Callable[[ExperimentConfig], ExperimentResult]
 
 
-def register(experiment_id: str):
-    """Decorator adding a runner to the registry."""
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one experiment splits into independent work units.
 
-    def _wrap(func: Callable[[ExperimentConfig], ExperimentResult]):
-        if experiment_id in REGISTRY:
+    ``keys(config)`` enumerates the shard keys in their canonical (serial)
+    order; ``run(key, config)`` computes one shard; ``merge(config,
+    results)`` combines the shard results — given in key order — into the
+    experiment's full result.  Plans must keep the merge *exact*: the
+    merged result is required to be bit-identical to a serial run, which
+    is why the built-in plans shard along axes whose serial loop bodies
+    are independent (benchmarks, board samples) and keep the repeated
+    fault realizations of a measurement inside a single shard.
+    """
+
+    keys: Callable[[ExperimentConfig], Sequence[tuple]]
+    run: Callable[[tuple, ExperimentConfig], ExperimentResult]
+    merge: Callable[[ExperimentConfig, Sequence[ExperimentResult]], ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry record: the runner plus optional shard metadata."""
+
+    experiment_id: str
+    runner: Runner
+    shards: ShardPlan | None = None
+
+
+#: experiment id -> runner(config) -> ExperimentResult (legacy surface).
+REGISTRY: dict[str, Runner] = {}
+#: experiment id -> full spec (runner + shard plan).
+SPECS: dict[str, ExperimentSpec] = {}
+
+
+def register(experiment_id: str, *, shards: ShardPlan | None = None):
+    """Decorator adding a runner (and optional shard plan) to the registry."""
+
+    def _wrap(func: Runner):
+        if experiment_id in SPECS:
             raise ValueError(f"duplicate experiment id: {experiment_id}")
+        SPECS[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id, runner=func, shards=shards
+        )
         REGISTRY[experiment_id] = func
         return func
 
@@ -69,14 +118,18 @@ def _load_all() -> None:
     )
 
 
-def get_experiment(experiment_id: str) -> Callable[[ExperimentConfig], ExperimentResult]:
+def get_spec(experiment_id: str) -> ExperimentSpec:
     _load_all()
     try:
-        return REGISTRY[experiment_id]
+        return SPECS[experiment_id]
     except KeyError:
         raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+            f"unknown experiment {experiment_id!r}; known: {sorted(SPECS)}"
         ) from None
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    return get_spec(experiment_id).runner
 
 
 def run_experiment(
@@ -86,6 +139,23 @@ def run_experiment(
     return runner(config or ExperimentConfig())
 
 
+def run_unit(
+    experiment_id: str, shard_key: tuple | None, config: ExperimentConfig
+) -> ExperimentResult:
+    """Execute one work unit: a whole experiment or a single shard.
+
+    Top-level by design — worker processes receive only picklable
+    ``(experiment_id, shard_key, config)`` triples and resolve the
+    callable through the registry on their side.
+    """
+    spec = get_spec(experiment_id)
+    if shard_key is None:
+        return spec.runner(config)
+    if spec.shards is None:
+        raise ValueError(f"experiment {experiment_id!r} has no shard plan")
+    return spec.shards.run(tuple(shard_key), config)
+
+
 def list_experiments() -> list[str]:
     _load_all()
-    return sorted(REGISTRY)
+    return sorted(SPECS)

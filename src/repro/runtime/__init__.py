@@ -1,0 +1,57 @@
+"""Parallel campaign runtime with content-addressed result caching.
+
+The paper's methodology is a large repeated-sweep campaign: every headline
+number is an average over 10 fault-realization experiments per operating
+point, across five benchmarks and three board samples.  Serially that is
+minutes of simulator time per report; this package turns it into an
+embarrassingly parallel, cache-friendly workload:
+
+* :mod:`repro.runtime.hashing` — stable fingerprints of
+  ``(experiment_id, config, version)``; the cache key and the provenance
+  stamp EXPERIMENTS.md records per experiment.
+* :mod:`repro.runtime.cache` — an on-disk JSON store of experiment
+  results, corruption-tolerant and auditable by hand.
+* :mod:`repro.runtime.shards` — work-unit planning against the shard
+  metadata experiments register (per-benchmark, per-(benchmark, board)).
+* :mod:`repro.runtime.executor` — ``ProcessPoolExecutor`` fan-out with a
+  deterministic in-process serial path and automatic fallback.
+* :mod:`repro.runtime.campaign` — the orchestrator gluing the above
+  together, plus the named campaign sets the CLI exposes.
+
+Determinism contract: at a fixed seed, ``run_campaign(..., jobs=N)`` is
+bit-identical to ``jobs=1``, which is itself bit-identical to calling the
+runners directly — parallelism and caching are pure accelerations.
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from repro.runtime.campaign import (
+    DEFAULT_ORDER,
+    NAMED_CAMPAIGNS,
+    CampaignEntry,
+    CampaignOutcome,
+    resolve_campaign,
+    run_campaign,
+    run_sweep_campaign,
+)
+from repro.runtime.executor import TaskOutcome, run_tasks
+from repro.runtime.hashing import config_fingerprint
+from repro.runtime.shards import WorkUnit, merge_unit_results, plan_units
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_ORDER",
+    "NAMED_CAMPAIGNS",
+    "CacheStats",
+    "CampaignEntry",
+    "CampaignOutcome",
+    "ResultCache",
+    "TaskOutcome",
+    "WorkUnit",
+    "config_fingerprint",
+    "merge_unit_results",
+    "plan_units",
+    "resolve_campaign",
+    "run_campaign",
+    "run_sweep_campaign",
+    "run_tasks",
+]

@@ -1,0 +1,291 @@
+"""Campaign orchestration: cache consult, shard fan-out, deterministic merge.
+
+``run_campaign`` is the one entry point every consumer drives (the CLI's
+``run``/``report``/``campaign`` commands and
+:func:`repro.analysis.report.generate_report`).  For each requested
+experiment it:
+
+1. computes the content-addressed fingerprint of
+   ``(experiment_id, config, version)`` and consults the
+   :class:`~repro.runtime.cache.ResultCache` (if one is attached);
+2. plans the misses into :class:`~repro.runtime.shards.WorkUnit`\\ s —
+   whole experiments, or registry-declared shards when running parallel —
+   and fans the *combined* unit list of all experiments out over the
+   executor, so a campaign saturates ``--jobs`` workers even when its
+   experiments shard unevenly;
+3. merges shard results in canonical order (bit-identical to a serial
+   run), normalizes them through the cache's JSON codec, and stores them
+   back.
+
+The returned :class:`CampaignOutcome` keeps per-experiment provenance
+(fingerprint, cache hit/miss, aggregate shard wall time) for
+``EXPERIMENTS.md``'s run-metadata table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import ExperimentResult, get_spec, run_unit
+from repro.runtime.cache import ResultCache, normalize_result
+from repro.runtime.executor import TaskOutcome, run_tasks
+from repro.runtime.hashing import config_fingerprint
+from repro.runtime.shards import merge_unit_results, plan_units
+
+#: Canonical report order: tables first, then figures in paper order, then
+#: the extension studies.  Re-exported by :mod:`repro.analysis.report`.
+DEFAULT_ORDER = (
+    "table1",
+    "sec41",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablations",
+    "ext_mitigation",
+    "ext_bram",
+)
+
+#: Named experiment sets for ``repro-undervolt campaign <name>``.
+NAMED_CAMPAIGNS: dict[str, tuple[str, ...]] = {
+    "paper": DEFAULT_ORDER,
+    "tables": ("table1", "table2"),
+    "figures": (
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+    ),
+    "extensions": ("ablations", "ext_mitigation", "ext_bram"),
+}
+
+
+def _all_experiments_in_report_order() -> tuple[str, ...]:
+    from repro.experiments.registry import list_experiments
+
+    known = list_experiments()
+    ordered = [e for e in DEFAULT_ORDER if e in known]
+    return tuple(ordered + sorted(set(known) - set(ordered)))
+
+
+def resolve_campaign(targets: Sequence[str]) -> tuple[str, ...]:
+    """Map CLI campaign targets to experiment ids.
+
+    Each target may be a campaign-set name (``paper``, ``tables``, ...),
+    ``all``, or an explicit experiment id; sets expand in place and
+    duplicates collapse, so names and ids mix freely.
+    """
+    ids: list[str] = []
+    for target in targets:
+        if target == "all":
+            expansion: Sequence[str] = _all_experiments_in_report_order()
+        elif target in NAMED_CAMPAIGNS:
+            expansion = NAMED_CAMPAIGNS[target]
+        else:
+            expansion = (target,)
+        for exp_id in expansion:
+            if exp_id not in ids:
+                ids.append(exp_id)
+    return tuple(ids)
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """Provenance of one experiment inside a campaign run."""
+
+    experiment_id: str
+    fingerprint: str
+    result: ExperimentResult
+    cache_hit: bool
+    #: Aggregate compute wall time (s): sum of this experiment's shard
+    #: times for a fresh run, the recorded compute time for a cache hit.
+    wall_s: float
+    n_shards: int
+    worker: str  # "cache" | "serial" | "pool" | "serial-fallback"
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Everything a campaign run produced, in requested order."""
+
+    entries: tuple[CampaignEntry, ...]
+    config: ExperimentConfig
+    jobs: int
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [e.result for e in self.entries]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.entries if e.cache_hit)
+
+    @property
+    def computed(self) -> int:
+        return len(self.entries) - self.cache_hits
+
+    def entry(self, experiment_id: str) -> CampaignEntry:
+        for e in self.entries:
+            if e.experiment_id == experiment_id:
+                return e
+        raise KeyError(f"no campaign entry for {experiment_id!r}")
+
+
+#: One cacheable request: its cache/unit id, a thunk producing the
+#: executor tasks, and a merge over the per-task results.
+_Request = tuple[str, Callable[[], list], Callable[[list], ExperimentResult]]
+
+
+def _execute_cached(
+    requests: Sequence[_Request],
+    config: ExperimentConfig,
+    jobs: int,
+    cache: ResultCache | None,
+) -> list[CampaignEntry]:
+    """The shared cache-consult / fan-out / merge / store sequence.
+
+    Both campaign kinds (registry experiments and board sweeps) reduce to
+    this: tasks from *all* cache misses run through one executor pass, so
+    the pool stays saturated across request boundaries, and every entry
+    records the same provenance either way.
+    """
+    entries: dict[str, CampaignEntry] = {}
+    pending: list[tuple[str, str, list, Callable]] = []
+    for unit_id, make_tasks, merge in requests:
+        fingerprint = config_fingerprint(unit_id, config)
+        hit = cache.load(fingerprint, unit_id) if cache is not None else None
+        if hit is not None:
+            entries[unit_id] = CampaignEntry(
+                experiment_id=unit_id,
+                fingerprint=fingerprint,
+                result=hit.result,
+                cache_hit=True,
+                wall_s=hit.wall_s,
+                n_shards=0,
+                worker="cache",
+            )
+        else:
+            pending.append((unit_id, fingerprint, make_tasks(), merge))
+
+    flat = [task for _, _, tasks, _ in pending for task in tasks]
+    outcomes: list[TaskOutcome] = run_tasks(flat, jobs=jobs)
+
+    cursor = 0
+    for unit_id, fingerprint, tasks, merge in pending:
+        mine = outcomes[cursor:cursor + len(tasks)]
+        cursor += len(tasks)
+        merged = normalize_result(merge([o.value for o in mine]))
+        wall_s = sum(o.wall_s for o in mine)
+        if cache is not None:
+            cache.store(fingerprint, unit_id, config, merged, wall_s)
+        entries[unit_id] = CampaignEntry(
+            experiment_id=unit_id,
+            fingerprint=fingerprint,
+            result=merged,
+            cache_hit=False,
+            wall_s=wall_s,
+            n_shards=len(tasks),
+            worker=mine[0].worker if mine else "serial",
+        )
+    return [entries[unit_id] for unit_id, _, _ in requests]
+
+
+def run_campaign(
+    experiment_ids: Iterable[str],
+    config: ExperimentConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    shard: bool = True,
+) -> CampaignOutcome:
+    """Run a set of experiments, reusing cached results where possible."""
+    config = config or ExperimentConfig()
+    jobs = max(1, int(jobs))
+    ids: list[str] = []
+    for exp_id in experiment_ids:
+        if exp_id not in ids:
+            ids.append(exp_id)
+    for exp_id in ids:
+        get_spec(exp_id)  # fail fast on unknown ids, before touching cache
+
+    def request_for(exp_id: str) -> _Request:
+        def make_tasks() -> list:
+            # Sharding only pays when there is a pool to spread shards
+            # over; the serial path keeps the historical
+            # one-call-per-experiment shape by construction.
+            units = plan_units(exp_id, config, shard=shard and jobs > 1)
+            return [
+                (run_unit, (u.experiment_id, u.shard_key, config)) for u in units
+            ]
+
+        def merge(results: list) -> ExperimentResult:
+            units = plan_units(exp_id, config, shard=shard and jobs > 1)
+            return merge_unit_results(exp_id, config, units, results)
+
+        return exp_id, make_tasks, merge
+
+    entries = _execute_cached([request_for(e) for e in ids], config, jobs, cache)
+    return CampaignOutcome(entries=tuple(entries), config=config, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Voltage-sweep campaigns (the CLI's ``sweep`` command).
+# ----------------------------------------------------------------------
+
+
+def sweep_unit_id(benchmark: str, board_sample: int) -> str:
+    """Pseudo experiment id keying one sweep in the result cache."""
+    return f"sweep:{benchmark}:board{board_sample}"
+
+
+def run_sweep_unit(
+    benchmark: str, board_sample: int, config: ExperimentConfig
+) -> ExperimentResult:
+    """One full Vnom-to-crash sweep, packaged as an ExperimentResult."""
+    from repro.core.session import make_session
+    from repro.core.undervolt import VoltageSweep
+    from repro.fpga.board import make_board
+
+    board = make_board(sample=board_sample, cal=config.cal)
+    session = make_session(board, benchmark, config)
+    sweep = VoltageSweep(session, config).run()
+    return ExperimentResult(
+        experiment_id=sweep_unit_id(benchmark, board_sample),
+        title=f"sweep: {benchmark} on board {board_sample}",
+        rows=[p.measurement.as_dict() for p in sweep.points],
+        summary={"crash_mv": sweep.crash_mv},
+    )
+
+
+def run_sweep_campaign(
+    benchmark: str,
+    boards: Sequence[int],
+    config: ExperimentConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> CampaignOutcome:
+    """Sweep one benchmark on several boards, cached and fanned out."""
+    config = config or ExperimentConfig()
+    jobs = max(1, int(jobs))
+
+    def request_for(board: int) -> _Request:
+        return (
+            sweep_unit_id(benchmark, board),
+            lambda: [(run_sweep_unit, (benchmark, board, config))],
+            lambda results: results[0],
+        )
+
+    entries = _execute_cached(
+        [request_for(b) for b in boards], config, jobs, cache
+    )
+    return CampaignOutcome(entries=tuple(entries), config=config, jobs=jobs)

@@ -1,0 +1,70 @@
+"""Task execution: process-pool fan-out with a deterministic serial path.
+
+``run_tasks`` takes ``(callable, args)`` pairs — the callables must be
+top-level functions so they pickle by reference — and returns their timed
+outcomes *in input order*, regardless of completion order.  That ordering
+guarantee is what lets the shard mergers upstream reproduce serial
+floating-point behaviour exactly.
+
+With ``jobs <= 1`` (or a single task) everything runs in-process; seeded
+results are therefore bit-identical to the historical serial loop.  If the
+platform refuses to give us a process pool (sandboxes, missing semaphores)
+or the pool dies mid-flight, the executor falls back to the serial path
+and records the degradation in each outcome's ``worker`` field rather than
+failing the campaign.  Genuine task exceptions still propagate.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+Task = tuple[Callable[..., Any], tuple]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One finished task: its return value, wall time, and where it ran."""
+
+    value: Any
+    wall_s: float
+    worker: str  # "serial" | "pool" | "serial-fallback"
+
+
+def _timed_call(fn: Callable[..., Any], args: tuple, worker: str) -> TaskOutcome:
+    started = time.perf_counter()
+    value = fn(*args)
+    return TaskOutcome(value=value, wall_s=time.perf_counter() - started, worker=worker)
+
+
+def _run_serial(tasks: Sequence[Task], worker: str) -> list[TaskOutcome]:
+    return [_timed_call(fn, args, worker) for fn, args in tasks]
+
+
+def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> list[TaskOutcome]:
+    """Run every task, returning outcomes in input order."""
+    tasks = list(tasks)
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(tasks) <= 1:
+        return _run_serial(tasks, "serial")
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (OSError, PermissionError, NotImplementedError, ValueError):
+        # No pool to be had (fork bans, missing /dev/shm, resource
+        # limits).  Every unit is a pure function of its arguments, so
+        # running serially is safe.
+        return _run_serial(tasks, "serial-fallback")
+    try:
+        with pool:
+            futures = [
+                pool.submit(_timed_call, fn, args, "pool") for fn, args in tasks
+            ]
+            # Only a dead pool triggers the serial fallback; an exception
+            # raised *by a task* propagates unchanged (it is deterministic
+            # and would fail serially too).
+            return [f.result() for f in futures]
+    except BrokenProcessPool:
+        return _run_serial(tasks, "serial-fallback")

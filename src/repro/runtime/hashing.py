@@ -1,0 +1,62 @@
+"""Content-addressed fingerprints for campaign work.
+
+The result cache and the campaign orchestrator identify an experiment run
+by a stable hash of the experiment id, every
+:class:`~repro.core.experiment.ExperimentConfig` field (calibration
+constants included), and the library version.  For a given codebase, two
+runs with the same fingerprint produce bit-identical
+:class:`~repro.experiments.registry.ExperimentResult` payloads, which is
+what makes it safe for ``repro-undervolt report`` to reuse cached rows.
+
+The fingerprint deliberately does NOT hash source code: the library
+version stands in for it.  After changing experiment or simulator code,
+bump ``repro.version`` (any release does) or run with the cache disabled;
+otherwise a warm cache keeps serving pre-change results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.experiment import ExperimentConfig
+
+#: Hex digits kept from the sha256 digest; 16 nibbles = 64 bits, far past
+#: collision risk for the handful of configs a repository ever sees.
+FINGERPRINT_LEN = 16
+
+
+def _jsonable(value):
+    """Fallback encoder for numpy scalars/arrays hiding in config fields."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as arrays."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def current_version() -> str:
+    """The library version, read at call time (tests monkeypatch it)."""
+    import repro.version
+
+    return repro.version.__version__
+
+
+def config_fingerprint(
+    experiment_id: str,
+    config: ExperimentConfig,
+    version: str | None = None,
+) -> str:
+    """Stable hex fingerprint of ``(experiment_id, config, version)``."""
+    payload = {
+        "experiment_id": experiment_id,
+        "config": config.as_dict(),
+        "version": current_version() if version is None else version,
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_LEN]

@@ -1,0 +1,160 @@
+"""Result-cache tests: round-trip, invalidation, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments.registry import ExperimentResult
+from repro.runtime.cache import (
+    CacheHit,
+    ResultCache,
+    normalize_result,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.runtime.hashing import config_fingerprint
+
+CFG = ExperimentConfig(repeats=1, samples=16)
+
+
+def sample_result(exp_id: str = "demo") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=exp_id,
+        title="demo experiment",
+        rows=[{"benchmark": "vggnet", "vmin_mv": 570.0, "n": 3}],
+        summary={"vmin_mean_mv": 570.0, "crash_mv": None},
+        notes=["a note"],
+        merge_state={"scratch": [1.0]},
+    )
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+class TestPayloadCodec:
+    def test_round_trip_preserves_rendering(self):
+        result = sample_result()
+        back = result_from_payload(result_to_payload(result))
+        assert back.render() == result.render()
+        assert back.rows == result.rows
+        assert back.summary == result.summary
+        assert back.notes == result.notes
+
+    def test_merge_state_is_not_cached(self):
+        payload = result_to_payload(sample_result())
+        assert "merge_state" not in payload
+        assert result_from_payload(payload).merge_state == {}
+
+    def test_round_trip_preserves_key_order(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="t",
+            rows=[{"zeta": 1, "alpha": 2, "mid": 3}],
+            summary={"z_last": 1, "a_first": 2},
+        )
+        back = normalize_result(result)
+        assert list(back.rows[0]) == ["zeta", "alpha", "mid"]
+        assert list(back.summary) == ["z_last", "a_first"]
+
+    def test_normalize_converts_numpy_scalars(self):
+        import numpy as np
+
+        result = sample_result()
+        result.rows[0]["vmin_mv"] = np.float64(570.25)
+        result.summary["n_points"] = np.int64(12)
+        normalized = normalize_result(result)
+        assert type(normalized.rows[0]["vmin_mv"]) is float
+        assert type(normalized.summary["n_points"]) is int
+        assert normalized.rows[0]["vmin_mv"] == 570.25
+
+
+class TestStoreLoad:
+    def test_miss_then_hit(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        assert cache.load(fp, "demo") is None
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=1.25)
+        hit = cache.load(fp, "demo")
+        assert isinstance(hit, CacheHit)
+        assert hit.wall_s == 1.25
+        assert hit.result.rows == sample_result().rows
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
+
+    def test_config_change_is_a_miss(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        other = config_fingerprint("demo", CFG.with_overrides(samples=32))
+        assert other != fp
+        assert cache.load(other, "demo") is None
+
+    def test_version_change_is_a_miss(self, cache, monkeypatch):
+        import repro.version
+
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        monkeypatch.setattr(repro.version, "__version__", "999.0.0")
+        assert cache.load(config_fingerprint("demo", CFG), "demo") is None
+
+    def test_mismatched_result_id_refused(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        with pytest.raises(ValueError):
+            cache.store(fp, "demo", CFG, sample_result("other"), wall_s=0.1)
+
+    def test_entry_is_plain_auditable_json(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        path = cache.store(fp, "demo", CFG, sample_result(), wall_s=0.5)
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "demo"
+        assert payload["fingerprint"] == fp
+        assert payload["config"]["samples"] == CFG.samples
+        assert payload["result"]["rows"] == sample_result().rows
+
+    def test_cache_dir_ignores_itself(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        assert (cache.root / ".gitignore").read_text() == "*\n"
+
+    def test_invalidate(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        assert cache.invalidate(fp)
+        assert not cache.invalidate(fp)
+        assert cache.load(fp, "demo") is None
+
+
+class TestCorruptionRecovery:
+    def test_garbage_bytes_treated_as_miss_and_deleted(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        path = cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        path.write_text("{not json at all")
+        assert cache.load(fp, "demo") is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+        # and the slot is reusable
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.2)
+        assert cache.load(fp, "demo").wall_s == 0.2
+
+    def test_schema_drift_treated_as_miss(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        path = cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        payload = json.loads(path.read_text())
+        del payload["result"]["rows"]
+        path.write_text(json.dumps(payload))
+        assert cache.load(fp, "demo") is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_experiment_id_treated_as_corrupt(self, cache):
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        assert cache.load(fp, "something-else") is None
+        assert cache.stats.corrupt == 1
+
+    def test_entries_listing(self, cache):
+        assert cache.entries() == []
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        assert [p.stem for p in cache.entries()] == [fp]

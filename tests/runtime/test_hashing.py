@@ -1,0 +1,65 @@
+"""Fingerprint stability and sensitivity tests."""
+
+import pytest
+
+import repro.version
+from repro.core.experiment import ExperimentConfig
+from repro.runtime.hashing import FINGERPRINT_LEN, config_fingerprint
+
+
+class TestStability:
+    def test_same_inputs_same_fingerprint(self):
+        a = config_fingerprint("fig3", ExperimentConfig())
+        b = config_fingerprint("fig3", ExperimentConfig())
+        assert a == b
+        assert len(a) == FINGERPRINT_LEN
+        int(a, 16)  # hex
+
+    def test_equal_configs_built_differently(self):
+        base = ExperimentConfig(seed=7, repeats=2)
+        rebuilt = ExperimentConfig().with_overrides(seed=7, repeats=2)
+        assert config_fingerprint("t", base) == config_fingerprint("t", rebuilt)
+
+
+class TestSensitivity:
+    BASE = ExperimentConfig()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 2021},
+            {"repeats": 4},
+            {"samples": 32},
+            {"v_step": 0.010},
+            {"width_scale": 0.5},
+            {"accuracy_tolerance": 0.02},
+        ],
+    )
+    def test_every_config_knob_changes_the_key(self, override):
+        changed = self.BASE.with_overrides(**override)
+        assert config_fingerprint("fig3", changed) != config_fingerprint(
+            "fig3", self.BASE
+        )
+
+    def test_calibration_override_changes_the_key(self):
+        changed = self.BASE.with_overrides(
+            cal=self.BASE.cal.with_overrides(p_total_vnom=13.0)
+        )
+        assert config_fingerprint("fig3", changed) != config_fingerprint(
+            "fig3", self.BASE
+        )
+
+    def test_experiment_id_changes_the_key(self):
+        assert config_fingerprint("fig3", self.BASE) != config_fingerprint(
+            "fig4", self.BASE
+        )
+
+    def test_version_changes_the_key(self, monkeypatch):
+        before = config_fingerprint("fig3", self.BASE)
+        monkeypatch.setattr(repro.version, "__version__", "999.0.0")
+        assert config_fingerprint("fig3", self.BASE) != before
+
+    def test_explicit_version_argument(self):
+        assert config_fingerprint(
+            "fig3", self.BASE, version="1.0.0"
+        ) != config_fingerprint("fig3", self.BASE, version="2.0.0")

@@ -55,3 +55,102 @@ class TestParser:
     def test_unknown_experiment_fails_loudly(self):
         with pytest.raises(KeyError):
             main(["run", "fig99"])
+
+
+class TestConfigFlags:
+    def test_config_knobs_reach_the_experiment_config(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(
+            [
+                "run", "sec41",
+                "--seed", "7", "--repeats", "2", "--samples", "32",
+                "--v-step", "0.01", "--width-scale", "0.5",
+                "--accuracy-tolerance", "0.02",
+            ]
+        )
+        config = _config_from_args(args)
+        assert config.seed == 7
+        assert config.repeats == 2
+        assert config.samples == 32
+        assert config.v_step == 0.01
+        assert config.width_scale == 0.5
+        assert config.accuracy_tolerance == 0.02
+
+    def test_defaults_match_experiment_config(self):
+        from repro.cli import _config_from_args
+        from repro.core.experiment import ExperimentConfig
+
+        args = build_parser().parse_args(["run", "sec41"])
+        defaults = ExperimentConfig()
+        config = _config_from_args(args)
+        assert config.v_step == defaults.v_step
+        assert config.width_scale == defaults.width_scale
+        assert config.accuracy_tolerance == defaults.accuracy_tolerance
+
+    def test_every_campaign_command_has_runtime_flags(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "sec41"],
+            ["sweep", "vggnet"],
+            ["report"],
+            ["campaign", "tables"],
+        ):
+            args = parser.parse_args(argv + ["--jobs", "3", "--no-cache"])
+            assert args.jobs == 3 and args.no_cache
+
+
+class TestRuntimeCommands:
+    def test_run_with_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "run", "sec41", "--repeats", "1", "--samples", "16",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "sec41" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hit" in warm
+
+    def test_sweep_all_boards(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep", "vggnet", "--board", "all", "--repeats", "1",
+                "--samples", "16", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "board 0" in out and "board 1" in out and "board 2" in out
+
+    def test_campaign_named_set(self, capsys, tmp_path):
+        code = main(
+            [
+                "campaign", "tables", "--repeats", "1", "--samples", "16",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "campaign.md"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table2" in out
+        assert "campaign: 2 experiments" in out
+        text = (tmp_path / "campaign.md").read_text()
+        assert "## table1" in text and "## table2" in text
+
+    def test_sweep_invalid_board_is_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["sweep", "vggnet", "--board", "two"])
+        assert exc.value.code == 2
+        assert "expected a board index or 'all'" in capsys.readouterr().err
+
+    def test_campaign_explicit_ids_no_cache(self, capsys):
+        code = main(
+            ["campaign", "sec41", "--repeats", "1", "--samples", "16",
+             "--no-cache"]
+        )
+        assert code == 0
+        assert "sec41" in capsys.readouterr().out

@@ -72,6 +72,12 @@ PUBLIC_MODULES = [
     "repro.analysis.expectations",
     "repro.experiments",
     "repro.experiments.registry",
+    "repro.runtime",
+    "repro.runtime.hashing",
+    "repro.runtime.cache",
+    "repro.runtime.shards",
+    "repro.runtime.executor",
+    "repro.runtime.campaign",
     "repro.cli",
 ]
 
