@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares a fresh pytest-benchmark JSON report against the committed
+baseline (``benchmarks/baselines/ci.json``) and exits non-zero when:
+
+* any benchmark's median regresses more than the baseline's tolerance
+  (default 25%) against its recorded median, or
+* any configured speedup gate fails — e.g. the repeats=10 measurement
+  path must stay >=3x faster in batched repeat mode than in the
+  per-repeat loop.  Speedup gates are ratios between two benchmarks from
+  the *same* run, so they hold on any hardware.
+
+Benchmarks present in only one of the two files are reported but do not
+fail the gate (new benchmarks land before their baseline; removed ones
+are cleaned up by ``scripts/update_bench_baseline.py``).
+
+Usage::
+
+    pytest benchmarks/bench_micro.py benchmarks/bench_runtime.py \
+        --benchmark-json=bench.json
+    python scripts/check_bench_regression.py bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "ci.json"
+
+
+def load_medians(report: dict) -> dict[str, float]:
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def check(report: dict, baseline: dict, tolerance: float | None = None) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    tol = baseline.get("tolerance", 0.25) if tolerance is None else tolerance
+    medians = load_medians(report)
+    recorded = baseline.get("medians_s", {})
+
+    # Absolute medians only transfer between identical hosts.  On a
+    # different machine the median comparison is reported but advisory —
+    # the speedup gates below are ratios within this run and always hold.
+    machine = report.get("machine_info", {}).get("node", "unknown")
+    base_machine = baseline.get("machine", "unknown")
+    same_machine = machine == base_machine and machine != "unknown"
+    if not same_machine:
+        print(
+            f"note: baseline recorded on {base_machine!r}, this run is "
+            f"{machine!r} — median comparisons are advisory; run "
+            "scripts/update_bench_baseline.py on this hardware to arm them"
+        )
+
+    for name, base in sorted(recorded.items()):
+        fresh = medians.get(name)
+        if fresh is None:
+            print(f"note: baseline benchmark not in this run: {name}")
+            continue
+        ratio = fresh / base if base else float("inf")
+        status = "ok"
+        if fresh > base * (1.0 + tol):
+            message = (
+                f"{name}: median {fresh * 1000:.2f} ms vs baseline "
+                f"{base * 1000:.2f} ms (+{(ratio - 1) * 100:.0f}%, "
+                f"tolerance {tol * 100:.0f}%)"
+            )
+            if same_machine:
+                status = "REGRESSION"
+                failures.append(message)
+            else:
+                status = "advisory"
+                print(f"note: off-baseline-machine regression: {message}")
+        print(f"{status:>10}  {name}: {fresh * 1000:.2f} ms "
+              f"(baseline {base * 1000:.2f} ms, x{ratio:.2f})")
+    for name in sorted(set(medians) - set(recorded)):
+        print(f"note: no baseline for {name} "
+              "(run scripts/update_bench_baseline.py to record one)")
+
+    for gate in baseline.get("speedup_gates", []):
+        fast, slow = medians.get(gate["fast"]), medians.get(gate["slow"])
+        if fast is None or slow is None:
+            failures.append(
+                f"speedup gate needs both benchmarks in the run: "
+                f"{gate['fast']} and {gate['slow']}"
+            )
+            continue
+        ratio = slow / fast if fast else float("inf")
+        needed = gate["min_ratio"]
+        verdict = "ok" if ratio >= needed else "FAILED"
+        print(f"{verdict:>10}  speedup {gate['slow'].split('::')[-1]} / "
+              f"{gate['fast'].split('::')[-1]} = {ratio:.2f}x "
+              f"(required >= {needed}x)")
+        if ratio < needed:
+            failures.append(
+                f"speedup gate failed: {ratio:.2f}x < {needed}x "
+                f"({gate.get('why', '')})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline's median-regression tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(pathlib.Path(args.report).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = check(report, baseline, args.tolerance)
+    if failures:
+        print("\nbenchmark gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

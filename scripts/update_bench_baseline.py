@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate the committed CI benchmark baseline.
+
+Runs the gated benchmark files (``benchmarks/bench_micro.py`` and
+``benchmarks/bench_runtime.py``) under pytest-benchmark, distills the
+per-benchmark median timings into ``benchmarks/baselines/ci.json``, and
+preserves the gate configuration (regression tolerance and the batched
+-over-loop speedup requirements).
+
+Run it on the reference CI hardware whenever the gated benchmarks change
+shape or the expected performance legitimately moves::
+
+    PYTHONPATH=src python scripts/update_bench_baseline.py
+
+``scripts/check_bench_regression.py`` compares fresh results against this
+file and fails CI on a >25% median regression or a broken speedup gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baselines" / "ci.json"
+BENCH_FILES = ["benchmarks/bench_micro.py", "benchmarks/bench_runtime.py"]
+
+#: Gate configuration carried into the baseline file.  The speedup gates
+#: are hardware-independent ratios; the medians are hardware-specific and
+#: refreshed by this script.
+DEFAULT_TOLERANCE = 0.25
+SPEEDUP_GATES = [
+    {
+        "fast": "benchmarks/bench_micro.py::test_measurement_repeats10_batched",
+        "slow": "benchmarks/bench_micro.py::test_measurement_repeats10_loop",
+        "min_ratio": 3.0,
+        "why": "repeats=10 measurement path: batched repeat mode must stay "
+               ">=3x faster than the per-repeat loop at the Vmin edge",
+    }
+]
+
+
+def run_benchmarks(json_path: pathlib.Path, bench_files: list[str]) -> None:
+    cmd = [
+        sys.executable, "-m", "pytest", *bench_files,
+        "-q", f"--benchmark-json={json_path}",
+    ]
+    print("+", " ".join(cmd))
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT)
+
+
+def medians_from_report(report: dict) -> dict[str, float]:
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--from-json",
+        help="distill an existing pytest-benchmark JSON report instead of "
+             "running the benchmarks",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"median regression tolerance (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument("--out", default=str(BASELINE_PATH))
+    args = parser.parse_args(argv)
+
+    if args.from_json:
+        report = json.loads(pathlib.Path(args.from_json).read_text())
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            json_path = pathlib.Path(tmp) / "bench.json"
+            run_benchmarks(json_path, BENCH_FILES)
+            report = json.loads(json_path.read_text())
+
+    medians = medians_from_report(report)
+    if not medians:
+        print("no benchmarks in report; refusing to write an empty baseline")
+        return 1
+    baseline = {
+        "generated_with": "scripts/update_bench_baseline.py",
+        "machine": report.get("machine_info", {}).get("node", "unknown"),
+        "tolerance": args.tolerance,
+        "speedup_gates": SPEEDUP_GATES,
+        "medians_s": dict(sorted(medians.items())),
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(medians)} benchmark medians)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ Examples::
 Every campaign-shaped command accepts ``--jobs`` (process fan-out),
 ``--cache-dir``/``--no-cache`` (the content-addressed result cache), and
 the full set of :class:`~repro.core.experiment.ExperimentConfig` knobs
-(``--v-step``, ``--width-scale``, ``--accuracy-tolerance``).
+(``--v-step``, ``--width-scale``, ``--accuracy-tolerance``,
+``--repeat-mode``, ``--batch-budget``).
 """
 
 from __future__ import annotations
@@ -34,6 +35,8 @@ def _config_from_args(args):
         v_step=args.v_step,
         width_scale=args.width_scale,
         accuracy_tolerance=args.accuracy_tolerance,
+        repeat_mode=args.repeat_mode,
+        batch_budget=args.batch_budget,
     )
 
 
@@ -79,6 +82,20 @@ def _add_config_flags(parser, *, repeats: int, samples: int) -> None:
         default=defaults.accuracy_tolerance,
         help="absolute accuracy-loss tolerance defining 'no loss' "
              f"(default {defaults.accuracy_tolerance})",
+    )
+    parser.add_argument(
+        "--repeat-mode", dest="repeat_mode",
+        choices=["batched", "loop"], default=defaults.repeat_mode,
+        help="fault-realization execution: 'batched' stacks all repeats "
+             "into one vectorized forward pass, 'loop' re-runs per repeat; "
+             f"results are bit-identical (default {defaults.repeat_mode})",
+    )
+    parser.add_argument(
+        "--batch-budget", dest="batch_budget", type=int,
+        default=defaults.batch_budget,
+        help="max stacked inferences per batched forward pass; larger "
+             "repeat sets chunk along the repeat axis "
+             f"(default {defaults.batch_budget})",
     )
 
 

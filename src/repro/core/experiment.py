@@ -16,6 +16,16 @@ from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.rng import SeedBank
 
 
+#: Valid values of :attr:`ExperimentConfig.repeat_mode`.
+REPEAT_MODES = ("batched", "loop")
+
+#: Config fields that select *how* measurements are computed, never *what*
+#: they are: both repeat modes produce bit-identical Measurements, so these
+#: knobs are excluded from the result-cache fingerprint (see
+#: :func:`repro.runtime.hashing.config_fingerprint`).
+EXECUTION_FIELDS = ("repeat_mode", "batch_budget")
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by every campaign."""
@@ -32,6 +42,14 @@ class ExperimentConfig:
     #: Voltage sweep step (V); the paper uses 5 mV.
     v_step: float = 0.005
     cal: Calibration = DEFAULT_CALIBRATION
+    #: How repeats execute: "batched" stacks all R fault realizations into
+    #: one forward pass; "loop" re-runs the pass per repeat (the historical
+    #: path).  Results are bit-identical either way.
+    repeat_mode: str = "batched"
+    #: Stacked-batch memory budget: max inferences per forward pass.  When
+    #: ``repeats * samples`` exceeds it, batched runs chunk along the
+    #: repeat axis (chunking never changes results, only peak memory).
+    batch_budget: int = 4096
 
     def __post_init__(self):
         if self.repeats < 1:
@@ -42,6 +60,14 @@ class ExperimentConfig:
             raise CampaignError(f"v_step must be positive, got {self.v_step}")
         if not 0.0 <= self.accuracy_tolerance < 1.0:
             raise CampaignError("accuracy_tolerance must be in [0, 1)")
+        if self.repeat_mode not in REPEAT_MODES:
+            raise CampaignError(
+                f"repeat_mode must be one of {REPEAT_MODES}, got {self.repeat_mode!r}"
+            )
+        if self.batch_budget < 1:
+            raise CampaignError(
+                f"batch_budget must be >= 1, got {self.batch_budget}"
+            )
 
     @property
     def seeds(self) -> SeedBank:
@@ -51,13 +77,23 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
     def as_dict(self) -> dict:
-        """Every field as plain data (nested :class:`Calibration` included).
+        """Every field as plain data (nested :class:`Calibration` included)."""
+        return asdict(self)
+
+    def semantic_dict(self) -> dict:
+        """The fields that determine measurement *values*.
 
         This is the serialization the runtime's content-addressed result
-        cache hashes: any change to any knob — including a calibration
-        override — changes the dict and therefore the cache key.
+        cache hashes: any change to any semantic knob — including a
+        calibration override — changes the dict and therefore the cache
+        key.  Execution-only knobs (:data:`EXECUTION_FIELDS`) are dropped,
+        because batched and loop repeat modes produce bit-identical
+        results — switching modes must keep warm caches valid.
         """
-        return asdict(self)
+        payload = asdict(self)
+        for name in EXECUTION_FIELDS:
+            payload.pop(name, None)
+        return payload
 
 
 #: Configuration matching the paper's methodology (10 repeats).

@@ -4,24 +4,46 @@ The session reproduces the paper's measurement loop (Figure 1): program
 VCCINT over PMBus, run the benchmark on the DPU, read accuracy from the
 classifier output and power/temperature back over PMBus, repeat N times
 with independent fault realizations, and average.
+
+The repeats execute either as the historical per-repeat loop or — the
+default — batched through the copy-on-divergence executor
+(``ExperimentConfig.repeat_mode``); both consume the same per-repeat RNG
+streams and produce bit-identical Measurements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from statistics import mean, pstdev
 
 import numpy as np
 
 from repro.dpu.config import Deployment
 from repro.dpu.engine import DPUEngine
-from repro.errors import BoardHangError
-from repro.core.experiment import ExperimentConfig
+from repro.errors import BoardHangError, CampaignError
+from repro.core.experiment import ExperimentConfig, REPEAT_MODES
 from repro.faults.model import FaultRateModel
 from repro.fpga.board import ZCU102Board
 from repro.fpga.variation import workload_vcrash_offset_v, workload_vmin_jitter_v
 from repro.models.zoo import Workload, build as build_workload
 from repro.rng import SeedBank
+
+
+def reduce_repeats(accuracies: list[float], faults: list[int]) -> dict:
+    """Vectorized per-point reduction over fault realizations.
+
+    One code path serves both repeat modes, so ``repeat_mode="batched"``
+    and ``"loop"`` cannot drift apart: whatever produced the per-repeat
+    lists, the mean/std/min reduction is this exact float64 computation.
+    ``accuracy_std`` is the population standard deviation (the paper
+    averages a fixed set of 10 runs, not a sample of a larger one).
+    """
+    acc = np.asarray(accuracies, dtype=np.float64)
+    return {
+        "accuracy": float(acc.mean()),
+        "accuracy_std": float(acc.std()) if acc.size > 1 else 0.0,
+        "accuracy_min": float(acc.min()),
+        "faults_per_run": float(np.mean(faults)),
+    }
 
 
 @dataclass(frozen=True)
@@ -122,8 +144,15 @@ class AcceleratorSession:
         vccint_mv: float,
         f_mhz: float | None = None,
         repeats: int | None = None,
+        repeat_mode: str | None = None,
     ) -> Measurement:
         """Measure one operating point, averaged over fault realizations.
+
+        ``repeat_mode`` overrides the config's: ``"batched"`` stacks all
+        fault realizations into one forward pass (chunked to the config's
+        ``batch_budget``), ``"loop"`` re-runs the pass per repeat.  Both
+        modes consume identical per-repeat RNG streams and produce
+        bit-identical Measurements.
 
         Raises :class:`BoardHangError` if the point is below this board's
         crash voltage (after latching the hang, as the real board would).
@@ -131,6 +160,11 @@ class AcceleratorSession:
         v = vccint_mv / 1000.0
         f_mhz = self.board.cal.f_default_mhz if f_mhz is None else f_mhz
         repeats = self.config.repeats if repeats is None else repeats
+        mode = self.config.repeat_mode if repeat_mode is None else repeat_mode
+        if mode not in REPEAT_MODES:
+            raise CampaignError(
+                f"repeat_mode must be one of {REPEAT_MODES}, got {mode!r}"
+            )
 
         self.board.set_vccint(v)
         self.board.set_clock_mhz(f_mhz)
@@ -151,14 +185,29 @@ class AcceleratorSession:
             and p_op > 0.0
         )
 
-        accuracies: list[float] = []
-        faults: list[int] = []
+        # Fault-free points are deterministic: one realization suffices,
+        # and both modes take the same single-run shortcut.
         effective_repeats = repeats if (p_op > 0.0 or collapse) else 1
-        for r in range(effective_repeats):
-            rng = self._seeds.rng(f"faults/v{vccint_mv:.1f}/f{f_mhz:.0f}/r{r}")
-            outcome = self.engine.run(p_op, f_mhz, rng=rng, control_collapse=collapse)
-            accuracies.append(outcome.accuracy)
-            faults.append(outcome.faults_injected)
+        rngs = [
+            self._seeds.rng(f"faults/v{vccint_mv:.1f}/f{f_mhz:.0f}/r{r}")
+            for r in range(effective_repeats)
+        ]
+        if mode == "batched" and effective_repeats > 1:
+            outcomes = self.engine.run_batched(
+                p_op,
+                f_mhz,
+                rngs,
+                control_collapse=collapse,
+                max_stacked=self.config.batch_budget,
+            )
+        else:
+            outcomes = [
+                self.engine.run(p_op, f_mhz, rng=rng, control_collapse=collapse)
+                for rng in rngs
+            ]
+        stats = reduce_repeats(
+            [o.accuracy for o in outcomes], [o.faults_injected for o in outcomes]
+        )
 
         perf = self.engine.perf_model.report(f_mhz)
         return Measurement(
@@ -168,15 +217,12 @@ class AcceleratorSession:
             vccint_v=v,
             f_mhz=f_mhz,
             temperature_c=t_c,
-            accuracy=mean(accuracies),
-            accuracy_std=pstdev(accuracies) if len(accuracies) > 1 else 0.0,
-            accuracy_min=min(accuracies),
             clean_accuracy=self.workload.clean_accuracy,
             power_w=telemetry.vccint_power_w,
             bram_power_w=telemetry.vccbram_power_w,
             gops=perf.gops,
-            faults_per_run=mean(faults),
             repeats=effective_repeats,
+            **stats,
         )
 
     def run_nominal(self) -> Measurement:

@@ -20,8 +20,14 @@ from repro.dpu.compiler import CompiledModel, compile_model
 from repro.dpu.config import Deployment, default_deployment
 from repro.dpu.perf import PerformanceModel, PerformanceReport
 from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import BatchedFaultInjector, FaultInjector
 from repro.models.zoo import Workload
+from repro.nn.differential import CleanPass, capture_clean_pass, forward_repeats
+
+#: Retain the fault-free reference pass across measurements only while its
+#: activations fit this budget; past it, each batched call recomputes the
+#: clean stream (still once per call, not once per repeat).
+CLEAN_PASS_CACHE_BYTES = 256 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,9 @@ class DPUEngine:
             effective_ops_fraction=workload.effective_ops_fraction,
             quant_bits=workload.quantization.weight_bits,
         )
+        #: Fault-free reference passes by activation bit-width (None value
+        #: marks a workload too large to retain; see CLEAN_PASS_CACHE_BYTES).
+        self._clean_passes: dict[int | None, CleanPass | None] = {}
 
     def run(
         self,
@@ -103,3 +112,106 @@ class DPUEngine:
             faults_injected=injector.stats.faults_injected,
             perf=perf,
         )
+
+    def run_batched(
+        self,
+        p_per_op: float,
+        f_mhz: float,
+        rngs: list[np.random.Generator],
+        control_collapse: bool = False,
+        max_stacked: int | None = None,
+    ) -> list[InferenceOutcome]:
+        """Run R fault realizations batched through one shared pass.
+
+        Returns one :class:`InferenceOutcome` per realization — realization
+        ``r`` is bit-identical to ``run(p_per_op, f_mhz, rng=rngs[r], ...)``
+        because each realization consumes only its own RNG stream and the
+        copy-on-divergence executor (:mod:`repro.nn.differential`) only
+        skips work that is provably shared with the fault-free pass.
+
+        ``max_stacked`` caps the batched work per pass (inferences, i.e.
+        realizations times evaluation-set size); when ``R * n`` exceeds
+        it, realizations are chunked along the repeat axis and each chunk
+        runs its own pass.  Chunking cannot change results, only peak
+        memory.  The fault-free reference pass is voltage-independent and
+        cached across calls (bounded by :data:`CLEAN_PASS_CACHE_BYTES`),
+        so a sweep pays for it once.
+
+        The performance report is per *inference*, exactly as in
+        :meth:`run`: batching R realizations is a simulator-side trick,
+        not R-fold DPU throughput.
+        """
+        perf = self.perf_model.report(f_mhz)
+        if p_per_op <= 0.0 and not control_collapse:
+            return [
+                InferenceOutcome(
+                    accuracy=self.workload.clean_accuracy,
+                    faults_injected=0,
+                    perf=perf,
+                )
+                for _ in rngs
+            ]
+        if not rngs:
+            raise ValueError("faulty runs need an RNG stream per realization")
+        dataset = self.workload.dataset
+        bits = self.workload.quantization.activation_bits
+        clean = self._clean_pass(bits)
+        chunk = len(rngs)
+        if max_stacked is not None and max_stacked >= 1:
+            chunk = max(1, min(chunk, max_stacked // dataset.n))
+        outcomes: list[InferenceOutcome] = []
+        for start in range(0, len(rngs), chunk):
+            chunk_rngs = rngs[start : start + chunk]
+            planner = BatchedFaultInjector(
+                exposure_ops=self.workload.exposure,
+                p_per_op=p_per_op,
+                rngs=chunk_rngs,
+                vulnerability=self.workload.vulnerability,
+                batch_size=dataset.n,
+                control_collapse=control_collapse,
+            )
+            probs = forward_repeats(
+                self.workload.graph,
+                dataset.images,
+                bits,
+                planner,
+                clean=clean,
+            )
+            preds = np.argmax(probs, axis=-1)
+            outcomes.extend(
+                InferenceOutcome(
+                    accuracy=dataset.accuracy_of(preds[i]),
+                    faults_injected=faults,
+                    perf=perf,
+                )
+                for i, faults in enumerate(planner.faults_per_repeat)
+            )
+        return outcomes
+
+    def _clean_pass(self, activation_bits: int | None) -> CleanPass | None:
+        """The cached fault-free reference pass, or ``None`` if over budget.
+
+        The cache assumes the workload's graph and dataset are immutable —
+        true for zoo-built workloads (BRAM weight-corruption studies run
+        on deep copies).  Without the cache the differential executor
+        recomputes the clean stream inline, freeing it as it goes, so peak
+        memory stays bounded for large workloads.
+        """
+        if activation_bits in self._clean_passes:
+            return self._clean_passes[activation_bits]
+        graph = self.workload.graph
+        shapes = graph.infer_shapes(batch=self.workload.dataset.n)
+        estimate = 0
+        for name, node in graph.nodes.items():
+            elems = int(np.prod(shapes[name]))
+            # post (+ pre/stored/peaks for quantized compute layers), f32/i32.
+            factor = 3 if node.layer.mac_ops_hint > 0 else 1
+            estimate += 4 * elems * factor
+        if estimate > CLEAN_PASS_CACHE_BYTES:
+            self._clean_passes[activation_bits] = None
+            return None
+        clean = capture_clean_pass(
+            graph, self.workload.dataset.images, activation_bits
+        )
+        self._clean_passes[activation_bits] = clean
+        return clean

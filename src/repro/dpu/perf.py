@@ -31,7 +31,15 @@ from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
 
 @dataclass(frozen=True)
 class PerformanceReport:
-    """Latency/throughput numbers for one operating frequency."""
+    """Latency/throughput numbers for one operating frequency.
+
+    All figures are **per inference**: ``latency_s`` is the time for one
+    forward pass of one sample batch and ``gops`` credits one inference's
+    ops against it.  The repeat-batched measurement path stacks R fault
+    realizations into a single simulator pass purely to amortize NumPy
+    work — the modeled DPU still runs inferences one at a time, so the
+    report must never be scaled by the stacking factor.
+    """
 
     f_mhz: float
     latency_s: float
@@ -43,6 +51,11 @@ class PerformanceReport:
     @property
     def compute_fraction(self) -> float:
         return self.compute_s / self.latency_s if self.latency_s else 0.0
+
+    @property
+    def inferences_per_s(self) -> float:
+        """Per-inference throughput (the reciprocal of one-pass latency)."""
+        return 1.0 / self.latency_s if self.latency_s else 0.0
 
 
 class PerformanceModel:

@@ -7,7 +7,13 @@ the executable network.
 """
 
 from repro.faults.model import FaultRateModel
-from repro.faults.injector import FaultInjector, InjectionStats
+from repro.faults.injector import BatchedFaultInjector, FaultInjector, InjectionStats
 from repro.faults.bram import BramFaultModel
 
-__all__ = ["FaultRateModel", "FaultInjector", "InjectionStats", "BramFaultModel"]
+__all__ = [
+    "FaultRateModel",
+    "FaultInjector",
+    "BatchedFaultInjector",
+    "InjectionStats",
+    "BramFaultModel",
+]

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.injector import draw_fault_sites
 from repro.nn.graph import Graph
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.tensor import QuantizedTensor
@@ -82,8 +83,11 @@ class BramFaultModel:
             if count == 0:
                 continue
             count = min(count, qt.stored.size)
-            indices = rng.integers(0, qt.stored.size, size=count)
-            bits = rng.integers(0, weight_bits, size=count)
+            # Same vectorized site sampler (and stream consumption) as the
+            # datapath injectors: indices then bit positions, one draw each.
+            indices, bits = draw_fault_sites(
+                rng, qt.stored.size, count, weight_bits
+            )
             qt.flip_bits(indices, bits)
             layer.weights = qt.real.reshape(layer.weights.shape)
             flipped += count

@@ -1,0 +1,356 @@
+"""Copy-on-divergence execution of repeated fault realizations.
+
+The paper averages every operating point over R independent fault
+realizations (Section 4), and the serial measurement loop re-runs the full
+forward pass once per realization.  That is mostly redundant work: no
+layer mixes data across the batch axis, so realization r's activations
+differ from the fault-free pass only inside its *fault cone* — the samples
+that have absorbed at least one bit flip at an earlier layer.
+
+This executor runs the clean pass once and advances all R realizations
+layer by layer, recomputing only cone samples.  Each layer evaluates the
+union of every realization's cone as one stacked sub-batch along the batch
+axis — a single vectorized NumPy/BLAS call over ``sum_r |cone_r|``
+samples instead of R full batches — which is what makes a repeats=10
+measurement cost little more than one forward pass plus the cones.
+
+Bit-identity with the serial loop rests on three invariants:
+
+1. **Batch-invariant layers.**  Conv2D and Dense evaluate as one
+   fixed-shape GEMM per sample (numpy's stacked matmul) and every other
+   layer is per-sample elementwise/windowed math, so any sub-batch
+   reproduces the full batch's rows bit-for-bit
+   (:mod:`repro.nn.layers`, module docstring).
+2. **Stream-preserving fault planning.**  Realization r draws from the
+   same named SeedBank stream as the serial loop, in the same per-layer
+   order — Poisson count, then fault sites
+   (:class:`repro.faults.injector.BatchedFaultInjector`).
+3. **Exact peak tracking.**  Activation quantization calibrates per
+   realization: the fractional-bit count derives from the realization's
+   full-tensor peak, reconstructed exactly as
+   ``max(clean per-sample peaks outside the cone, recomputed cone peak)``
+   — floating-point max is exact, so the chosen format matches the serial
+   pass bit-for-bit.
+
+When a realization's activation format drifts from the clean format (a
+fault cone pushing the layer peak across a power of two), the executor
+falls back to dense recomputation for that realization from that layer on:
+every sample joins the cone.  Control collapse and saturated layers
+(full-tensor noise) take the same all-samples path.  Both remain
+bit-identical by construction — dense recomputation is just a cone that
+covers the whole batch.
+
+The clean pass can be captured once per workload and reused across
+operating points and repeat chunks (:func:`capture_clean_pass`); it is
+voltage-independent, so a sweep pays for it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.nn.graph import Graph
+from repro.nn.layers import Input
+from repro.nn.tensor import (
+    QuantFormat,
+    dequantize_array,
+    flip_stored_bits,
+    frac_bits_for_peak,
+    quantize_array,
+)
+
+
+@dataclass
+class CleanNode:
+    """The fault-free pass through one graph node.
+
+    ``post`` is what consumers see (dequantized for compute layers).  The
+    quantization fields are populated for compute layers only: ``pre`` is
+    the pre-quantization output (needed for the dense-fallback requantize),
+    ``stored`` the quantized words, and ``sample_peaks`` the per-sample
+    absolute peaks of ``pre`` used for exact cone peak reconstruction.
+    """
+
+    post: np.ndarray
+    pre: np.ndarray | None = None
+    stored: np.ndarray | None = None
+    frac_bits: int | None = None
+    sample_peaks: np.ndarray | None = None
+
+    @property
+    def nbytes(self) -> int:
+        total = self.post.nbytes
+        for arr in (self.pre, self.stored, self.sample_peaks):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+
+@dataclass
+class CleanPass:
+    """A retained fault-free pass, reusable across operating points."""
+
+    activation_bits: int | None
+    nodes: dict[str, CleanNode]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(node.nbytes for node in self.nodes.values())
+
+
+@dataclass
+class _Overlay:
+    """One realization's divergence from the clean pass at one node.
+
+    ``samples`` are sorted cone sample indices; ``values`` their
+    recomputed outputs, row-aligned with ``samples``.
+    """
+
+    samples: np.ndarray
+    values: np.ndarray
+
+
+def _sample_peaks(pre: np.ndarray) -> np.ndarray:
+    """Per-sample absolute peaks; their max is the serial full-tensor peak."""
+    return np.max(np.abs(pre).reshape(pre.shape[0], -1), axis=1)
+
+
+def _clean_node(layer_post: np.ndarray, quantized: bool, bits: int | None) -> CleanNode:
+    if not quantized:
+        return CleanNode(post=layer_post)
+    pre = layer_post
+    peaks = _sample_peaks(pre)
+    frac = frac_bits_for_peak(float(peaks.max()) if peaks.size else 0.0, bits)
+    fmt = QuantFormat(bits=bits, frac_bits=frac)
+    stored = quantize_array(pre, fmt)
+    return CleanNode(
+        post=dequantize_array(stored, fmt),
+        pre=pre,
+        stored=stored,
+        frac_bits=frac,
+        sample_peaks=peaks,
+    )
+
+
+def capture_clean_pass(
+    graph: Graph, batch: np.ndarray, activation_bits: int | None
+) -> CleanPass:
+    """Run and retain the fault-free pass for every node.
+
+    The result is voltage-independent: a sweep (or a chunked repeat batch)
+    computes it once and passes it to every :func:`forward_repeats` call.
+    """
+    batch = np.asarray(batch, dtype=np.float32)
+    nodes: dict[str, CleanNode] = {}
+    for name in graph.topological_order():
+        node = graph.nodes[name]
+        if isinstance(node.layer, Input):
+            nodes[name] = CleanNode(post=batch)
+            continue
+        out = node.layer.forward([nodes[src].post for src in node.inputs])
+        quantized = node.layer.mac_ops_hint > 0 and activation_bits is not None
+        nodes[name] = _clean_node(out, quantized, activation_bits)
+    return CleanPass(activation_bits=activation_bits, nodes=nodes)
+
+
+def _gather_inputs(
+    aff: np.ndarray,
+    node_inputs: tuple[str, ...],
+    clean: dict[str, CleanNode],
+    overlays: dict[str, list[_Overlay | None]],
+    r: int,
+) -> list[np.ndarray]:
+    """Cone samples' input rows: clean values overlaid with divergences."""
+    xs = []
+    for src in node_inputs:
+        x = clean[src].post[aff]  # fancy index -> fresh copy
+        view = overlays[src][r]
+        if view is not None:
+            # view.samples is a subset of aff by construction.
+            x[np.searchsorted(aff, view.samples)] = view.values
+        xs.append(x)
+    return xs
+
+
+def forward_repeats(
+    graph: Graph,
+    batch: np.ndarray,
+    activation_bits: int | None,
+    planner,
+    clean: CleanPass | None = None,
+) -> np.ndarray:
+    """Run R fault realizations with copy-on-divergence sharing.
+
+    ``planner`` is a :class:`~repro.faults.injector.BatchedFaultInjector`
+    (or anything with its ``repeats``/``plan_node`` protocol).  Returns the
+    output-node values per realization, shape ``(R, n, ...)`` — realization
+    r bit-identical to a serial pass with ``FaultInjector(rng=rngs[r])``.
+    """
+    inputs = graph.input_nodes()
+    if len(inputs) != 1:
+        raise GraphError(f"graph must have exactly one Input, has {len(inputs)}")
+    batch = np.asarray(batch, dtype=np.float32)
+    if tuple(batch.shape[1:]) != inputs[0].layer.shape:
+        raise GraphError(
+            f"input shape {tuple(batch.shape[1:])} != graph input "
+            f"{inputs[0].layer.shape}"
+        )
+    n = batch.shape[0]
+    repeats = planner.repeats
+    retain_clean = clean is not None
+    if clean is not None and clean.activation_bits != activation_bits:
+        raise GraphError(
+            f"clean pass captured at activation_bits="
+            f"{clean.activation_bits}, run requested {activation_bits}"
+        )
+
+    order = graph.topological_order()
+    nodes = graph.nodes
+    output_name = graph.output_name
+    # Consumer counts for freeing overlays (and, when not retained, clean
+    # nodes) as soon as their last consumer has run — the same liveness
+    # rule Graph.forward uses.
+    consumers = {name: 0 for name in nodes}
+    for node in nodes.values():
+        for src in node.inputs:
+            consumers[src] += 1
+    consumers[output_name] += 1
+
+    cleans: dict[str, CleanNode] = {} if clean is None else clean.nodes
+    overlays: dict[str, list[_Overlay | None]] = {}
+    alive: dict[str, int] = {}
+    all_samples = np.arange(n)
+
+    for name in order:
+        node = nodes[name]
+        layer = node.layer
+        if isinstance(layer, Input):
+            if not retain_clean:
+                cleans[name] = CleanNode(post=batch)
+            overlays[name] = [None] * repeats
+            alive[name] = consumers[name]
+            continue
+
+        quantized = layer.mac_ops_hint > 0 and activation_bits is not None
+        if not retain_clean:
+            out = layer.forward([cleans[src].post for src in node.inputs])
+            cleans[name] = _clean_node(out, quantized, activation_bits)
+        cl = cleans[name]
+        sample_shape = cl.post.shape[1:]
+        sample_size = int(np.prod(sample_shape)) if sample_shape else 1
+        fmt_clean = (
+            QuantFormat(bits=activation_bits, frac_bits=cl.frac_bits)
+            if quantized
+            else None
+        )
+        plans = (
+            planner.plan_node(
+                name, cl.post.shape, activation_bits,
+                fmt_clean.qmin, fmt_clean.qmax,
+            )
+            if quantized
+            else None
+        )
+
+        views: list[_Overlay | None] = []
+        for r in range(repeats):
+            aff = _union_samples(node.inputs, overlays, r)
+            pre_r = (
+                layer.forward(_gather_inputs(aff, node.inputs, cleans, overlays, r))
+                if aff.size
+                else None
+            )
+            if not quantized:
+                views.append(_Overlay(aff, pre_r) if aff.size else None)
+                continue
+
+            # Per-realization quantization format, from the exact peak.
+            if aff.size:
+                cone_peak = float(np.max(np.abs(pre_r)))
+                outside = np.delete(cl.sample_peaks, aff)
+                peak = max(
+                    cone_peak, float(outside.max()) if outside.size else 0.0
+                )
+                frac_r = frac_bits_for_peak(peak, activation_bits)
+            else:
+                frac_r = cl.frac_bits
+            fmt_r = QuantFormat(bits=activation_bits, frac_bits=frac_r)
+
+            if frac_r != cl.frac_bits:
+                # Format drift: unaffected samples requantize differently
+                # from the clean pass, so the whole batch joins the cone.
+                stored = quantize_array(cl.pre, fmt_r)
+                if aff.size:
+                    stored[aff] = quantize_array(pre_r, fmt_r)
+                samples = all_samples
+            elif aff.size:
+                stored = quantize_array(pre_r, fmt_r)
+                samples = aff
+            else:
+                stored = None
+                samples = aff  # empty
+
+            plan = plans[r] if plans is not None else None
+            if plan is not None and plan.kind == "randomize":
+                stored = plan.noise.astype(np.int32)
+                samples = all_samples
+            elif plan is not None and plan.kind == "flips":
+                site_samples = plan.indices // sample_size
+                extra = np.setdiff1d(site_samples, samples)
+                if extra.size:
+                    merged = np.union1d(samples, extra)
+                    grown = np.empty(
+                        (merged.size,) + sample_shape, dtype=np.int32
+                    )
+                    if samples.size:
+                        grown[np.searchsorted(merged, samples)] = stored
+                    grown[np.searchsorted(merged, extra)] = cl.stored[extra]
+                    samples, stored = merged, grown
+                rows = np.searchsorted(samples, site_samples)
+                flip_stored_bits(
+                    stored,
+                    activation_bits,
+                    rows * sample_size + plan.indices % sample_size,
+                    plan.bit_positions,
+                )
+
+            views.append(
+                _Overlay(samples, dequantize_array(stored, fmt_r))
+                if samples.size
+                else None
+            )
+        overlays[name] = views
+        alive[name] = consumers[name]
+
+        for src in node.inputs:
+            alive[src] -= 1
+            if alive[src] == 0 and src != output_name:
+                del overlays[src]
+                if not retain_clean:
+                    del cleans[src]
+
+    # Merge each realization's cone into the clean output.
+    clean_out = cleans[output_name].post
+    merged = np.repeat(clean_out[None, ...], repeats, axis=0)
+    for r, view in enumerate(overlays[output_name]):
+        if view is not None:
+            merged[r, view.samples] = view.values
+    return merged
+
+
+def _union_samples(
+    node_inputs: tuple[str, ...],
+    overlays: dict[str, list[_Overlay | None]],
+    r: int,
+) -> np.ndarray:
+    views = [
+        overlays[src][r] for src in node_inputs if overlays[src][r] is not None
+    ]
+    if not views:
+        return np.empty(0, dtype=np.intp)
+    if len(views) == 1:
+        return views[0].samples
+    return np.unique(np.concatenate([v.samples for v in views]))

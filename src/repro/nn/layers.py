@@ -8,6 +8,14 @@ fault injector flips bits of those quantized words.
 Compute layers (Conv2D, Dense) carry the weight tensors and know how to
 report their MAC-op and parameter counts; both numbers feed the DPU
 performance model and the fault-exposure model.
+
+Every layer's ``forward`` is **batch-invariant**: evaluating any sub-batch
+produces rows bit-identical to the same samples inside a larger batch.
+Conv2D and Dense achieve this with one fixed-shape GEMM per sample
+(numpy's stacked matmul) — mirroring the DPU, which runs inferences one at
+a time — and every other layer is per-sample elementwise or windowed math.
+The copy-on-divergence repeat executor (:mod:`repro.nn.differential`)
+depends on this property to recompute only fault-affected samples.
 """
 
 from __future__ import annotations
@@ -152,7 +160,12 @@ class Conv2D(Layer):
         x = _require_single(inputs, self)
         cols, (oh, ow) = self._im2col(x)
         kernel = self.weights.reshape(-1, self.weights.shape[-1])
-        out = cols @ kernel + self.bias
+        # One fixed-shape GEMM per sample (stacked matmul) instead of a
+        # single batch-wide GEMM: the DPU runs inferences one at a time,
+        # and per-sample calls make the result independent of which other
+        # samples share the batch (batch invariance; see module docstring).
+        per_sample = cols.reshape(x.shape[0], oh * ow, kernel.shape[0])
+        out = per_sample @ kernel + self.bias
         return out.reshape(x.shape[0], oh, ow, self.weights.shape[-1])
 
 
@@ -193,7 +206,9 @@ class Dense(Layer):
     def forward(self, inputs: list[np.ndarray]) -> np.ndarray:
         x = _require_single(inputs, self)
         flat = x.reshape(x.shape[0], -1)
-        return flat @ self.weights + self.bias
+        # Per-sample stacked matmul for batch invariance (see Conv2D).
+        out = flat[:, None, :] @ self.weights + self.bias
+        return out.reshape(x.shape[0], self.weights.shape[1])
 
 
 class _Pool(Layer):

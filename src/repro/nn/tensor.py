@@ -66,15 +66,16 @@ class QuantFormat:
         return f"INT{self.bits}(Q{self.bits - 1 - self.frac_bits}.{self.frac_bits})"
 
 
-def choose_frac_bits(data: np.ndarray, bits: int) -> int:
-    """Pick the fractional-bit count that covers ``data`` without overflow.
+def frac_bits_for_peak(peak: float, bits: int) -> int:
+    """Fractional-bit count covering a tensor whose absolute peak is ``peak``.
 
     This is DECENT's calibration rule: the largest power-of-two scale whose
-    representable range still contains the tensor's extrema.
+    representable range still contains the extrema.  Exposed separately
+    from :func:`choose_frac_bits` so callers that track peaks incrementally
+    (the copy-on-divergence repeat executor) apply the byte-identical rule.
     """
     if bits not in SUPPORTED_BITS:
         raise QuantizationError(f"INT{bits} is not supported")
-    peak = float(np.max(np.abs(data))) if data.size else 0.0
     # Tiny (incl. subnormal) peaks behave like zero: the clamp window below
     # caps frac at 16 anyway, and log2 would overflow on them.
     if peak < 2.0 ** -24:
@@ -86,9 +87,29 @@ def choose_frac_bits(data: np.ndarray, bits: int) -> int:
     return int(np.clip(frac, -16, 16))
 
 
+def choose_frac_bits(data: np.ndarray, bits: int) -> int:
+    """Pick the fractional-bit count that covers ``data`` without overflow."""
+    peak = float(np.max(np.abs(data))) if data.size else 0.0
+    return frac_bits_for_peak(peak, bits)
+
+
 def quantize_array(data: np.ndarray, fmt: QuantFormat) -> np.ndarray:
-    """Quantize a float array into stored-integer form (int32, saturated)."""
-    scaled = np.round(np.asarray(data, dtype=np.float64) / fmt.scale)
+    """Quantize a float array into stored-integer form (int32, saturated).
+
+    float32 inputs take a same-precision fast path: scaling by a power of
+    two is exact in either precision (an exponent shift; overflow saturates
+    through the clip, and sub-denormal losses all round to zero), so the
+    fast path lands bit-identical integers to the float64 reference while
+    skipping the widening copy.
+    """
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        # Overflow to inf is fine: the clip saturates it, matching the
+        # float64 reference.
+        with np.errstate(over="ignore"):
+            scaled = np.round(data * np.float32(2.0 ** fmt.frac_bits))
+    else:
+        scaled = np.round(np.asarray(data, dtype=np.float64) / fmt.scale)
     return np.clip(scaled, fmt.qmin, fmt.qmax).astype(np.int32)
 
 
@@ -100,6 +121,39 @@ def dequantize_array(stored: np.ndarray, fmt: QuantFormat) -> np.ndarray:
 def saturate(stored: np.ndarray, fmt: QuantFormat) -> np.ndarray:
     """Saturate stored integers into the format's representable range."""
     return np.clip(stored, fmt.qmin, fmt.qmax)
+
+
+def flip_stored_bits(
+    stored: np.ndarray,
+    width: int,
+    flat_indices: np.ndarray,
+    bit_positions: np.ndarray,
+) -> None:
+    """XOR the given bit of the stored word at each flat index, in place.
+
+    Bits index the two's-complement representation *within the format
+    width*: bit ``width-1`` is the sign bit.  The result is re-wrapped
+    into the signed range (a flipped sign bit swings the value across
+    zero, exactly like a latch upset in a signed datapath).  One call
+    flips every site of a whole stacked repeat batch at once; XOR
+    commutes, so the merged pass lands the same words as per-repeat
+    passes would.
+    """
+    mask = (1 << width) - 1
+    flat = stored.reshape(-1)
+    # Touch only the flipped words, not the whole tensor: gather the hit
+    # sites, XOR, scatter back.  ufunc.at accumulates, so repeated sites
+    # (mapped through `inverse`) XOR sequentially — plain fancy-index
+    # assignment would silently drop all but one flip.
+    sites, inverse = np.unique(flat_indices, return_inverse=True)
+    words = flat[sites].astype(np.int64) & mask
+    np.bitwise_xor.at(
+        words, inverse, np.int64(1) << bit_positions.astype(np.int64)
+    )
+    # Sign-extend back from `width` bits.
+    sign_bit = np.int64(1) << (width - 1)
+    signed = (words ^ sign_bit) - sign_bit
+    flat[sites] = signed.astype(flat.dtype)
 
 
 @dataclass
@@ -136,24 +190,9 @@ class QuantizedTensor:
     def flip_bits(self, flat_indices: np.ndarray, bit_positions: np.ndarray) -> None:
         """XOR the given bit of the stored word at each flat index, in place.
 
-        Bits index the two's-complement representation *within the format
-        width*: bit ``bits-1`` is the sign bit.  The result is re-wrapped
-        into the signed range (a flipped sign bit swings the value across
-        zero, exactly like a latch upset in a signed datapath).
+        See :func:`flip_stored_bits` for the bit semantics.
         """
-        width = self.fmt.bits
-        mask = (1 << width) - 1
-        flat = self.stored.reshape(-1)
-        words = flat.astype(np.int64) & mask
-        # ufunc.at accumulates, so repeated indices XOR sequentially (plain
-        # fancy-index assignment would silently drop all but one flip).
-        np.bitwise_xor.at(
-            words, flat_indices, np.int64(1) << bit_positions.astype(np.int64)
-        )
-        # Sign-extend back from `width` bits.
-        sign_bit = np.int64(1) << (width - 1)
-        signed = (words ^ sign_bit) - sign_bit
-        flat[...] = signed.astype(flat.dtype)
+        flip_stored_bits(self.stored, self.fmt.bits, flat_indices, bit_positions)
 
     def quantization_error(self, reference: np.ndarray) -> float:
         """RMS error of this tensor against a float reference."""

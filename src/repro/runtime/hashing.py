@@ -52,10 +52,17 @@ def config_fingerprint(
     config: ExperimentConfig,
     version: str | None = None,
 ) -> str:
-    """Stable hex fingerprint of ``(experiment_id, config, version)``."""
+    """Stable hex fingerprint of ``(experiment_id, config, version)``.
+
+    Only the config's *semantic* fields are hashed
+    (:meth:`ExperimentConfig.semantic_dict`): execution-mode knobs like
+    ``repeat_mode``/``batch_budget`` change how a result is computed but
+    not its value, so flipping them keeps warm caches valid — and
+    fingerprints from before those knobs existed stay unchanged.
+    """
     payload = {
         "experiment_id": experiment_id,
-        "config": config.as_dict(),
+        "config": config.semantic_dict(),
         "version": current_version() if version is None else version,
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

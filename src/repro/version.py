@@ -1,3 +1,5 @@
 """Single source of truth for the package version."""
 
-__version__ = "1.0.0"
+# 1.1.0: batch-invariant conv/dense execution (per-sample GEMMs) changed
+# simulator numerics in the last ulp; the bump retires pre-change caches.
+__version__ = "1.1.0"

@@ -1,0 +1,135 @@
+"""Copy-on-divergence executor and the batch invariance it relies on."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import BatchedFaultInjector, FaultInjector
+from repro.nn.differential import capture_clean_pass, forward_repeats
+from repro.rng import child_rng
+
+
+def _serial_probs(workload, rng, p_per_op, control_collapse=False):
+    injector = FaultInjector(
+        exposure_ops=workload.exposure,
+        p_per_op=p_per_op,
+        rng=rng,
+        vulnerability=workload.vulnerability,
+        batch_size=workload.dataset.n,
+        control_collapse=control_collapse,
+    )
+    return workload.graph.forward(
+        workload.dataset.images,
+        activation_bits=workload.quantization.activation_bits,
+        activation_hook=injector,
+    )
+
+
+def _planner(workload, rngs, p_per_op, control_collapse=False):
+    return BatchedFaultInjector(
+        exposure_ops=workload.exposure,
+        p_per_op=p_per_op,
+        rngs=rngs,
+        vulnerability=workload.vulnerability,
+        batch_size=workload.dataset.n,
+        control_collapse=control_collapse,
+    )
+
+
+class TestBatchInvariance:
+    """Any sub-batch reproduces the full batch's rows bit-for-bit."""
+
+    @pytest.mark.parametrize("fixture", ["vggnet_workload", "googlenet_workload"])
+    def test_sub_batch_rows_match_full_batch(self, fixture, request):
+        workload = request.getfixturevalue(fixture)
+        graph = workload.graph
+        images = workload.dataset.images
+        full = graph.forward(images, activation_bits=None)
+        idx = np.array([0, 3, 17, 31])
+        sub = graph.forward(images[idx], activation_bits=None)
+        assert np.array_equal(sub, full[idx])
+
+    def test_single_sample_matches(self, vggnet_workload):
+        # activation_bits=None: quantization calibrates per *tensor*, so
+        # raw invariance holds pre-quantization; the differential executor
+        # reapplies the full-batch format itself when recomputing cones.
+        graph = vggnet_workload.graph
+        images = vggnet_workload.dataset.images
+        full = graph.forward(images, activation_bits=None)
+        one = graph.forward(images[5:6], activation_bits=None)
+        assert np.array_equal(one[0], full[5])
+
+
+class TestForwardRepeats:
+    """forward_repeats == R serial injected passes, stream for stream."""
+
+    P_MID = 2.7e-9  # mid-critical per-op fault rate (555 mV territory)
+
+    def _assert_matches_serial(self, workload, p, collapse=False, clean=None):
+        rngs = [child_rng(1234, f"repeat/{r}") for r in range(3)]
+        probs = forward_repeats(
+            workload.graph,
+            workload.dataset.images,
+            workload.quantization.activation_bits,
+            _planner(workload, rngs, p, collapse),
+            clean=clean,
+        )
+        for r in range(3):
+            serial = _serial_probs(
+                workload, child_rng(1234, f"repeat/{r}"), p, collapse
+            )
+            assert np.array_equal(probs[r], serial), f"realization {r}"
+
+    def test_matches_serial_injected_passes(self, vggnet_workload):
+        self._assert_matches_serial(vggnet_workload, self.P_MID)
+
+    def test_matches_with_retained_clean_pass(self, vggnet_workload):
+        clean = capture_clean_pass(
+            vggnet_workload.graph,
+            vggnet_workload.dataset.images,
+            vggnet_workload.quantization.activation_bits,
+        )
+        self._assert_matches_serial(vggnet_workload, self.P_MID, clean=clean)
+
+    def test_matches_serial_on_branchy_graph(self, googlenet_workload):
+        self._assert_matches_serial(googlenet_workload, self.P_MID)
+
+    def test_control_collapse_matches_serial(self, vggnet_workload):
+        self._assert_matches_serial(vggnet_workload, self.P_MID, collapse=True)
+
+    def test_zero_rate_returns_clean_pass(self, vggnet_workload):
+        rngs = [child_rng(7, "r0")]
+        probs = forward_repeats(
+            vggnet_workload.graph,
+            vggnet_workload.dataset.images,
+            vggnet_workload.quantization.activation_bits,
+            _planner(vggnet_workload, rngs, 0.0),
+        )
+        clean = vggnet_workload.graph.forward(
+            vggnet_workload.dataset.images,
+            activation_bits=vggnet_workload.quantization.activation_bits,
+        )
+        assert np.array_equal(probs[0], clean)
+
+    def test_per_realization_fault_counts_match_serial(self, vggnet_workload):
+        rngs = [child_rng(42, f"repeat/{r}") for r in range(3)]
+        planner = _planner(vggnet_workload, rngs, self.P_MID)
+        forward_repeats(
+            vggnet_workload.graph,
+            vggnet_workload.dataset.images,
+            vggnet_workload.quantization.activation_bits,
+            planner,
+        )
+        for r in range(3):
+            injector = FaultInjector(
+                exposure_ops=vggnet_workload.exposure,
+                p_per_op=self.P_MID,
+                rng=child_rng(42, f"repeat/{r}"),
+                vulnerability=vggnet_workload.vulnerability,
+                batch_size=vggnet_workload.dataset.n,
+            )
+            vggnet_workload.graph.forward(
+                vggnet_workload.dataset.images,
+                activation_bits=vggnet_workload.quantization.activation_bits,
+                activation_hook=injector,
+            )
+            assert planner.faults_per_repeat[r] == injector.stats.faults_injected

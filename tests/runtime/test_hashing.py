@@ -41,6 +41,22 @@ class TestSensitivity:
             "fig3", self.BASE
         )
 
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"repeat_mode": "loop"},
+            {"batch_budget": 128},
+            {"repeat_mode": "loop", "batch_budget": 64},
+        ],
+    )
+    def test_execution_mode_keeps_the_key(self, override):
+        """Repeat modes produce bit-identical results, so flipping them
+        must keep warm caches valid (and pre-knob fingerprints stable)."""
+        changed = self.BASE.with_overrides(**override)
+        assert config_fingerprint("fig3", changed) == config_fingerprint(
+            "fig3", self.BASE
+        )
+
     def test_calibration_override_changes_the_key(self):
         changed = self.BASE.with_overrides(
             cal=self.BASE.cal.with_overrides(p_total_vnom=13.0)
