@@ -1,0 +1,87 @@
+"""Sweep-strategy benchmarks: adaptive Vmin search vs the dense grid.
+
+Runs fig3's landmark workload — every (benchmark, board) fleet sweep from
+620 mV to the crash point — at 1 mV resolution under both strategies and
+records, per strategy, the total number of voltage points executed
+(``extra_info["points_executed"]``) plus the detected landmarks.
+
+The acceptance contract, gated by ``benchmarks/baselines/ci.json`` via
+``scripts/check_bench_regression.py``:
+
+* the adaptive strategy reaches the **same Vmin and Vcrash** as the dense
+  grid on every (benchmark, board) pair (asserted in the test body);
+* it executes **>=3x fewer voltage points** (asserted in the test body
+  and gated as an ``extra_info`` ratio in ci.json);
+* it is >=3x faster wall-clock (a ci.json speedup gate — ratios within
+  one run, so the gate holds on any hardware).
+
+Run with ``pytest benchmarks/bench_sweep.py`` (same environment overrides
+as the other benches; see conftest).
+"""
+
+import pytest
+
+from repro.core.regions import detect_regions
+from repro.experiments.common import BENCHMARK_ORDER, fleet_sessions, sweep_to_crash
+
+from conftest import run_once
+
+#: Landmark resolution under test (V): 5x finer than the paper's 5 mV
+#: step, where a dense walk is painful and bisection shines.
+RESOLUTION_V = 0.001
+#: fig3's sweep start (mV); all boards are fault-free above it.
+START_MV = 620.0
+
+#: Cross-test record: strategy -> (landmarks, points_executed).
+_RECORD: dict = {}
+
+
+def fleet_landmarks(config):
+    """fig3's landmark search: fleet sweeps -> per-pair (Vmin, Vcrash)."""
+    landmarks = {}
+    points_executed = 0
+    for name in BENCHMARK_ORDER:
+        for session in fleet_sessions(name, config):
+            sweep = sweep_to_crash(session, config, start_mv=START_MV)
+            regions = detect_regions(sweep, accuracy_tolerance=config.accuracy_tolerance)
+            landmarks[(name, session.board.sample)] = (
+                regions.vmin_mv,
+                regions.vcrash_mv,
+                sweep.crash_mv,
+            )
+            # True sweep cost: every probe the strategy executed, board
+            # hangs included (a hang probe still costs a power cycle).
+            points_executed += sweep.points_executed
+    return landmarks, points_executed
+
+
+def _run_strategy(benchmark, config, strategy):
+    strategy_config = config.with_overrides(strategy=strategy, v_resolution=RESOLUTION_V)
+    landmarks, points = run_once(benchmark, lambda: fleet_landmarks(strategy_config))
+    benchmark.extra_info["points_executed"] = points
+    benchmark.extra_info["resolution_mv"] = RESOLUTION_V * 1000.0
+    _RECORD[strategy] = (landmarks, points)
+    return landmarks, points
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_fig3_landmarks_grid_dense(benchmark, config):
+    landmarks, points = _run_strategy(benchmark, config, "grid")
+    assert len(landmarks) == 5 * config.cal.n_boards
+    assert points > 0
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_fig3_landmarks_adaptive(benchmark, config):
+    landmarks, points = _run_strategy(benchmark, config, "adaptive")
+    if "grid" not in _RECORD:  # running this bench alone: build the reference
+        grid_config = config.with_overrides(strategy="grid", v_resolution=RESOLUTION_V)
+        _RECORD["grid"] = fleet_landmarks(grid_config)
+    grid_landmarks, grid_points = _RECORD["grid"]
+    # Same landmarks on every (benchmark, board) pair, crash point included.
+    assert landmarks == grid_landmarks
+    # >=3x fewer executed voltage points (also gated via ci.json).
+    assert grid_points / points >= 3.0, (
+        f"adaptive executed {points} points vs grid {grid_points} "
+        f"({grid_points / points:.2f}x < 3x)"
+    )

@@ -8,8 +8,13 @@ baseline (``benchmarks/baselines/ci.json``) and exits non-zero when:
   (default 25%) against its recorded median, or
 * any configured speedup gate fails — e.g. the repeats=10 measurement
   path must stay >=3x faster in batched repeat mode than in the
-  per-repeat loop.  Speedup gates are ratios between two benchmarks from
-  the *same* run, so they hold on any hardware.
+  per-repeat loop, and the adaptive sweep strategy must stay >=3x faster
+  than the dense grid at 1 mV resolution.  Speedup gates are ratios
+  between two benchmarks from the *same* run, so they hold on any
+  hardware; or
+* any configured ``extra_info`` ratio gate fails — hardware-independent
+  counters the benchmarks record (e.g. voltage points executed: the
+  adaptive strategy must execute >=3x fewer points than the dense grid).
 
 Benchmarks present in only one of the two files are reported but do not
 fail the gate (new benchmarks land before their baseline; removed ones
@@ -36,6 +41,13 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "ci.json"
 def load_medians(report: dict) -> dict[str, float]:
     return {
         bench["fullname"]: bench["stats"]["median"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def load_extra_info(report: dict) -> dict[str, dict]:
+    return {
+        bench["fullname"]: bench.get("extra_info", {})
         for bench in report.get("benchmarks", [])
     }
 
@@ -103,6 +115,37 @@ def check(report: dict, baseline: dict, tolerance: float | None = None) -> list[
             failures.append(
                 f"speedup gate failed: {ratio:.2f}x < {needed}x "
                 f"({gate.get('why', '')})"
+            )
+
+    extra = load_extra_info(report)
+    for gate in baseline.get("extra_info_ratio_gates", []):
+        key = gate["key"]
+        high = extra.get(gate["slow"], {}).get(key)
+        low = extra.get(gate["fast"], {}).get(key)
+        if high is None or low is None:
+            failures.append(
+                f"extra_info gate needs {key!r} recorded by both "
+                f"{gate['slow']} and {gate['fast']}"
+            )
+            continue
+        if high <= 0 or low <= 0:
+            # A zero counter is a broken counter, not an infinite win —
+            # this gate exists to catch exactly that kind of regression.
+            failures.append(
+                f"extra_info gate counters must be positive: "
+                f"{key} = {high}/{low}"
+            )
+            continue
+        ratio = high / low
+        needed = gate["min_ratio"]
+        verdict = "ok" if ratio >= needed else "FAILED"
+        print(f"{verdict:>10}  {key} {gate['slow'].split('::')[-1]} / "
+              f"{gate['fast'].split('::')[-1]} = {high}/{low} = {ratio:.2f}x "
+              f"(required >= {needed}x)")
+        if ratio < needed:
+            failures.append(
+                f"extra_info gate failed: {key} ratio {ratio:.2f}x < "
+                f"{needed}x ({gate.get('why', '')})"
             )
     return failures
 

@@ -4,18 +4,24 @@ Examples::
 
     repro-undervolt list
     repro-undervolt run fig3 --repeats 3 --samples 64 --jobs 5
+    repro-undervolt run fig3 --strategy adaptive --v-resolution 0.001
     repro-undervolt run table2 --csv out.csv
     repro-undervolt sweep vggnet --board 0
     repro-undervolt sweep vggnet --board all --jobs 3
     repro-undervolt report --jobs 4
     repro-undervolt campaign paper --jobs 8
+    repro-undervolt campaign paper --jobs 8 --resume
     repro-undervolt campaign fig3 fig6 --no-cache
 
 Every campaign-shaped command accepts ``--jobs`` (process fan-out),
-``--cache-dir``/``--no-cache`` (the content-addressed result cache), and
-the full set of :class:`~repro.core.experiment.ExperimentConfig` knobs
-(``--v-step``, ``--width-scale``, ``--accuracy-tolerance``,
-``--repeat-mode``, ``--batch-budget``).
+``--cache-dir``/``--no-cache`` (the content-addressed result cache: whole
+experiments plus individual sweep voltage points), and the full set of
+:class:`~repro.core.experiment.ExperimentConfig` knobs (``--v-step``,
+``--strategy``, ``--v-resolution``, ``--width-scale``,
+``--accuracy-tolerance``, ``--repeat-mode``, ``--batch-budget``).
+``campaign`` additionally journals its plan under the cache dir and
+accepts ``--resume`` to pick an interrupted campaign back up, skipping
+every unit (and every already-measured voltage point) that completed.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ def _config_from_args(args):
         repeats=args.repeats,
         samples=args.samples,
         v_step=args.v_step,
+        strategy=args.strategy,
+        v_resolution=args.v_resolution,
         width_scale=args.width_scale,
         accuracy_tolerance=args.accuracy_tolerance,
         repeat_mode=args.repeat_mode,
@@ -71,6 +79,18 @@ def _add_config_flags(parser, *, repeats: int, samples: int) -> None:
     parser.add_argument(
         "--v-step", dest="v_step", type=float, default=defaults.v_step,
         help=f"voltage sweep step in volts (default {defaults.v_step})",
+    )
+    parser.add_argument(
+        "--strategy", choices=["grid", "adaptive"], default=defaults.strategy,
+        help="sweep search strategy: 'grid' measures every point, "
+             "'adaptive' coarse-steps and bisects the Vmin/Vcrash "
+             f"boundaries to the resolution (default {defaults.strategy})",
+    )
+    parser.add_argument(
+        "--v-resolution", dest="v_resolution", type=float, default=None,
+        help="landmark resolution in volts for sweeps (default: --v-step); "
+             "the grid strategy uses it as its step, the adaptive strategy "
+             "bisects boundaries down to it",
     )
     parser.add_argument(
         "--width-scale", dest="width_scale", type=float,
@@ -174,13 +194,24 @@ def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
     config = _config_from_args(args)
+    cache = _cache_from_args(args)
     report = generate_report(
-        config, jobs=args.jobs, cache=_cache_from_args(args)
+        config, jobs=args.jobs, cache=cache,
+        journal=_journal_from_args(args, cache),
     )
     with open(args.out, "w") as f:
         f.write(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     return 0
+
+
+def _journal_from_args(args, cache):
+    """The campaign journal living under the cache dir (None = no cache)."""
+    if cache is None:
+        return None
+    from repro.runtime.journal import JOURNAL_NAME, CampaignJournal
+
+    return CampaignJournal(cache.root / JOURNAL_NAME)
 
 
 def _cmd_campaign(args) -> int:
@@ -190,8 +221,13 @@ def _cmd_campaign(args) -> int:
 
     config = _config_from_args(args)
     ids = resolve_campaign(args.targets)
+    cache = _cache_from_args(args)
+    if args.resume and cache is None:
+        print("error: --resume requires the result cache (drop --no-cache)")
+        return 2
     outcome = run_campaign(
-        ids, config, jobs=args.jobs, cache=_cache_from_args(args)
+        ids, config, jobs=args.jobs, cache=cache,
+        journal=_journal_from_args(args, cache), resume=args.resume,
     )
     rows = [
         {
@@ -211,6 +247,13 @@ def _cmd_campaign(args) -> int:
                   f"{outcome.cache_hits} cached / {outcome.computed} computed",
         )
     )
+    if outcome.journal_stats is not None:
+        stats = outcome.journal_stats
+        print(
+            f"journal {outcome.campaign_id}: {stats['planned']} planned, "
+            f"{stats['resumed']} resumed, {stats['recomputed']} recomputed, "
+            f"{stats['fresh']} fresh, {stats['cached']} cached"
+        )
     if args.out:
         report = render_campaign_report(outcome)
         with open(args.out, "w") as f:
@@ -265,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment ids",
     )
     p_campaign.add_argument("--out", help="also write a markdown report here")
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign: keep the journal's completed "
+             "units (served from the cache) and recompute only the frontier",
+    )
     _add_config_flags(p_campaign, repeats=3, samples=64)
     _add_runtime_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)

@@ -8,7 +8,14 @@ temperature studies.
 
 from repro.core.session import AcceleratorSession, Measurement, make_session
 from repro.core.experiment import ExperimentConfig
-from repro.core.undervolt import VoltageSweep, SweepPoint, SweepResult
+from repro.core.undervolt import (
+    AdaptiveStrategy,
+    GridStrategy,
+    SweepPoint,
+    SweepResult,
+    VoltageSweep,
+    sweep_strategy,
+)
 from repro.core.regions import VoltageRegions, detect_regions, find_vmin, find_vcrash
 from repro.core.freq_scaling import FrequencyUnderscaling, FrequencyPoint
 from repro.core.temperature import TemperatureStudy, TemperaturePoint
@@ -21,6 +28,9 @@ __all__ = [
     "VoltageSweep",
     "SweepPoint",
     "SweepResult",
+    "GridStrategy",
+    "AdaptiveStrategy",
+    "sweep_strategy",
     "VoltageRegions",
     "detect_regions",
     "find_vmin",

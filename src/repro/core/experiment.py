@@ -19,11 +19,25 @@ from repro.rng import SeedBank
 #: Valid values of :attr:`ExperimentConfig.repeat_mode`.
 REPEAT_MODES = ("batched", "loop")
 
+#: Valid values of :attr:`ExperimentConfig.strategy` (see
+#: :mod:`repro.core.undervolt`): ``grid`` walks every voltage point of the
+#: sweep range, ``adaptive`` coarse-steps and bisects toward the region
+#: boundaries.
+SWEEP_STRATEGIES = ("grid", "adaptive")
+
 #: Config fields that select *how* measurements are computed, never *what*
 #: they are: both repeat modes produce bit-identical Measurements, so these
 #: knobs are excluded from the result-cache fingerprint (see
 #: :func:`repro.runtime.hashing.config_fingerprint`).
 EXECUTION_FIELDS = ("repeat_mode", "batch_budget")
+
+#: Config fields that steer *which* voltage points a sweep visits — the
+#: grid pitch, the search strategy, and the loss tolerance the adaptive
+#: bisection branches on — but never the measured value at any individual
+#: point.  Per-point cache keys exclude them (plus
+#: :data:`EXECUTION_FIELDS`), so a finer step, a strategy switch, or a
+#: tolerance change re-prices only the points that were never measured.
+SWEEP_PLAN_FIELDS = ("v_step", "strategy", "v_resolution", "accuracy_tolerance")
 
 
 @dataclass(frozen=True)
@@ -41,6 +55,15 @@ class ExperimentConfig:
     accuracy_tolerance: float = 0.01
     #: Voltage sweep step (V); the paper uses 5 mV.
     v_step: float = 0.005
+    #: Sweep search strategy: "grid" measures every point of the range,
+    #: "adaptive" coarse-steps and bisects the guardband/critical and
+    #: critical/crash boundaries down to the resolution.
+    strategy: str = "grid"
+    #: Landmark resolution (V) for sweeps; ``None`` falls back to
+    #: ``v_step``.  The grid strategy uses it as its step, the adaptive
+    #: strategy bisects boundaries down to it — so both strategies resolve
+    #: landmarks on the same implicit voltage grid.
+    v_resolution: float | None = None
     cal: Calibration = DEFAULT_CALIBRATION
     #: How repeats execute: "batched" stacks all R fault realizations into
     #: one forward pass; "loop" re-runs the pass per repeat (the historical
@@ -58,6 +81,14 @@ class ExperimentConfig:
             raise CampaignError(f"samples must be >= 2, got {self.samples}")
         if self.v_step <= 0:
             raise CampaignError(f"v_step must be positive, got {self.v_step}")
+        if self.strategy not in SWEEP_STRATEGIES:
+            raise CampaignError(
+                f"strategy must be one of {SWEEP_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.v_resolution is not None and self.v_resolution <= 0:
+            raise CampaignError(
+                f"v_resolution must be positive, got {self.v_resolution}"
+            )
         if not 0.0 <= self.accuracy_tolerance < 1.0:
             raise CampaignError("accuracy_tolerance must be in [0, 1)")
         if self.repeat_mode not in REPEAT_MODES:
@@ -94,6 +125,36 @@ class ExperimentConfig:
         for name in EXECUTION_FIELDS:
             payload.pop(name, None)
         return payload
+
+    def point_semantic_dict(self) -> dict:
+        """The fields that determine a *single voltage point's* measurement.
+
+        This is what the runtime's per-point cache hashes
+        (:func:`repro.runtime.hashing.point_fingerprint`).  On top of the
+        execution-only knobs it drops :data:`SWEEP_PLAN_FIELDS`: the grid
+        pitch, the search strategy, and the loss tolerance decide which
+        points a sweep visits, never what any one of them measures — the
+        per-point RNG streams are named by voltage, so a point's result is
+        identical whether a dense grid or an adaptive bisection reached it.
+        Changing ``--v-step``/``--strategy``/``--v-resolution`` therefore
+        re-prices only the points that were never measured.
+        """
+        payload = self.semantic_dict()
+        for name in SWEEP_PLAN_FIELDS:
+            payload.pop(name, None)
+        return payload
+
+    def resolution_mv(self, step_mv: float | None = None) -> float:
+        """The effective landmark resolution in millivolts.
+
+        Precedence: an explicit ``step_mv`` override (legacy sweep API),
+        then ``v_resolution``, then ``v_step``.
+        """
+        if step_mv is not None:
+            return float(step_mv)
+        if self.v_resolution is not None:
+            return self.v_resolution * 1000.0
+        return self.v_step * 1000.0
 
 
 #: Configuration matching the paper's methodology (10 repeats).

@@ -1,9 +1,26 @@
-"""Voltage sweep campaign.
+"""Voltage sweep campaigns: dense grids and adaptive Vmin/Vcrash search.
 
 Reproduces the paper's primary procedure (Sections 4.2-4.4): starting at
-``Vnom``, lower VCCINT in 5 mV steps, measuring accuracy and power at each
-point, until the board hangs.  The crash point is recorded, the board is
-power-cycled, and the sweep result carries everything Figures 3-6 need.
+``Vnom``, lower VCCINT toward the crash point, measuring accuracy and
+power at each visited point, until the board hangs.  The crash point is
+recorded, the board is power-cycled, and the sweep result carries
+everything Figures 3-6 need.
+
+Two :class:`SweepStrategy` implementations decide *which* points to visit:
+
+* :class:`GridStrategy` — the paper's dense walk, one measurement per
+  ``resolution_mv`` step (the historical behaviour);
+* :class:`AdaptiveStrategy` — a coarse descent followed by bisection of
+  the guardband/critical (Vmin) and critical/crash (Vcrash) boundaries,
+  exactly how Salami et al. localize Vmin on real hardware without paying
+  for every grid point.
+
+Both strategies evaluate points on the same implicit voltage grid
+(``v_i = start - i * resolution``) and every point draws from RNG streams
+named by its voltage, so a point's measurement is bit-identical whether a
+dense walk or a bisection reached it — which is also what makes the
+runtime's per-point result cache (:mod:`repro.runtime.points`) safe to
+share between strategies.
 """
 
 from __future__ import annotations
@@ -13,6 +30,16 @@ from dataclasses import dataclass, field
 from repro.core.experiment import ExperimentConfig
 from repro.core.session import AcceleratorSession, Measurement
 from repro.errors import BoardHangError
+
+
+def grid_voltage_mv(start_mv: float, index: int, resolution_mv: float) -> float:
+    """The ``index``-th point (mV) of the implicit sweep grid.
+
+    Computed directly from the index (not by iterated subtraction) so grid
+    and adaptive strategies land on bit-identical voltages — and therefore
+    on identical RNG streams and per-point cache keys.
+    """
+    return round(start_mv - index * resolution_mv, 6)
 
 
 @dataclass(frozen=True)
@@ -41,6 +68,19 @@ class SweepResult:
     #: First voltage (mV) at which the board hung, None if the floor was
     #: reached alive.
     crash_mv: float | None = None
+    #: Finest voltage spacing (mV) the producing strategy resolved; drives
+    #: the default :meth:`point_at` tolerance.
+    resolution_mv: float = 5.0
+    #: Name of the strategy that produced the sweep ("grid" | "adaptive").
+    strategy: str = "grid"
+    #: Unique voltages the strategy evaluated, hang probes included (==
+    #: ``len(points)`` + hang probes).  This is the sweep's true cost —
+    #: what the adaptive-vs-grid benchmark gate counts — though when a
+    #: per-point cache is active, evaluations may be replays rather than
+    #: fresh computes (see :class:`repro.runtime.points.PointStats`).
+    points_executed: int = 0
+    #: How many of the executed probes hung the board.
+    hang_probes: int = 0
 
     @property
     def voltages_mv(self) -> list[float]:
@@ -50,10 +90,24 @@ class SweepResult:
     def measurements(self) -> list[Measurement]:
         return [p.measurement for p in self.points]
 
-    def point_at(self, vccint_mv: float, tolerance_mv: float = 0.5) -> SweepPoint:
-        for point in self.points:
-            if abs(point.vccint_mv - vccint_mv) <= tolerance_mv:
-                return point
+    def point_at(
+        self, vccint_mv: float, tolerance_mv: float | None = None
+    ) -> SweepPoint:
+        """The measured point nearest ``vccint_mv``, within the tolerance.
+
+        The default tolerance is half the producing strategy's resolution
+        — the widest window that still maps every query to a unique grid
+        point.  (A fixed tolerance breaks as soon as a sweep is finer than
+        it: with sub-tolerance point spacing, first-match lookup can
+        return a *neighbouring* point instead of the requested one.)
+        """
+        if tolerance_mv is None:
+            tolerance_mv = self.resolution_mv / 2.0
+        if not self.points:
+            raise KeyError(f"no sweep point at {vccint_mv} mV (empty sweep)")
+        nearest = min(self.points, key=lambda p: abs(p.vccint_mv - vccint_mv))
+        if abs(nearest.vccint_mv - vccint_mv) <= tolerance_mv:
+            return nearest
         raise KeyError(f"no sweep point at {vccint_mv} mV")
 
     @property
@@ -63,6 +117,188 @@ class SweepResult:
     @property
     def last_alive(self) -> SweepPoint:
         return self.points[-1]
+
+
+class SweepProbe:
+    """Measurement access for strategies: hang handling plus memoization.
+
+    ``measure(v_mv)`` returns the point's :class:`Measurement`, or ``None``
+    when the board hangs there (after power-cycling it, as the paper's
+    recovery procedure does).  Results are memoized per voltage so a
+    strategy can revisit a point for free, and ``executed`` counts the
+    points this sweep evaluated (memoized revisits excluded; when a point
+    cache is active its :class:`~repro.runtime.points.PointStats`
+    additionally splits evaluations into replays and fresh computes).
+    """
+
+    def __init__(self, session: AcceleratorSession, measure):
+        self.session = session
+        self._measure = measure
+        self._memo: dict[float, Measurement | None] = {}
+        self.executed = 0
+        self.hangs = 0
+
+    def measure(self, v_mv: float) -> Measurement | None:
+        key = round(v_mv, 6)
+        if key in self._memo:
+            return self._memo[key]
+        try:
+            outcome = self._measure(v_mv)
+            self.executed += 1
+        except BoardHangError:
+            self.session.board.power_cycle()
+            self.hangs += 1
+            outcome = None
+        self._memo[key] = outcome
+        return outcome
+
+
+@dataclass(frozen=True)
+class GridStrategy:
+    """Dense walk: one measurement per ``resolution_mv`` from start down."""
+
+    resolution_mv: float
+
+    name = "grid"
+
+    def run(
+        self, probe: SweepProbe, start_mv: float, floor_mv: float
+    ) -> tuple[list[Measurement], float | None]:
+        points: list[Measurement] = []
+        index = 0
+        while True:
+            v_mv = grid_voltage_mv(start_mv, index, self.resolution_mv)
+            if v_mv < floor_mv - 1e-9:
+                return points, None
+            measurement = probe.measure(v_mv)
+            if measurement is None:
+                return points, v_mv
+            points.append(measurement)
+            index += 1
+
+
+@dataclass(frozen=True)
+class AdaptiveStrategy:
+    """Coarse descent plus bisection toward the two region boundaries.
+
+    Phase 1 walks the grid in ``coarse_factor``-sized strides until the
+    first lossy or hung point.  Phase 2 bisects the guardband/critical
+    boundary (last loss-free stride vs first bad one), phase 3 continues
+    the coarse descent to the first hang and bisects the critical/crash
+    boundary.  All probes land on the same implicit grid the dense walk
+    uses, so at equal resolution the detected Vmin/Vcrash landmarks — and
+    each visited point's measurement — match the grid strategy exactly,
+    while the number of executed points drops from O(range/resolution) to
+    O(range/(resolution*coarse_factor) + log2(coarse_factor)).
+    """
+
+    resolution_mv: float
+    #: Accuracy-loss threshold steering the Vmin bisection (the config's
+    #: ``accuracy_tolerance``); a sweep-plan knob, not a point knob.
+    accuracy_tolerance: float = 0.01
+    #: Coarse stride in grid steps (coarse step = factor * resolution).
+    coarse_factor: int = 8
+
+    name = "adaptive"
+
+    def _loss_free(self, measurement: Measurement) -> bool:
+        loss = measurement.clean_accuracy - measurement.accuracy
+        return loss <= self.accuracy_tolerance
+
+    def run(
+        self, probe: SweepProbe, start_mv: float, floor_mv: float
+    ) -> tuple[list[Measurement], float | None]:
+        res = self.resolution_mv
+        # Deepest grid index still at or above the floor.
+        deepest = int((start_mv - floor_mv) / res + 1e-9)
+        alive: dict[int, Measurement] = {}
+        hung: set[int] = set()
+
+        def at(index: int) -> Measurement | None:
+            if index in alive:
+                return alive[index]
+            if index in hung:
+                return None
+            outcome = probe.measure(grid_voltage_mv(start_mv, index, res))
+            if outcome is None:
+                hung.add(index)
+            else:
+                alive[index] = outcome
+            return outcome
+
+        stride = max(1, int(self.coarse_factor))
+        coarse = list(range(0, deepest + 1, stride))
+        if coarse[-1] != deepest:
+            coarse.append(deepest)
+
+        # Phase 1: coarse descent until the first lossy or hung stride.
+        last_free: int | None = None
+        first_bad: int | None = None
+        for index in coarse:
+            outcome = at(index)
+            if outcome is None or not self._loss_free(outcome):
+                first_bad = index
+                break
+            last_free = index
+
+        # Phase 2: bisect the guardband/critical boundary to one grid step.
+        if last_free is not None and first_bad is not None:
+            free, bad = last_free, first_bad
+            while bad - free > 1:
+                mid = (free + bad) // 2
+                outcome = at(mid)
+                if outcome is not None and self._loss_free(outcome):
+                    free = mid
+                else:
+                    bad = mid
+
+        # Phase 3: continue the coarse descent through the critical region
+        # until the first hang (the dense walk pays for these too).
+        if not hung and first_bad is not None:
+            index = first_bad + stride
+            while index < deepest:
+                if at(index) is None:
+                    break
+                index += stride
+            if not hung:
+                at(deepest)
+
+        if not alive:
+            # Mirror the dense walk: hanging at the very start is an error
+            # surfaced by VoltageSweep.run below (no points collected).
+            return [], grid_voltage_mv(start_mv, 0, res) if hung else None
+        if not hung:
+            # Floor reached alive — no crash boundary to refine.
+            return [alive[i] for i in sorted(alive)], None
+
+        # Phase 4: bisect the critical/crash boundary.  The final hung
+        # probe sits one grid step below the last alive point, exactly
+        # where the dense walk records its crash.
+        alive_idx = max(alive)
+        hang_idx = min(hung)
+        while hang_idx - alive_idx > 1:
+            mid = (alive_idx + hang_idx) // 2
+            if at(mid) is None:
+                hang_idx = mid
+            else:
+                alive_idx = mid
+        points = [alive[i] for i in sorted(alive)]
+        return points, grid_voltage_mv(start_mv, hang_idx, res)
+
+
+def sweep_strategy(
+    config: ExperimentConfig, step_mv: float | None = None
+) -> GridStrategy | AdaptiveStrategy:
+    """Build the sweep strategy the config (or a step override) selects."""
+    resolution_mv = config.resolution_mv(step_mv)
+    if resolution_mv <= 0:
+        raise ValueError(f"step must be positive, got {resolution_mv}")
+    if config.strategy == "adaptive":
+        return AdaptiveStrategy(
+            resolution_mv=resolution_mv,
+            accuracy_tolerance=config.accuracy_tolerance,
+        )
+    return GridStrategy(resolution_mv=resolution_mv)
 
 
 class VoltageSweep:
@@ -78,33 +314,43 @@ class VoltageSweep:
         floor_mv: float = 500.0,
         step_mv: float | None = None,
         f_mhz: float | None = None,
+        strategy: GridStrategy | AdaptiveStrategy | None = None,
     ) -> SweepResult:
-        """Sweep from ``start_mv`` (default Vnom) down to crash or floor."""
+        """Sweep from ``start_mv`` (default Vnom) down to crash or floor.
+
+        The visiting order and point set come from ``strategy`` (default:
+        whatever the config selects — ``grid`` unless overridden).  When a
+        per-point cache scope is active (:mod:`repro.runtime.points`),
+        every point is served from / stored to the content-addressed point
+        cache, so interrupted or re-parameterized sweeps only pay for
+        voltages never measured before.
+        """
         cal = self.session.board.cal
         start_mv = cal.vnom * 1000.0 if start_mv is None else start_mv
-        step_mv = self.config.v_step * 1000.0 if step_mv is None else step_mv
-        if step_mv <= 0:
-            raise ValueError(f"step must be positive, got {step_mv}")
+        if strategy is None:
+            strategy = sweep_strategy(self.config, step_mv=step_mv)
         if floor_mv >= start_mv:
             raise ValueError("floor must be below the start voltage")
 
-        result = SweepResult(
-            benchmark=self.session.workload.name,
-            variant=self.session.workload.variant_label,
-            board_sample=self.session.board.sample,
-        )
-        v_mv = start_mv
-        while v_mv >= floor_mv - 1e-9:
-            try:
-                measurement = self.session.run_at(v_mv, f_mhz=f_mhz)
-            except BoardHangError:
-                result.crash_mv = v_mv
-                self.session.board.power_cycle()
-                break
-            result.points.append(SweepPoint(measurement))
-            v_mv = round(v_mv - step_mv, 6)
-        if not result.points:
+        # Late import: repro.core must stay importable without the runtime
+        # package; the point cache is an optional acceleration.
+        from repro.runtime.points import cached_point_measure
+
+        measure = cached_point_measure(self.session, self.config, f_mhz)
+        probe = SweepProbe(self.session, measure)
+        measurements, crash_mv = strategy.run(probe, start_mv, floor_mv)
+        if not measurements:
             raise BoardHangError(
                 f"board hung at the very first point ({start_mv} mV)"
             )
-        return result
+        return SweepResult(
+            benchmark=self.session.workload.name,
+            variant=self.session.workload.variant_label,
+            board_sample=self.session.board.sample,
+            points=[SweepPoint(m) for m in measurements],
+            crash_mv=crash_mv,
+            resolution_mv=strategy.resolution_mv,
+            strategy=strategy.name,
+            points_executed=probe.executed + probe.hangs,
+            hang_probes=probe.hangs,
+        )

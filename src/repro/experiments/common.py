@@ -36,9 +36,17 @@ def sweep_to_crash(
     session: AcceleratorSession,
     config: ExperimentConfig,
     start_mv: float | None = None,
+    strategy=None,
 ) -> SweepResult:
-    """Run a downward sweep until the board hangs."""
-    return VoltageSweep(session, config).run(start_mv=start_mv)
+    """Run a downward sweep until the board hangs.
+
+    The point set comes from the config's sweep strategy (``grid`` walks
+    every ``v_resolution``/``v_step`` point, ``adaptive`` bisects toward
+    the landmarks) unless an explicit ``strategy`` object overrides it;
+    when the campaign runtime has a per-point cache scope active, already
+    measured voltages are replayed instead of recomputed.
+    """
+    return VoltageSweep(session, config).run(start_mv=start_mv, strategy=strategy)
 
 
 def fleet_sessions(

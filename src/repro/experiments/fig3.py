@@ -10,6 +10,13 @@ sessions and boards, and every RNG stream is named, not positional), so
 the experiment registers a per-benchmark :class:`ShardPlan`: the campaign
 runtime can sweep the five benchmarks in parallel and merge the rows and
 fleet statistics back in paper order, bit-identical to a serial run.
+
+Each shard's sweeps honour the config's sweep strategy — ``adaptive``
+localizes the same landmarks with a fraction of the grid's measurements
+(``benchmarks/bench_sweep.py`` gates the >=3x reduction at 1 mV) — and
+run under the campaign runtime's per-point cache scope, so an
+interrupted or re-parameterized fig3 recomputes only voltages it never
+measured.
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@ experiment registers a per-``(benchmark, board)`` :class:`ShardPlan`.  The
 merge hook rebuilds the per-board landmark lists in the serial iteration
 order (benchmark-major, board-minor), so the fleet spread statistics see
 the identical operand sequence a serial run computes.
+
+Being the widest campaign also makes fig6 the biggest client of the
+per-point cache: every ``(benchmark, board)`` sweep runs under its work
+unit's point scope, so a campaign killed mid-fig6 resumes paying only
+for the voltage points its interrupted shards never reached.
 """
 
 from __future__ import annotations

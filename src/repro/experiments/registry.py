@@ -140,20 +140,38 @@ def run_experiment(
 
 
 def run_unit(
-    experiment_id: str, shard_key: tuple | None, config: ExperimentConfig
+    experiment_id: str,
+    shard_key: tuple | None,
+    config: ExperimentConfig,
+    point_root: str | None = None,
 ) -> ExperimentResult:
     """Execute one work unit: a whole experiment or a single shard.
 
     Top-level by design — worker processes receive only picklable
-    ``(experiment_id, shard_key, config)`` triples and resolve the
-    callable through the registry on their side.
+    ``(experiment_id, shard_key, config, point_root)`` tuples and resolve
+    the callable through the registry on their side.  When ``point_root``
+    is set, the unit runs under an active per-point cache scope: every
+    voltage point its sweeps measure is served from / stored to the
+    content-addressed point store at that directory.
+
+    The scope is the *experiment id alone*, deliberately not the shard
+    key: whether the campaign planner sharded the experiment (``jobs >
+    1``) or ran it whole (serial) is an execution detail, and execution
+    details must never move cache keys.  The shard's identity is already
+    pinned by every point's context (benchmark, variant, board, clock),
+    so dropping it from the scope loses nothing — and lets a serial rerun
+    replay the points a parallel run measured, and vice versa.
     """
+    # Late import: the runtime package depends on this module.
+    from repro.runtime.points import maybe_point_scope
+
     spec = get_spec(experiment_id)
-    if shard_key is None:
-        return spec.runner(config)
-    if spec.shards is None:
-        raise ValueError(f"experiment {experiment_id!r} has no shard plan")
-    return spec.shards.run(tuple(shard_key), config)
+    with maybe_point_scope(point_root, experiment_id):
+        if shard_key is None:
+            return spec.runner(config)
+        if spec.shards is None:
+            raise ValueError(f"experiment {experiment_id!r} has no shard plan")
+        return spec.shards.run(tuple(shard_key), config)
 
 
 def list_experiments() -> list[str]:

@@ -7,20 +7,27 @@ minutes of simulator time per report; this package turns it into an
 embarrassingly parallel, cache-friendly workload:
 
 * :mod:`repro.runtime.hashing` — stable fingerprints of
-  ``(experiment_id, config, version)``; the cache key and the provenance
-  stamp EXPERIMENTS.md records per experiment.
+  ``(experiment_id, config, version)`` and of individual sweep voltage
+  points; the cache keys and the provenance stamps EXPERIMENTS.md records.
 * :mod:`repro.runtime.cache` — an on-disk JSON store of experiment
   results, corruption-tolerant and auditable by hand.
+* :mod:`repro.runtime.points` — the per-voltage-point result store: the
+  sweep's atomic unit of caching, shared across strategies and step
+  sizes, and the durability layer interrupted sweeps resume from.
+* :mod:`repro.runtime.journal` — the campaign journal recording planned
+  and completed work units for ``campaign --resume``.
 * :mod:`repro.runtime.shards` — work-unit planning against the shard
   metadata experiments register (per-benchmark, per-(benchmark, board)).
 * :mod:`repro.runtime.executor` — ``ProcessPoolExecutor`` fan-out with a
-  deterministic in-process serial path and automatic fallback.
+  deterministic in-process serial path, automatic fallback, and
+  per-task completion hooks (units finalize as they land).
 * :mod:`repro.runtime.campaign` — the orchestrator gluing the above
   together, plus the named campaign sets the CLI exposes.
 
 Determinism contract: at a fixed seed, ``run_campaign(..., jobs=N)`` is
 bit-identical to ``jobs=1``, which is itself bit-identical to calling the
-runners directly — parallelism and caching are pure accelerations.
+runners directly — parallelism, caching (experiment- and point-level),
+and resuming are pure accelerations.
 """
 
 from repro.runtime.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
@@ -34,7 +41,9 @@ from repro.runtime.campaign import (
     run_sweep_campaign,
 )
 from repro.runtime.executor import TaskOutcome, run_tasks
-from repro.runtime.hashing import config_fingerprint
+from repro.runtime.hashing import config_fingerprint, point_fingerprint
+from repro.runtime.journal import CampaignJournal, campaign_fingerprint
+from repro.runtime.points import PointCache, PointStats, point_scope
 from repro.runtime.shards import WorkUnit, merge_unit_results, plan_units
 
 __all__ = [
@@ -43,13 +52,19 @@ __all__ = [
     "NAMED_CAMPAIGNS",
     "CacheStats",
     "CampaignEntry",
+    "CampaignJournal",
     "CampaignOutcome",
+    "PointCache",
+    "PointStats",
     "ResultCache",
     "TaskOutcome",
     "WorkUnit",
+    "campaign_fingerprint",
     "config_fingerprint",
     "merge_unit_results",
     "plan_units",
+    "point_fingerprint",
+    "point_scope",
     "resolve_campaign",
     "run_campaign",
     "run_sweep_campaign",

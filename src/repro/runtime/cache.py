@@ -17,16 +17,21 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.experiment import ExperimentConfig
 from repro.experiments.registry import ExperimentResult
-from repro.runtime.hashing import _jsonable, current_version
+from repro.runtime.hashing import FINGERPRINT_LEN, _jsonable, current_version
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Entry files are named by their hex fingerprint; anything else in the
+#: cache dir (journal.json, the points/ subdir) is not an entry.
+_FINGERPRINT_RE = re.compile(rf"[0-9a-f]{{{FINGERPRINT_LEN}}}")
 
 _PAYLOAD_KEYS = {"fingerprint", "experiment_id", "version", "result", "wall_s"}
 _RESULT_KEYS = {"experiment_id", "title", "rows", "summary", "notes"}
@@ -40,6 +45,30 @@ def _dumps(payload) -> str:
     must NOT sort keys.
     """
     return json.dumps(payload, default=_jsonable)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Crash-safe file replace: write a sibling temp file, then rename.
+
+    The one write primitive all three on-disk stores share (experiment
+    entries, voltage points, the campaign journal): a reader never sees a
+    torn file, and a crash mid-write leaves the previous content intact —
+    the property the resume machinery is built on.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def result_to_payload(result: ExperimentResult) -> dict:
@@ -116,6 +145,16 @@ class ResultCache:
     def path_for(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
 
+    @property
+    def point_root(self) -> Path:
+        """Root of the companion per-point store (``<root>/points/``).
+
+        Experiment entries and voltage-point entries share one cache
+        directory so a single ``--cache-dir`` carries both granularities;
+        the point store itself lives in :mod:`repro.runtime.points`.
+        """
+        return self.root / "points"
+
     def load(self, fingerprint: str, experiment_id: str) -> CacheHit | None:
         """Return the cached entry, or ``None`` on miss or corruption.
 
@@ -179,19 +218,7 @@ class ResultCache:
             "result": result_to_payload(result),
         }
         path = self.path_for(fingerprint)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{fingerprint}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as f:
-                f.write(_dumps(payload))
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, _dumps(payload))
         self.stats.stores += 1
         return path
 
@@ -204,7 +231,17 @@ class ResultCache:
             return False
 
     def entries(self) -> list[Path]:
-        """All entry files currently on disk (sorted for determinism)."""
+        """All entry files currently on disk (sorted for determinism).
+
+        Only fingerprint-named files count: the cache root also hosts
+        non-entry companions (``journal.json``, the ``points/`` store),
+        which auditors and garbage collectors must never mistake for —
+        or delete as — experiment entries.
+        """
         if not self.root.is_dir():
             return []
-        return sorted(p for p in self.root.glob("*.json") if p.is_file())
+        return sorted(
+            p
+            for p in self.root.glob("*.json")
+            if p.is_file() and _FINGERPRINT_RE.fullmatch(p.stem)
+        )

@@ -13,13 +13,23 @@ experiment it:
    and fans the *combined* unit list of all experiments out over the
    executor, so a campaign saturates ``--jobs`` workers even when its
    experiments shard unevenly;
-3. merges shard results in canonical order (bit-identical to a serial
-   run), normalizes them through the cache's JSON codec, and stores them
-   back.
+3. finalizes each experiment the moment its last shard lands: merges the
+   shard results in canonical order (bit-identical to a serial run),
+   normalizes them through the cache's JSON codec, stores them back, and
+   marks the unit completed in the :class:`CampaignJournal` (if one is
+   attached).
+
+Durability is layered: finished experiments live in the result cache,
+partially finished sweeps live point-by-point in the per-point store
+(workers activate it via :func:`repro.runtime.points.maybe_point_scope`),
+and the journal records which planned units completed — so a campaign
+killed mid-flight resumes from its frontier with ``resume=True`` and
+recomputes only work that never finished.
 
 The returned :class:`CampaignOutcome` keeps per-experiment provenance
 (fingerprint, cache hit/miss, aggregate shard wall time) for
-``EXPERIMENTS.md``'s run-metadata table.
+``EXPERIMENTS.md``'s run-metadata table, plus the run's resume accounting
+when a journal was active.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from repro.experiments.registry import ExperimentResult, get_spec, run_unit
 from repro.runtime.cache import ResultCache, normalize_result
 from repro.runtime.executor import TaskOutcome, run_tasks
 from repro.runtime.hashing import config_fingerprint
+from repro.runtime.journal import CampaignJournal, campaign_fingerprint
 from repro.runtime.shards import merge_unit_results, plan_units
 
 #: Canonical report order: tables first, then figures in paper order, then
@@ -122,6 +133,11 @@ class CampaignOutcome:
     entries: tuple[CampaignEntry, ...]
     config: ExperimentConfig
     jobs: int
+    #: Journal identity of this campaign (None when no journal was active).
+    campaign_id: str | None = None
+    #: This run's resume accounting from the journal (None without one):
+    #: planned/completed/resumed/recomputed/fresh/cached counters.
+    journal_stats: dict | None = None
 
     @property
     def results(self) -> list[ExperimentResult]:
@@ -147,23 +163,61 @@ class CampaignOutcome:
 _Request = tuple[str, Callable[[], list], Callable[[list], ExperimentResult]]
 
 
+class _PendingUnit:
+    """One cache-missed request, finalized as soon as its tasks land."""
+
+    __slots__ = ("unit_id", "fingerprint", "tasks", "merge", "outcomes", "remaining", "entry")
+
+    def __init__(self, unit_id: str, fingerprint: str, tasks: list, merge: Callable):
+        self.unit_id = unit_id
+        self.fingerprint = fingerprint
+        self.tasks = tasks
+        self.merge = merge
+        self.outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        self.remaining = len(tasks)
+        self.entry: CampaignEntry | None = None
+
+
 def _execute_cached(
     requests: Sequence[_Request],
     config: ExperimentConfig,
     jobs: int,
     cache: ResultCache | None,
+    journal: CampaignJournal | None = None,
+    campaign_id: str | None = None,
+    resume: bool = False,
 ) -> list[CampaignEntry]:
     """The shared cache-consult / fan-out / merge / store sequence.
 
     Both campaign kinds (registry experiments and board sweeps) reduce to
     this: tasks from *all* cache misses run through one executor pass, so
     the pool stays saturated across request boundaries, and every entry
-    records the same provenance either way.
+    records the same provenance either way.  Each unit is finalized —
+    merged, normalized, stored, journaled — the moment its last task
+    completes, so an interrupted campaign leaves every finished unit
+    durable on disk rather than losing the whole batch.
     """
+    fingerprints = {
+        unit_id: config_fingerprint(unit_id, config) for unit_id, _, _ in requests
+    }
+    prior_completed: set[str] = set()
+    if journal is not None and campaign_id is not None:
+        plan = [(unit_id, fingerprints[unit_id]) for unit_id, _, _ in requests]
+        prior_completed = journal.begin(campaign_id, plan, resume=resume)
+
+    def journal_unit(fingerprint: str, cache_hit: bool, wall_s: float) -> None:
+        if journal is None or campaign_id is None:
+            return
+        if cache_hit:
+            outcome = "resumed" if fingerprint in prior_completed else "cached"
+        else:
+            outcome = "recomputed" if fingerprint in prior_completed else "fresh"
+        journal.record_unit(campaign_id, fingerprint, outcome, wall_s=wall_s)
+
     entries: dict[str, CampaignEntry] = {}
-    pending: list[tuple[str, str, list, Callable]] = []
+    pending: list[_PendingUnit] = []
     for unit_id, make_tasks, merge in requests:
-        fingerprint = config_fingerprint(unit_id, config)
+        fingerprint = fingerprints[unit_id]
         hit = cache.load(fingerprint, unit_id) if cache is not None else None
         if hit is not None:
             entries[unit_id] = CampaignEntry(
@@ -175,29 +229,53 @@ def _execute_cached(
                 n_shards=0,
                 worker="cache",
             )
+            journal_unit(fingerprint, cache_hit=True, wall_s=hit.wall_s)
         else:
-            pending.append((unit_id, fingerprint, make_tasks(), merge))
+            pending.append(_PendingUnit(unit_id, fingerprint, make_tasks(), merge))
 
-    flat = [task for _, _, tasks, _ in pending for task in tasks]
-    outcomes: list[TaskOutcome] = run_tasks(flat, jobs=jobs)
+    flat: list = []
+    owner: list[tuple[_PendingUnit, int]] = []
+    for unit in pending:
+        for local_index, task in enumerate(unit.tasks):
+            flat.append(task)
+            owner.append((unit, local_index))
 
-    cursor = 0
-    for unit_id, fingerprint, tasks, merge in pending:
-        mine = outcomes[cursor:cursor + len(tasks)]
-        cursor += len(tasks)
-        merged = normalize_result(merge([o.value for o in mine]))
+    def finalize(unit: _PendingUnit) -> None:
+        mine = [o for o in unit.outcomes if o is not None]
+        merged = normalize_result(unit.merge([o.value for o in mine]))
         wall_s = sum(o.wall_s for o in mine)
         if cache is not None:
-            cache.store(fingerprint, unit_id, config, merged, wall_s)
-        entries[unit_id] = CampaignEntry(
-            experiment_id=unit_id,
-            fingerprint=fingerprint,
+            cache.store(unit.fingerprint, unit.unit_id, config, merged, wall_s)
+        unit.entry = CampaignEntry(
+            experiment_id=unit.unit_id,
+            fingerprint=unit.fingerprint,
             result=merged,
             cache_hit=False,
             wall_s=wall_s,
-            n_shards=len(tasks),
+            n_shards=len(unit.tasks),
             worker=mine[0].worker if mine else "serial",
         )
+        journal_unit(unit.fingerprint, cache_hit=False, wall_s=wall_s)
+
+    def on_complete(flat_index: int, outcome: TaskOutcome) -> None:
+        unit, local_index = owner[flat_index]
+        if unit.entry is not None:
+            # Defensive: the executor fires once per index, but a replayed
+            # duplicate would carry bit-identical values — ignore it
+            # rather than double-count the unit.
+            return
+        if unit.outcomes[local_index] is None:
+            unit.remaining -= 1
+        unit.outcomes[local_index] = outcome
+        if unit.remaining == 0:
+            finalize(unit)
+
+    run_tasks(flat, jobs=jobs, on_complete=on_complete)
+
+    for unit in pending:
+        if unit.entry is None:  # pragma: no cover - executor guarantees completion
+            raise RuntimeError(f"unit {unit.unit_id!r} never completed")
+        entries[unit.unit_id] = unit.entry
     return [entries[unit_id] for unit_id, _, _ in requests]
 
 
@@ -207,8 +285,18 @@ def run_campaign(
     jobs: int = 1,
     cache: ResultCache | None = None,
     shard: bool = True,
+    journal: CampaignJournal | None = None,
+    resume: bool = False,
 ) -> CampaignOutcome:
-    """Run a set of experiments, reusing cached results where possible."""
+    """Run a set of experiments, reusing cached results where possible.
+
+    With a ``journal``, the campaign's plan and per-unit completions are
+    written through to disk; ``resume=True`` keeps the journal's prior
+    history so previously completed units count as resumed work (see
+    :mod:`repro.runtime.journal`).  Resuming does not change *what* runs —
+    completed units are cache hits either way — it changes what the run
+    records and reports.
+    """
     config = config or ExperimentConfig()
     jobs = max(1, int(jobs))
     ids: list[str] = []
@@ -217,6 +305,7 @@ def run_campaign(
             ids.append(exp_id)
     for exp_id in ids:
         get_spec(exp_id)  # fail fast on unknown ids, before touching cache
+    point_root = str(cache.point_root) if cache is not None else None
 
     def request_for(exp_id: str) -> _Request:
         def make_tasks() -> list:
@@ -225,7 +314,8 @@ def run_campaign(
             # one-call-per-experiment shape by construction.
             units = plan_units(exp_id, config, shard=shard and jobs > 1)
             return [
-                (run_unit, (u.experiment_id, u.shard_key, config)) for u in units
+                (run_unit, (u.experiment_id, u.shard_key, config, point_root))
+                for u in units
             ]
 
         def merge(results: list) -> ExperimentResult:
@@ -234,8 +324,18 @@ def run_campaign(
 
         return exp_id, make_tasks, merge
 
-    entries = _execute_cached([request_for(e) for e in ids], config, jobs, cache)
-    return CampaignOutcome(entries=tuple(entries), config=config, jobs=jobs)
+    campaign_id = campaign_fingerprint(ids, config) if journal is not None else None
+    entries = _execute_cached(
+        [request_for(e) for e in ids], config, jobs, cache,
+        journal=journal, campaign_id=campaign_id, resume=resume,
+    )
+    stats = None
+    if journal is not None and campaign_id is not None:
+        stats = journal.last_run(campaign_id)
+    return CampaignOutcome(
+        entries=tuple(entries), config=config, jobs=jobs,
+        campaign_id=campaign_id, journal_stats=stats,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -249,18 +349,24 @@ def sweep_unit_id(benchmark: str, board_sample: int) -> str:
 
 
 def run_sweep_unit(
-    benchmark: str, board_sample: int, config: ExperimentConfig
+    benchmark: str,
+    board_sample: int,
+    config: ExperimentConfig,
+    point_root: str | None = None,
 ) -> ExperimentResult:
     """One full Vnom-to-crash sweep, packaged as an ExperimentResult."""
     from repro.core.session import make_session
     from repro.core.undervolt import VoltageSweep
     from repro.fpga.board import make_board
+    from repro.runtime.points import maybe_point_scope
 
+    unit_id = sweep_unit_id(benchmark, board_sample)
     board = make_board(sample=board_sample, cal=config.cal)
     session = make_session(board, benchmark, config)
-    sweep = VoltageSweep(session, config).run()
+    with maybe_point_scope(point_root, unit_id):
+        sweep = VoltageSweep(session, config).run()
     return ExperimentResult(
-        experiment_id=sweep_unit_id(benchmark, board_sample),
+        experiment_id=unit_id,
         title=f"sweep: {benchmark} on board {board_sample}",
         rows=[p.measurement.as_dict() for p in sweep.points],
         summary={"crash_mv": sweep.crash_mv},
@@ -277,11 +383,12 @@ def run_sweep_campaign(
     """Sweep one benchmark on several boards, cached and fanned out."""
     config = config or ExperimentConfig()
     jobs = max(1, int(jobs))
+    point_root = str(cache.point_root) if cache is not None else None
 
     def request_for(board: int) -> _Request:
         return (
             sweep_unit_id(benchmark, board),
-            lambda: [(run_sweep_unit, (benchmark, board, config))],
+            lambda: [(run_sweep_unit, (benchmark, board, config, point_root))],
             lambda results: results[0],
         )
 

@@ -6,6 +6,17 @@ outcomes *in input order*, regardless of completion order.  That ordering
 guarantee is what lets the shard mergers upstream reproduce serial
 floating-point behaviour exactly.
 
+``on_complete(index, outcome)`` fires as each task finishes (in completion
+order, not input order), exactly once per index.  The campaign layer uses
+it to finalize — merge, cache, journal — every work unit the moment its
+last task lands, which is what gives interrupted campaigns a durable
+frontier to resume from.  If the process pool dies mid-run the executor
+falls back to the serial path for the *unfinished* tasks only; outcomes
+already collected (and already announced) are kept, so a dead pool costs
+the in-flight work, not a full rerun.  Callbacks should still tolerate a
+duplicate index defensively — tasks are pure functions of their
+arguments, so a replayed outcome is bit-identical.
+
 With ``jobs <= 1`` (or a single task) everything runs in-process; seeded
 results are therefore bit-identical to the historical serial loop.  If the
 platform refuses to give us a process pool (sandboxes, missing semaphores)
@@ -17,12 +28,15 @@ failing the campaign.  Genuine task exceptions still propagate.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 Task = tuple[Callable[..., Any], tuple]
+
+#: Completion hook: ``(task_index, outcome)``; see module docstring.
+CompletionHook = Callable[[int, "TaskOutcome"], None]
 
 
 @dataclass(frozen=True)
@@ -40,31 +54,64 @@ def _timed_call(fn: Callable[..., Any], args: tuple, worker: str) -> TaskOutcome
     return TaskOutcome(value=value, wall_s=time.perf_counter() - started, worker=worker)
 
 
-def _run_serial(tasks: Sequence[Task], worker: str) -> list[TaskOutcome]:
-    return [_timed_call(fn, args, worker) for fn, args in tasks]
+def _run_serial(
+    tasks: Sequence[Task], worker: str, on_complete: CompletionHook | None
+) -> list[TaskOutcome]:
+    outcomes: list[TaskOutcome] = []
+    for index, (fn, args) in enumerate(tasks):
+        outcome = _timed_call(fn, args, worker)
+        if on_complete is not None:
+            on_complete(index, outcome)
+        outcomes.append(outcome)
+    return outcomes
 
 
-def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> list[TaskOutcome]:
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    on_complete: CompletionHook | None = None,
+) -> list[TaskOutcome]:
     """Run every task, returning outcomes in input order."""
     tasks = list(tasks)
     jobs = max(1, int(jobs))
     if jobs == 1 or len(tasks) <= 1:
-        return _run_serial(tasks, "serial")
+        return _run_serial(tasks, "serial", on_complete)
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
     except (OSError, PermissionError, NotImplementedError, ValueError):
         # No pool to be had (fork bans, missing /dev/shm, resource
         # limits).  Every unit is a pure function of its arguments, so
         # running serially is safe.
-        return _run_serial(tasks, "serial-fallback")
+        return _run_serial(tasks, "serial-fallback", on_complete)
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
     try:
         with pool:
-            futures = [
-                pool.submit(_timed_call, fn, args, "pool") for fn, args in tasks
-            ]
-            # Only a dead pool triggers the serial fallback; an exception
-            # raised *by a task* propagates unchanged (it is deterministic
-            # and would fail serially too).
-            return [f.result() for f in futures]
+            index_of = {
+                pool.submit(_timed_call, fn, args, "pool"): i
+                for i, (fn, args) in enumerate(tasks)
+            }
+            not_done = set(index_of)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = index_of[future]
+                    # Only a dead pool triggers the serial fallback; an
+                    # exception raised *by a task* propagates unchanged
+                    # (it is deterministic and would fail serially too).
+                    outcome = future.result()
+                    outcomes[index] = outcome
+                    if on_complete is not None:
+                        on_complete(index, outcome)
+        return [o for o in outcomes if o is not None]
     except BrokenProcessPool:
-        return _run_serial(tasks, "serial-fallback")
+        # Replay only the tasks whose outcomes never landed — results
+        # already in hand (and already announced via on_complete) are
+        # kept, so a pool dying after N-1 of N long units costs one unit,
+        # not a full serial rerun.
+        for index, (fn, args) in enumerate(tasks):
+            if outcomes[index] is None:
+                outcome = _timed_call(fn, args, "serial-fallback")
+                outcomes[index] = outcome
+                if on_complete is not None:
+                    on_complete(index, outcome)
+        return [o for o in outcomes if o is not None]

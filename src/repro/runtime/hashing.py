@@ -67,3 +67,31 @@ def config_fingerprint(
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
     return digest[:FINGERPRINT_LEN]
+
+
+def point_fingerprint(
+    scope: str,
+    context: dict,
+    config: ExperimentConfig,
+    version: str | None = None,
+) -> str:
+    """Stable hex fingerprint of one sweep voltage point.
+
+    Keyed by the owning work unit (``scope`` — experiment id plus shard
+    key), the point's physical identity (``context`` — benchmark, variant,
+    board, voltage, clock, temperature setpoint), the *point-relevant*
+    config (:meth:`ExperimentConfig.point_semantic_dict`, which drops the
+    sweep-plan knobs on top of the execution-only ones), and the library
+    version.  Two sweeps that visit the same voltage under the same unit
+    — a dense grid and an adaptive bisection, or a coarse and a refined
+    step — therefore share the entry bit-for-bit.
+    """
+    payload = {
+        "kind": "sweep-point",
+        "scope": scope,
+        "context": context,
+        "config": config.point_semantic_dict(),
+        "version": current_version() if version is None else version,
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_LEN]

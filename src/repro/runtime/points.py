@@ -1,0 +1,267 @@
+"""Per-voltage-point result cache: the sweep's atomic unit of caching.
+
+PR 1's :class:`~repro.runtime.cache.ResultCache` memoizes whole
+experiments; this module drops one level lower and memoizes the *voltage
+point* — the paper's actual unit of measurement.  Each entry records one
+``session.run_at`` outcome (a full-precision
+:class:`~repro.core.session.Measurement`, or the fact that the board hung
+there), keyed by a stable hash of
+
+``(work-unit scope, point context, point-relevant config, version)``
+
+where the scope is the experiment that owns the sweep (the experiment id
+alone — *not* the shard key, because how the planner sharded the
+experiment is a ``jobs``-dependent execution detail and execution details
+never move cache keys; but deliberately not *narrower* than the
+experiment either: today fig3/fig5/fig6 would measure identical values
+at shared voltages, yet the scope stays as a safety namespace against a
+future experiment whose sweeps perturb the session in ways the context
+below does not capture — cross-experiment sharing is an optimization a
+later PR can take by widening the scope under a version bump), the
+context pins the physical identity of the point
+(benchmark, variant, board sample, clock, temperature setpoint, and the
+voltage itself), and the point-relevant config is
+:meth:`~repro.core.experiment.ExperimentConfig.point_semantic_dict` — the
+semantic knobs minus the sweep-plan fields (``v_step``, ``strategy``,
+``v_resolution``, ``accuracy_tolerance``), which choose which points get
+visited but never what any one of them measures.
+
+Consequences, all exercised by ``tests/runtime/test_points.py``:
+
+* an interrupted sweep resumes from its frontier — completed points are
+  served from disk with bit-identical values;
+* refining ``--v-step`` / ``--v-resolution`` or switching ``--strategy``
+  re-prices only the voltages never measured before;
+* a version bump retires every point, while ``repeat_mode`` /
+  ``batch_budget`` flips keep the store warm.
+
+Workers activate a store per work unit via :func:`point_scope` (a
+context-local, so process pools and in-process runs behave identically);
+the sweep engine picks it up through :func:`cached_point_measure`.
+Corrupt entries are deleted and recomputed, never propagated, and writes
+are atomic (temp file + rename), so parallel workers can share one store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession, Measurement
+from repro.errors import BoardHangError
+from repro.runtime.cache import atomic_write_text
+from repro.runtime.hashing import current_version, point_fingerprint
+
+#: Subdirectory of a result-cache root holding the per-point entries.
+POINTS_SUBDIR = "points"
+
+_ENTRY_KEYS = {"fingerprint", "scope", "context", "version", "hang", "measurement"}
+_MEASUREMENT_KEYS = {f.name for f in Measurement.__dataclass_fields__.values()}
+
+
+def measurement_to_payload(measurement: Measurement) -> dict:
+    """Full-precision JSON-able snapshot of one measurement."""
+    return asdict(measurement)
+
+
+def measurement_from_payload(payload: dict) -> Measurement:
+    if set(payload) != _MEASUREMENT_KEYS:
+        drift = sorted(set(payload) ^ _MEASUREMENT_KEYS)
+        raise ValueError(f"measurement payload fields drifted: {drift}")
+    return Measurement(**payload)
+
+
+@dataclass
+class PointStats:
+    """Counters for one point store's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One cached voltage point: a measurement, or a recorded hang."""
+
+    hang: bool
+    measurement: Measurement | None
+
+    def realize(self, vccint_mv: float) -> Measurement:
+        """Return the measurement, or replay the recorded hang."""
+        if self.hang:
+            raise BoardHangError(f"cached hang at {vccint_mv} mV", vccint_v=vccint_mv / 1000.0)
+        assert self.measurement is not None
+        return self.measurement
+
+
+@dataclass
+class PointCache:
+    """Content-addressed voltage-point store rooted at one directory."""
+
+    root: Path
+    stats: PointStats = field(default_factory=PointStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> PointRecord | None:
+        """Return the cached point, or ``None`` on miss or corruption."""
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if not _ENTRY_KEYS <= set(payload):
+                raise ValueError("point payload missing keys")
+            if payload["fingerprint"] != fingerprint:
+                raise ValueError("point entry under the wrong fingerprint")
+            hang = bool(payload["hang"])
+            measurement = None
+            if not hang:
+                measurement = measurement_from_payload(payload["measurement"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletes are fine
+                pass
+            return None
+        self.stats.hits += 1
+        return PointRecord(hang=hang, measurement=measurement)
+
+    def store(
+        self,
+        fingerprint: str,
+        scope: str,
+        context: dict,
+        measurement: Measurement | None,
+        version: str,
+    ) -> Path:
+        """Atomically write one point entry (``measurement=None`` = hang)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        gitignore = self.root / ".gitignore"
+        if not gitignore.exists():
+            gitignore.write_text("*\n")
+        payload = {
+            "fingerprint": fingerprint,
+            "scope": scope,
+            "context": context,
+            "version": version,
+            "hang": measurement is None,
+            "measurement": None if measurement is None else measurement_to_payload(measurement),
+        }
+        path = self.path_for(fingerprint)
+        atomic_write_text(path, json.dumps(payload))
+        self.stats.stores += 1
+        return path
+
+    def entries(self) -> list[Path]:
+        """All point files currently on disk (sorted for determinism)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("*.json") if p.is_file())
+
+
+@dataclass(frozen=True)
+class PointScope:
+    """The point store bound to the currently executing work unit."""
+
+    cache: PointCache
+    scope: str
+
+
+_ACTIVE_SCOPE: ContextVar[PointScope | None] = ContextVar("repro_point_scope", default=None)
+
+
+def active_point_scope() -> PointScope | None:
+    """The point store the current work unit runs under, if any."""
+    return _ACTIVE_SCOPE.get()
+
+
+@contextmanager
+def point_scope(cache: PointCache, scope: str):
+    """Bind a point store + unit scope for the duration of a work unit."""
+    token = _ACTIVE_SCOPE.set(PointScope(cache=cache, scope=scope))
+    try:
+        yield
+    finally:
+        _ACTIVE_SCOPE.reset(token)
+
+
+def maybe_point_scope(point_root: str | os.PathLike | None, scope: str):
+    """A :func:`point_scope` for ``point_root``, or a no-op when disabled.
+
+    The campaign runtime ships the point-store root to workers as a plain
+    string (work units must stay picklable); ``None`` means caching is off.
+    """
+    if point_root is None:
+        return nullcontext()
+    return point_scope(PointCache(Path(point_root)), scope)
+
+
+def point_context(session: AcceleratorSession, vccint_mv: float, f_mhz: float | None) -> dict:
+    """The physical identity of one measured point, for the cache key."""
+    board = session.board
+    return {
+        "benchmark": session.workload.name,
+        "variant": session.workload.variant_label,
+        "board": board.sample,
+        "vccint_mv": round(vccint_mv, 4),
+        "f_mhz": board.cal.f_default_mhz if f_mhz is None else float(f_mhz),
+        "t_setpoint_c": session._t_setpoint_c,
+    }
+
+
+def cached_point_measure(
+    session: AcceleratorSession,
+    config: ExperimentConfig,
+    f_mhz: float | None = None,
+):
+    """A ``measure(v_mv) -> Measurement`` bound to the active point store.
+
+    Without an active scope this is simply ``session.run_at``; with one,
+    cached points (including recorded hangs) are replayed from disk and
+    fresh outcomes are written back, hangs included — so a resumed or
+    re-parameterized sweep never re-probes a voltage it already knows.
+    Raises :class:`BoardHangError` for hung points either way.
+    """
+    active = active_point_scope()
+    if active is None:
+        return lambda v_mv: session.run_at(v_mv, f_mhz=f_mhz)
+    cache, scope = active.cache, active.scope
+
+    def measure(v_mv: float) -> Measurement:
+        context = point_context(session, v_mv, f_mhz)
+        fingerprint = point_fingerprint(scope, context, config)
+        record = cache.load(fingerprint)
+        if record is not None:
+            return record.realize(v_mv)
+        try:
+            measurement = session.run_at(v_mv, f_mhz=f_mhz)
+        except BoardHangError:
+            cache.store(fingerprint, scope, context, None, current_version())
+            raise
+        cache.store(fingerprint, scope, context, measurement, current_version())
+        return measurement
+
+    return measure

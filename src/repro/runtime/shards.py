@@ -7,6 +7,16 @@ single benchmark or a single ``(benchmark, board)`` pair.  Units carry only
 plain data (id, key, config), so they cross process boundaries trivially;
 the callable is resolved from the registry inside the worker.
 
+Below the scheduling atom sits the *caching* atom: a sweep-shaped unit
+decomposes further into voltage points, each cached individually under
+the owning experiment's scope (``WorkUnit.point_scope``) by
+:mod:`repro.runtime.points`.
+The planner never enumerates points up front — a sweep discovers its
+point set as it runs (the crash voltage, and for the adaptive strategy
+the bisection path, are not known a priori) — but every point it does
+visit lands in the per-point store, which is what makes interrupted or
+re-parameterized campaigns pay only for their frontier.
+
 Merging is exact by construction: plans enumerate shard keys in the same
 order the serial loop visits them, the executor returns results in unit
 order, and each plan's merge hook rebuilds its accumulator state in that
@@ -38,6 +48,17 @@ class WorkUnit:
         if self.shard_key is None:
             return self.experiment_id
         return f"{self.experiment_id}[{'/'.join(str(k) for k in self.shard_key)}]"
+
+    @property
+    def point_scope(self) -> str:
+        """Per-point cache scope: the experiment id alone.
+
+        Deliberately shard-independent — how the planner cut the
+        experiment (``jobs``) is an execution detail, and execution
+        details never move cache keys.  A point's shard identity lives
+        in its context (benchmark, board, ...) instead.
+        """
+        return self.experiment_id
 
 
 def plan_units(

@@ -1,5 +1,7 @@
 """Single source of truth for the package version."""
 
-# 1.1.0: batch-invariant conv/dense execution (per-sample GEMMs) changed
-# simulator numerics in the last ulp; the bump retires pre-change caches.
-__version__ = "1.1.0"
+# 1.2.0: the voltage point became the atomic unit of caching (per-point
+# store + adaptive sweep strategies + resumable campaign journal); the
+# bump retires experiment-level caches whose config schema grew the
+# strategy/v_resolution knobs.
+__version__ = "1.2.0"

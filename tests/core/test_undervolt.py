@@ -44,8 +44,44 @@ class TestSweep:
         sweep = VoltageSweep(vggnet_session, fast_config).run(start_mv=620.0)
         point = sweep.point_at(570.0)
         assert point.vccint_mv == pytest.approx(570.0)
+        # Default tolerance derives from the strategy resolution (5 mV
+        # grid -> half a step): off-grid queries snap to the nearest
+        # measured point...
+        assert sweep.resolution_mv == pytest.approx(5.0)
+        assert sweep.point_at(571.3).vccint_mv == pytest.approx(570.0)
+        # ...an explicit tighter tolerance still rejects them...
         with pytest.raises(KeyError):
-            sweep.point_at(571.3)
+            sweep.point_at(571.3, tolerance_mv=0.5)
+        # ...and queries outside the sweep range miss at any tolerance.
+        with pytest.raises(KeyError):
+            sweep.point_at(640.0)
+
+    def test_point_lookup_tolerance_tracks_fine_resolution(
+        self, vggnet_session, fast_config
+    ):
+        """Regression: a hard-coded 0.5 mV tolerance breaks sub-mV sweeps.
+
+        With points spaced finer than the old fixed tolerance, a
+        first-match lookup could return a *neighbouring* point; the
+        tolerance now derives from the active strategy's resolution and
+        the lookup is nearest-point, so every grid point maps to itself.
+        """
+        sweep = VoltageSweep(vggnet_session, fast_config).run(
+            start_mv=620.0, floor_mv=618.0, step_mv=0.25
+        )
+        assert sweep.resolution_mv == pytest.approx(0.25)
+        assert len(sweep.points) >= 3
+        for point in sweep.points:
+            assert sweep.point_at(point.vccint_mv) is point
+        # The old first-match-within-0.5-mV lookup returned the *first*
+        # point within the window — for a query nearest the second point
+        # that is the wrong neighbour.  Nearest-point selection fixes it.
+        second = sweep.points[1]
+        query = second.vccint_mv + 0.1  # 0.15 from points[0], 0.1 from points[1]
+        assert sweep.point_at(query) is second
+        # Queries beyond the measured range still miss.
+        with pytest.raises(KeyError):
+            sweep.point_at(sweep.points[0].vccint_mv + 0.2)
 
     def test_validation(self, vggnet_session, fast_config):
         campaign = VoltageSweep(vggnet_session, fast_config)

@@ -158,3 +158,11 @@ class TestCorruptionRecovery:
         fp = config_fingerprint("demo", CFG)
         cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
         assert [p.stem for p in cache.entries()] == [fp]
+
+    def test_entries_exclude_non_fingerprint_companions(self, cache):
+        """journal.json (and any future sibling) is not a cache entry."""
+        fp = config_fingerprint("demo", CFG)
+        cache.store(fp, "demo", CFG, sample_result(), wall_s=0.1)
+        (cache.root / "journal.json").write_text("{}")
+        (cache.root / "README.json").write_text("{}")
+        assert [p.stem for p in cache.entries()] == [fp]

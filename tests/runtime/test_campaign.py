@@ -98,6 +98,16 @@ def sharded_experiment():
     undo()
 
 
+def _die_in_pool_worker(value):
+    """Kills the hosting process when run in a pool worker; benign in-process."""
+    import multiprocessing
+    import os
+
+    if multiprocessing.current_process().name != "MainProcess":
+        os._exit(1)
+    return value
+
+
 class TestExecutor:
     def test_serial_preserves_order_and_times(self):
         outcomes = run_tasks([(len, (("a", "b"),)), (len, (("c",),))], jobs=1)
@@ -113,6 +123,37 @@ class TestExecutor:
     def test_task_exception_propagates(self):
         with pytest.raises(ZeroDivisionError):
             run_tasks([(divmod, (1, 0))], jobs=1)
+
+    def test_on_complete_fires_once_per_task_serially(self):
+        seen = []
+        outcomes = run_tasks(
+            [(pow, (2, i)) for i in range(4)],
+            jobs=1,
+            on_complete=lambda i, o: seen.append((i, o.value)),
+        )
+        assert seen == [(0, 1), (1, 2), (2, 4), (3, 8)]
+        assert [o.value for o in outcomes] == [1, 2, 4, 8]
+
+    def test_broken_pool_replays_only_unfinished_tasks(self):
+        """A dead pool falls back serially without duplicating callbacks.
+
+        One task kills its worker process, breaking the pool; the
+        executor must keep any outcomes already collected, replay the
+        rest in-process, fire ``on_complete`` exactly once per index, and
+        still return values in input order.
+        """
+        seen: dict[int, int] = {}
+
+        def on_complete(index, outcome):
+            assert index not in seen, "duplicate completion callback"
+            seen[index] = outcome.value
+
+        tasks = [(pow, (2, 3)), (_die_in_pool_worker, (7,)), (pow, (2, 4))]
+        outcomes = run_tasks(tasks, jobs=2, on_complete=on_complete)
+        assert [o.value for o in outcomes] == [8, 7, 16]
+        assert seen == {0: 8, 1: 7, 2: 16}
+        # The killer task can only have finished via the serial fallback.
+        assert outcomes[1].worker == "serial-fallback"
 
 
 class TestPlanning:
@@ -260,6 +301,50 @@ class TestCaching:
 
 
 class TestSweepCampaign:
+    def test_sweep_campaign_populates_point_store(self, tmp_path):
+        from repro.runtime.points import PointCache
+
+        cache = ResultCache(tmp_path / "c")
+        cfg = ExperimentConfig(repeats=1, samples=16)
+        cold = run_sweep_campaign("vggnet", [1], cfg, cache=cache)
+        points = PointCache(cache.point_root)
+        n_points = len(points.entries())
+        # One entry per measured row plus the recorded hang.
+        assert n_points == len(cold.entries[0].result.rows) + 1
+
+        # Losing the experiment-level entry is now cheap: the rebuild
+        # replays every point from the store and re-renders identically.
+        assert cache.invalidate(cold.entries[0].fingerprint)
+        rebuilt = run_sweep_campaign("vggnet", [1], cfg, cache=cache)
+        assert not rebuilt.entries[0].cache_hit
+        assert rebuilt.entries[0].result.rows == cold.entries[0].result.rows
+        assert rebuilt.entries[0].result.summary == cold.entries[0].result.summary
+        assert len(PointCache(cache.point_root).entries()) == n_points
+
+    def test_finer_step_extends_the_point_store(self, tmp_path):
+        from repro.runtime.points import PointCache
+
+        cache = ResultCache(tmp_path / "c")
+        coarse_cfg = ExperimentConfig(repeats=1, samples=16, v_step=0.010)
+        coarse = run_sweep_campaign("vggnet", [1], coarse_cfg, cache=cache)
+        n_coarse = len(PointCache(cache.point_root).entries())
+
+        fine_cfg = coarse_cfg.with_overrides(v_step=0.005)
+        fine = run_sweep_campaign("vggnet", [1], fine_cfg, cache=cache)
+        n_fine = len(PointCache(cache.point_root).entries())
+        # The fine sweep recomputed nothing it already knew: stores grew
+        # by exactly the count of new-to-the-store voltages (plus the
+        # finer crash probe when it lands on a new grid point).
+        new_rows = len(fine.entries[0].result.rows) - len(coarse.entries[0].result.rows)
+        new_hangs = int(fine.entries[0].result.summary["crash_mv"]
+                        != coarse.entries[0].result.summary["crash_mv"])
+        assert n_fine - n_coarse == new_rows + new_hangs
+        # Shared voltages render identically from the cached points.
+        coarse_by_mv = {r["vccint_mv"]: r for r in coarse.entries[0].result.rows}
+        for row in fine.entries[0].result.rows:
+            if row["vccint_mv"] in coarse_by_mv:
+                assert row == coarse_by_mv[row["vccint_mv"]]
+
     def test_sweep_all_boards_cached(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         cfg = ExperimentConfig(repeats=1, samples=16)

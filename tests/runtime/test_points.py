@@ -1,0 +1,255 @@
+"""Per-point cache tests: key semantics, invalidation, resume, corruption."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.session import AcceleratorSession
+from repro.core.undervolt import VoltageSweep
+from repro.errors import BoardHangError
+from repro.fpga.board import make_board
+from repro.models.zoo import build as build_workload
+from repro.runtime.hashing import point_fingerprint
+from repro.runtime.points import (
+    PointCache,
+    cached_point_measure,
+    measurement_from_payload,
+    measurement_to_payload,
+    point_context,
+    point_scope,
+)
+
+CFG = ExperimentConfig(repeats=2, samples=16)
+SCOPE = "fig3[vggnet]"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("vggnet", samples=CFG.samples, seed=CFG.seed)
+
+
+@pytest.fixture()
+def session(workload):
+    return AcceleratorSession(make_board(sample=1), workload, CFG)
+
+
+def fresh_session(workload, config=CFG):
+    return AcceleratorSession(make_board(sample=1), workload, config)
+
+
+def sweep(session, config, cache, start_mv=575.0, floor_mv=530.0):
+    with point_scope(cache, SCOPE):
+        return VoltageSweep(session, config).run(start_mv=start_mv, floor_mv=floor_mv)
+
+
+class TestPointKey:
+    def test_execution_and_sweep_plan_fields_do_not_move_the_key(self, session):
+        context = point_context(session, 570.0, None)
+        base = point_fingerprint(SCOPE, context, CFG)
+        for overrides in (
+            {"repeat_mode": "loop"},
+            {"batch_budget": 7},
+            {"v_step": 0.001},
+            {"strategy": "adaptive"},
+            {"v_resolution": 0.0005},
+            {"accuracy_tolerance": 0.05},
+        ):
+            assert point_fingerprint(SCOPE, context, CFG.with_overrides(**overrides)) == base
+
+    def test_semantic_fields_move_the_key(self, session):
+        context = point_context(session, 570.0, None)
+        base = point_fingerprint(SCOPE, context, CFG)
+        for overrides in ({"seed": 7}, {"repeats": 5}, {"samples": 32}, {"width_scale": 0.5}):
+            assert point_fingerprint(SCOPE, context, CFG.with_overrides(**overrides)) != base
+
+    def test_version_moves_the_key(self, session):
+        context = point_context(session, 570.0, None)
+        assert point_fingerprint(SCOPE, context, CFG, version="1.0.0") != point_fingerprint(
+            SCOPE, context, CFG, version="2.0.0"
+        )
+
+    def test_scope_voltage_and_clock_move_the_key(self, session):
+        context = point_context(session, 570.0, None)
+        base = point_fingerprint(SCOPE, context, CFG)
+        assert point_fingerprint("fig6[vggnet/1]", context, CFG) != base
+        assert point_fingerprint(SCOPE, point_context(session, 565.0, None), CFG) != base
+        assert point_fingerprint(SCOPE, point_context(session, 570.0, 200.0), CFG) != base
+
+
+class TestMeasurementCodec:
+    def test_round_trip_is_exact(self, session):
+        measurement = session.run_at(570.0)
+        payload = json.loads(json.dumps(measurement_to_payload(measurement)))
+        assert measurement_from_payload(payload) == measurement
+
+    def test_field_drift_rejected(self, session):
+        payload = measurement_to_payload(session.run_at(570.0))
+        payload.pop("accuracy")
+        with pytest.raises(ValueError):
+            measurement_from_payload(payload)
+
+
+class TestCachedSweeps:
+    def test_warm_sweep_replays_every_point(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        cold = sweep(fresh_session(workload), CFG, cache)
+        computed = cache.stats.stores
+        assert computed == len(cold.points) + 1  # + the recorded hang
+        warm_cache = PointCache(tmp_path / "points")
+        warm = sweep(fresh_session(workload), CFG, warm_cache)
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.stores == 0
+        assert warm_cache.stats.hits == len(cold.points) + 1
+        assert warm.crash_mv == cold.crash_mv
+        assert [p.measurement for p in warm.points] == [
+            p.measurement for p in cold.points
+        ]
+
+    def test_finer_step_pays_only_for_new_points(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, cache)
+        coarse_stores = cache.stats.stores
+        fine_config = CFG.with_overrides(v_step=0.0025)
+        fine = sweep(fresh_session(workload, fine_config), fine_config, cache)
+        # Every coarse point (and the hang) was replayed, not recomputed.
+        new_points = cache.stats.stores - coarse_stores
+        assert cache.stats.hits >= coarse_stores - 1
+        assert new_points < len(fine.points)
+
+    def test_grid_warms_adaptive(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, cache)
+        adaptive_config = CFG.with_overrides(strategy="adaptive")
+        before = cache.stats.stores
+        adaptive = sweep(fresh_session(workload, adaptive_config), adaptive_config, cache)
+        assert cache.stats.stores == before  # bisection replayed grid points
+        assert adaptive.crash_mv is not None
+
+    def test_version_bump_retires_points(self, workload, tmp_path, monkeypatch):
+        import repro.version
+
+        cache = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, cache)
+        stores = cache.stats.stores
+        monkeypatch.setattr(repro.version, "__version__", "999.0.0")
+        sweep(fresh_session(workload), CFG, cache)
+        assert cache.stats.stores == 2 * stores  # everything recomputed
+
+    def test_repeat_mode_flip_keeps_points_warm(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        cold = sweep(fresh_session(workload), CFG, cache)
+        loop_config = CFG.with_overrides(repeat_mode="loop", batch_budget=64)
+        before = cache.stats.stores
+        warm = sweep(fresh_session(workload, loop_config), loop_config, cache)
+        assert cache.stats.stores == before
+        assert [p.measurement for p in warm.points] == [
+            p.measurement for p in cold.points
+        ]
+
+    def test_hang_is_cached_and_replayed(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        cold = sweep(fresh_session(workload), CFG, cache)
+        assert cold.crash_mv is not None
+        session = fresh_session(workload)
+        with point_scope(cache, SCOPE):
+            measure = cached_point_measure(session, CFG)
+            with pytest.raises(BoardHangError):
+                measure(cold.crash_mv)
+        # The cached hang never touched the live board.
+        assert session.board.crash_count == 0
+
+    def test_point_scope_is_jobs_invariant(self, tmp_path):
+        """A sharded (jobs>1) run's points are replayed by a serial run.
+
+        Regression: the scope must be the experiment id alone — keying it
+        on the work unit's shard key would give the same voltage point
+        different fingerprints depending on ``--jobs``, silently
+        recomputing whole fleets on a serial rerun of a parallel campaign.
+        """
+        from repro.experiments.common import fleet_sessions, sweep_to_crash
+        from repro.experiments.registry import run_unit
+
+        cfg = ExperimentConfig(repeats=1, samples=16)
+        root = tmp_path / "points"
+        # As a jobs>1 worker would: one per-benchmark shard of fig3.
+        run_unit("fig3", ("vggnet",), cfg, str(root))
+        cache = PointCache(root)
+        assert len(cache.entries()) > 0
+        # As the serial whole-experiment path scopes it: same experiment,
+        # no shard key.  Every vggnet fleet point must replay.
+        with point_scope(cache, "fig3"):
+            for session in fleet_sessions("vggnet", cfg):
+                sweep_to_crash(session, cfg, start_mv=620.0)
+        assert cache.stats.misses == 0
+        assert cache.stats.stores == 0
+        assert cache.stats.hits > 0
+
+    def test_interrupted_sweep_resumes_from_frontier(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        session = fresh_session(workload)
+        with point_scope(cache, SCOPE):
+            measure = cached_point_measure(session, CFG)
+            for v_mv in (575.0, 570.0, 565.0):  # partial progress, then "crash"
+                measure(v_mv)
+        partial = cache.stats.stores
+        assert partial == 3
+        resumed = sweep(fresh_session(workload), CFG, cache)
+        assert cache.stats.stores == partial + len(resumed.points) + 1 - 3
+        reference = sweep(fresh_session(workload), CFG, PointCache(tmp_path / "ref"))
+        assert [p.measurement for p in resumed.points] == [
+            p.measurement for p in reference.points
+        ]
+
+
+class TestCorruption:
+    def test_corrupt_point_recomputed(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, cache)
+        victim = cache.entries()[0]
+        victim.write_text("{corrupt")
+        warm = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, warm)
+        assert warm.stats.corrupt == 1
+        assert warm.stats.stores == 1  # only the victim was recomputed
+
+    def test_wrong_fingerprint_treated_as_corrupt(self, tmp_path, workload):
+        cache = PointCache(tmp_path / "points")
+        sweep(fresh_session(workload), CFG, cache)
+        entries = cache.entries()
+        payload = json.loads(entries[0].read_text())
+        payload["fingerprint"] = "0" * 16
+        entries[0].write_text(json.dumps(payload))
+        fresh = PointCache(tmp_path / "points")
+        assert fresh.load(entries[0].stem) is None
+        assert fresh.stats.corrupt == 1
+
+
+class TestGridAdaptiveProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        index=st.integers(min_value=0, max_value=9),
+        plan=st.sampled_from(
+            [
+                {"strategy": "grid", "v_step": 0.005},
+                {"strategy": "adaptive", "v_step": 0.005},
+                {"strategy": "adaptive", "v_resolution": 0.0025},
+                {"strategy": "grid", "v_resolution": 0.0025, "repeat_mode": "loop"},
+            ]
+        ),
+    )
+    def test_same_voltage_same_measurement_under_any_plan(self, workload, index, plan):
+        """The sweep plan never leaks into a point's measured value.
+
+        Any strategy/step/resolution combination that lands on voltage
+        ``v`` must produce the bit-identical Measurement the default plan
+        produces there — the invariant that makes sharing per-point cache
+        entries across strategies sound.
+        """
+        v_mv = 575.0 - index * 2.5  # spans guardband into the critical region
+        baseline = fresh_session(workload).run_at(v_mv)
+        other_config = CFG.with_overrides(**plan)
+        other = fresh_session(workload, other_config).run_at(v_mv)
+        assert other == baseline

@@ -67,6 +67,7 @@ class TestConfigFlags:
                 "--seed", "7", "--repeats", "2", "--samples", "32",
                 "--v-step", "0.01", "--width-scale", "0.5",
                 "--accuracy-tolerance", "0.02",
+                "--strategy", "adaptive", "--v-resolution", "0.001",
             ]
         )
         config = _config_from_args(args)
@@ -76,6 +77,8 @@ class TestConfigFlags:
         assert config.v_step == 0.01
         assert config.width_scale == 0.5
         assert config.accuracy_tolerance == 0.02
+        assert config.strategy == "adaptive"
+        assert config.v_resolution == 0.001
 
     def test_defaults_match_experiment_config(self):
         from repro.cli import _config_from_args
@@ -87,6 +90,8 @@ class TestConfigFlags:
         assert config.v_step == defaults.v_step
         assert config.width_scale == defaults.width_scale
         assert config.accuracy_tolerance == defaults.accuracy_tolerance
+        assert config.strategy == defaults.strategy == "grid"
+        assert config.v_resolution is defaults.v_resolution is None
 
     def test_every_campaign_command_has_runtime_flags(self):
         parser = build_parser()
@@ -154,3 +159,28 @@ class TestRuntimeCommands:
         )
         assert code == 0
         assert "sec41" in capsys.readouterr().out
+
+    def test_run_adaptive_strategy(self, capsys):
+        code = main(
+            ["run", "fig3", "--repeats", "1", "--samples", "16",
+             "--strategy", "adaptive", "--no-cache"]
+        )
+        assert code == 0
+        assert "vmin_mean_mv" in capsys.readouterr().out
+
+    def test_campaign_journal_and_resume(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["campaign", "sec41", "--repeats", "1", "--samples", "16",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "journal" in first and "1 fresh" in first
+        assert (tmp_path / "cache" / "journal.json").exists()
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "1 resumed" in resumed and "0 recomputed" in resumed
+
+    def test_resume_requires_cache(self, capsys):
+        code = main(["campaign", "sec41", "--no-cache", "--resume"])
+        assert code == 2
+        assert "--resume requires the result cache" in capsys.readouterr().out
