@@ -12,6 +12,9 @@ Examples::
     repro-undervolt campaign paper --jobs 8
     repro-undervolt campaign paper --jobs 8 --resume
     repro-undervolt campaign fig3 fig6 --no-cache
+    repro-undervolt query landmarks --benchmark vggnet --board 0
+    repro-undervolt query guardband --benchmark vggnet --markdown
+    repro-undervolt serve --port 8080 --compute
 
 Every campaign-shaped command accepts ``--jobs`` (process fan-out),
 ``--cache-dir``/``--no-cache`` (the content-addressed result cache: whole
@@ -22,6 +25,12 @@ experiments plus individual sweep voltage points), and the full set of
 ``campaign`` additionally journals its plan under the cache dir and
 accepts ``--resume`` to pick an interrupted campaign back up, skipping
 every unit (and every already-measured voltage point) that completed.
+
+The serving side reads what the campaigns wrote: ``query`` answers
+one-shot characterization questions (points / landmarks / guardband /
+stats) from the cache dir's point store, and ``serve`` exposes the same
+queries as JSON endpoints over HTTP (see :mod:`repro.serve`).  Both
+accept ``--compute`` to fill misses through the campaign executor.
 """
 
 from __future__ import annotations
@@ -262,6 +271,77 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.query import open_index, to_json
+
+    config = _config_from_args(args)
+    index = open_index(args.cache_dir, config=config, jobs=args.jobs)
+    if args.markdown:
+        # The markdown report covers landmarks + guardband for the whole
+        # (optionally benchmark-filtered) index; skip building a JSON
+        # payload that would be discarded anyway.
+        from repro.analysis.report import render_characterization_report
+
+        print(render_characterization_report(index, benchmark=args.benchmark))
+        return 0
+    try:
+        if args.what == "stats":
+            payload = index.stats()
+        elif args.what == "points":
+            if args.benchmark is None:
+                print("error: --benchmark is required for 'points' queries")
+                return 2
+            if args.v_mv is not None:
+                payload = index.point(
+                    args.benchmark, args.v_mv, variant=args.variant,
+                    board=args.board or 0, mode=args.mode, compute=args.compute,
+                )
+            else:
+                payload = index.points(
+                    args.benchmark, variant=args.variant, board=args.board or 0
+                )
+        elif args.what == "landmarks":
+            payload = {
+                "landmarks": index.landmarks(
+                    benchmark=args.benchmark, variant=args.variant,
+                    board=args.board, compute=args.compute,
+                )
+            }
+        else:  # guardband
+            payload = {
+                "guardband": index.guardband(
+                    benchmark=args.benchmark, variant=args.variant
+                )
+            }
+    except (KeyError, ValueError) as exc:
+        # A miss or an ambiguous filter is an answer, not a crash: the
+        # same errors the HTTP layer maps to 404/400.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}")
+        return 1
+    if args.pretty:
+        print(json.dumps(json.loads(to_json(payload)), indent=2, sort_keys=True))
+    else:
+        print(to_json(payload))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import serve
+
+    return serve(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        config=_config_from_args(args),
+        allow_compute=args.compute,
+        lru_capacity=args.lru_capacity,
+        jobs=args.jobs,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-undervolt",
@@ -316,6 +396,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_flags(p_campaign, repeats=3, samples=64)
     _add_runtime_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    from repro.runtime.cache import DEFAULT_CACHE_DIR
+
+    p_query = sub.add_parser(
+        "query",
+        help="one-shot characterization queries against a warm point store",
+    )
+    p_query.add_argument(
+        "what", choices=["points", "landmarks", "guardband", "stats"],
+        help="what to ask the characterization index",
+    )
+    p_query.add_argument("--benchmark", help="benchmark name, e.g. vggnet")
+    p_query.add_argument("--variant", help="workload variant label filter")
+    p_query.add_argument(
+        "--board", type=int, default=None, help="board sample index filter"
+    )
+    p_query.add_argument(
+        "--v-mv", dest="v_mv", type=float, default=None,
+        help="voltage (mV) for a single-point lookup",
+    )
+    p_query.add_argument(
+        "--mode", choices=["exact", "nearest", "interpolate"], default="exact",
+        help="single-point lookup mode (default exact)",
+    )
+    p_query.add_argument(
+        "--compute", action="store_true",
+        help="fill misses by scheduling the missing sweep/point through "
+             "the campaign executor (coalesced)",
+    )
+    p_query.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory holding the point store (default {DEFAULT_CACHE_DIR})",
+    )
+    p_query.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for read-through computes (default 1)",
+    )
+    p_query.add_argument(
+        "--pretty", action="store_true", help="indent the JSON output"
+    )
+    p_query.add_argument(
+        "--markdown", action="store_true",
+        help="render a landmark/guardband markdown report instead of JSON",
+    )
+    _add_config_flags(p_query, repeats=3, samples=96)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the characterization index over HTTP (JSON endpoints)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--compute", action="store_true",
+        help="allow clients to request read-through compute (?compute=1)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory holding the point store (default {DEFAULT_CACHE_DIR})",
+    )
+    p_serve.add_argument(
+        "--lru-capacity", dest="lru_capacity", type=int, default=None,
+        help="bound on parsed point payloads held in memory",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for read-through computes (default 1)",
+    )
+    _add_config_flags(p_serve, repeats=3, samples=96)
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -50,10 +50,12 @@ class SweepPoint:
 
     @property
     def vccint_mv(self) -> float:
+        """The point's VCCINT in millivolts."""
         return self.measurement.vccint_mv
 
     @property
     def accuracy(self) -> float:
+        """Mean classification accuracy over the fault realizations."""
         return self.measurement.accuracy
 
 
@@ -82,12 +84,69 @@ class SweepResult:
     #: How many of the executed probes hung the board.
     hang_probes: int = 0
 
+    @classmethod
+    def from_measurements(
+        cls,
+        measurements: list[Measurement],
+        crash_mv: float | None = None,
+        hang_probes: int = 0,
+        strategy: str = "reassembled",
+        resolution_mv: float | None = None,
+    ) -> "SweepResult":
+        """Reassemble a sweep-shaped result from stored measurements.
+
+        The characterization index (:mod:`repro.runtime.query`) holds
+        loose per-voltage points, not sweeps; this constructor packages
+        one dataset's points back into the shape every landmark consumer
+        (:func:`repro.core.regions.detect_regions`, the figure runners)
+        already understands, so landmark extraction has exactly one
+        implementation.  Points are ordered high-to-low voltage — the
+        invariant ``detect_regions`` relies on — regardless of input
+        order, and the default :meth:`point_at` tolerance derives from
+        the finest spacing actually present.
+
+        ``crash_mv``/``hang_probes`` carry the recorded-hang information
+        when the producing store has it; identity fields (benchmark,
+        variant, board) come from the measurements themselves, which must
+        all belong to one (benchmark, variant, board) dataset.
+        """
+        if not measurements:
+            raise ValueError("cannot assemble a sweep from zero measurements")
+        ordered = sorted(measurements, key=lambda m: -m.vccint_mv)
+        first = ordered[0]
+        for m in ordered:
+            identity = (m.benchmark, m.variant, m.board_sample)
+            if identity != (first.benchmark, first.variant, first.board_sample):
+                raise ValueError(
+                    f"measurements span datasets: {identity} vs "
+                    f"{(first.benchmark, first.variant, first.board_sample)}"
+                )
+        if resolution_mv is None:
+            spacings = [
+                a.vccint_mv - b.vccint_mv for a, b in zip(ordered, ordered[1:])
+            ]
+            positive = [s for s in spacings if s > 1e-9]
+            resolution_mv = min(positive) if positive else 5.0
+        return cls(
+            benchmark=first.benchmark,
+            variant=first.variant,
+            board_sample=first.board_sample,
+            points=[SweepPoint(m) for m in ordered],
+            crash_mv=crash_mv,
+            resolution_mv=resolution_mv,
+            strategy=strategy,
+            points_executed=len(ordered) + hang_probes,
+            hang_probes=hang_probes,
+        )
+
     @property
     def voltages_mv(self) -> list[float]:
+        """Visited voltages (mV), in sweep order."""
         return [p.vccint_mv for p in self.points]
 
     @property
     def measurements(self) -> list[Measurement]:
+        """The raw measurements, in sweep order."""
         return [p.measurement for p in self.points]
 
     def point_at(
@@ -112,10 +171,12 @@ class SweepResult:
 
     @property
     def nominal(self) -> SweepPoint:
+        """The first (highest-voltage) point — the sweep's baseline."""
         return self.points[0]
 
     @property
     def last_alive(self) -> SweepPoint:
+        """The deepest point measured alive (Vcrash by the paper's definition)."""
         return self.points[-1]
 
 
@@ -139,6 +200,7 @@ class SweepProbe:
         self.hangs = 0
 
     def measure(self, v_mv: float) -> Measurement | None:
+        """Measure one voltage (memoized); ``None`` records a board hang."""
         key = round(v_mv, 6)
         if key in self._memo:
             return self._memo[key]
@@ -164,6 +226,7 @@ class GridStrategy:
     def run(
         self, probe: SweepProbe, start_mv: float, floor_mv: float
     ) -> tuple[list[Measurement], float | None]:
+        """Walk every grid point down; returns ``(points, crash_mv)``."""
         points: list[Measurement] = []
         index = 0
         while True:
@@ -208,6 +271,7 @@ class AdaptiveStrategy:
     def run(
         self, probe: SweepProbe, start_mv: float, floor_mv: float
     ) -> tuple[list[Measurement], float | None]:
+        """Coarse-descend then bisect; returns ``(points, crash_mv)``."""
         res = self.resolution_mv
         # Deepest grid index still at or above the floor.
         deepest = int((start_mv - floor_mv) / res + 1e-9)

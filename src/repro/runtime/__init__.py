@@ -23,6 +23,11 @@ embarrassingly parallel, cache-friendly workload:
   per-task completion hooks (units finalize as they land).
 * :mod:`repro.runtime.campaign` — the orchestrator gluing the above
   together, plus the named campaign sets the CLI exposes.
+* :mod:`repro.runtime.query` — the serving side: a read-through
+  characterization index over the point store (exact/nearest/interpolated
+  point lookup, Vmin/Vcrash landmarks, guardband maps) with an in-process
+  LRU and request-coalesced miss computation; the engine behind
+  ``repro-undervolt query``/``serve`` (public facade: :mod:`repro.query`).
 
 Determinism contract: at a fixed seed, ``run_campaign(..., jobs=N)`` is
 bit-identical to ``jobs=1``, which is itself bit-identical to calling the
@@ -43,7 +48,14 @@ from repro.runtime.campaign import (
 from repro.runtime.executor import TaskOutcome, run_tasks
 from repro.runtime.hashing import config_fingerprint, point_fingerprint
 from repro.runtime.journal import CampaignJournal, campaign_fingerprint
-from repro.runtime.points import PointCache, PointStats, point_scope
+from repro.runtime.points import PointCache, PointEntry, PointStats, point_scope
+from repro.runtime.query import (
+    CharacterizationIndex,
+    DatasetKey,
+    MeasurementLRU,
+    RequestCoalescer,
+    open_index,
+)
 from repro.runtime.shards import WorkUnit, merge_unit_results, plan_units
 
 __all__ = [
@@ -54,14 +66,20 @@ __all__ = [
     "CampaignEntry",
     "CampaignJournal",
     "CampaignOutcome",
+    "CharacterizationIndex",
+    "DatasetKey",
+    "MeasurementLRU",
     "PointCache",
+    "PointEntry",
     "PointStats",
+    "RequestCoalescer",
     "ResultCache",
     "TaskOutcome",
     "WorkUnit",
     "campaign_fingerprint",
     "config_fingerprint",
     "merge_unit_results",
+    "open_index",
     "plan_units",
     "point_fingerprint",
     "point_scope",

@@ -83,6 +83,7 @@ def result_to_payload(result: ExperimentResult) -> dict:
 
 
 def result_from_payload(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its stored JSON payload."""
     if not _RESULT_KEYS <= set(payload):
         missing = sorted(_RESULT_KEYS - set(payload))
         raise ValueError(f"result payload missing keys: {missing}")
@@ -116,6 +117,7 @@ class CacheStats:
     corrupt: int = 0
 
     def as_dict(self) -> dict:
+        """Plain-dict snapshot of the counters (for stats endpoints)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -143,6 +145,7 @@ class ResultCache:
         self.root = Path(self.root)
 
     def path_for(self, fingerprint: str) -> Path:
+        """On-disk location of one entry."""
         return self.root / f"{fingerprint}.json"
 
     @property

@@ -141,17 +141,21 @@ class CampaignOutcome:
 
     @property
     def results(self) -> list[ExperimentResult]:
+        """The experiment results alone, in requested order."""
         return [e.result for e in self.entries]
 
     @property
     def cache_hits(self) -> int:
+        """How many requested experiments were served from the cache."""
         return sum(1 for e in self.entries if e.cache_hit)
 
     @property
     def computed(self) -> int:
+        """How many requested experiments were computed fresh."""
         return len(self.entries) - self.cache_hits
 
     def entry(self, experiment_id: str) -> CampaignEntry:
+        """The provenance entry for one experiment id (KeyError if absent)."""
         for e in self.entries:
             if e.experiment_id == experiment_id:
                 return e

@@ -80,6 +80,7 @@ class ResumeStats:
     cached: int = 0
 
     def as_dict(self) -> dict:
+        """Plain-dict snapshot (the shape journal run records store)."""
         return {
             "planned": self.planned,
             "completed": self.completed,
@@ -217,10 +218,12 @@ class CampaignJournal:
     # ------------------------------------------------------------------
 
     def campaign(self, campaign_id: str) -> dict:
+        """One campaign's record (``{"units": ..., "runs": ...}``; empty if unknown)."""
         empty = {"units": {}, "runs": []}
         return self._read().get("campaigns", {}).get(campaign_id, empty)
 
     def completed_fingerprints(self, campaign_id: str) -> set[str]:
+        """Fingerprints of every unit the campaign has seen complete."""
         return {
             fingerprint
             for fingerprint, unit in self.campaign(campaign_id)["units"].items()
@@ -228,5 +231,22 @@ class CampaignJournal:
         }
 
     def last_run(self, campaign_id: str) -> dict | None:
+        """The most recent run's resume accounting, or ``None``."""
         runs = self.campaign(campaign_id)["runs"]
         return runs[-1] if runs else None
+
+    def summary(self) -> dict:
+        """Journal-wide totals: campaigns recorded, units completed.
+
+        The characterization service's ``/stats`` endpoint reports this
+        so an operator can see how much compute history a cache
+        directory carries without opening the file.
+        """
+        campaigns = self._read().get("campaigns", {})
+        completed = sum(
+            1
+            for record in campaigns.values()
+            for unit in record.get("units", {}).values()
+            if unit.get("status") == "completed"
+        )
+        return {"campaigns": len(campaigns), "completed_units": completed}

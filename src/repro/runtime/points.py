@@ -50,6 +50,7 @@ from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.session import AcceleratorSession, Measurement
@@ -70,6 +71,12 @@ def measurement_to_payload(measurement: Measurement) -> dict:
 
 
 def measurement_from_payload(payload: dict) -> Measurement:
+    """Rebuild a :class:`Measurement` from its stored JSON payload.
+
+    Strict on field drift in either direction — a point written by a
+    different :class:`Measurement` schema must read as corruption, never
+    as a half-filled measurement.
+    """
     if set(payload) != _MEASUREMENT_KEYS:
         drift = sorted(set(payload) ^ _MEASUREMENT_KEYS)
         raise ValueError(f"measurement payload fields drifted: {drift}")
@@ -86,6 +93,7 @@ class PointStats:
     corrupt: int = 0
 
     def as_dict(self) -> dict:
+        """Plain-dict snapshot of the counters (for stats endpoints)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -120,6 +128,7 @@ class PointCache:
         self.root = Path(self.root)
 
     def path_for(self, fingerprint: str) -> Path:
+        """On-disk location of one point entry."""
         return self.root / f"{fingerprint}.json"
 
     def load(self, fingerprint: str) -> PointRecord | None:
@@ -180,6 +189,75 @@ class PointCache:
         if not self.root.is_dir():
             return []
         return sorted(p for p in self.root.glob("*.json") if p.is_file())
+
+    def iter_entries(self) -> Iterator[PointEntry]:
+        """Parse every valid point file, in sorted-filename order.
+
+        The iteration API index builders consume: corrupt or
+        schema-drifted files are silently skipped (use
+        :func:`read_point_entry` directly to distinguish them), and the
+        deterministic order makes any first-wins deduplication downstream
+        reproducible across runs.
+        """
+        for path in self.entries():
+            entry = read_point_entry(path)
+            if entry is not None:
+                yield entry
+
+
+@dataclass(frozen=True)
+class PointEntry:
+    """One fully parsed point file: cache key parts plus the record.
+
+    This is the read-side view the characterization query service
+    (:mod:`repro.runtime.query`) indexes: unlike :meth:`PointCache.load`,
+    which answers "is *this* fingerprint cached?", an entry carries the
+    point's own identity — the work-unit scope and the physical context
+    dict it was measured under — so a reader can reconstruct the datasets
+    a store holds without knowing any fingerprints up front.
+    """
+
+    fingerprint: str
+    #: Work unit that measured the point (experiment id, e.g. ``fig3`` or
+    #: ``sweep:vggnet:board0``).
+    scope: str
+    #: Physical identity: benchmark/variant/board/voltage/clock/temp (see
+    #: :func:`point_context`).
+    context: dict
+    #: Library version recorded at store time.
+    version: str
+    record: PointRecord
+
+
+def read_point_entry(path: str | os.PathLike) -> PointEntry | None:
+    """Parse one point file into a :class:`PointEntry`; ``None`` if invalid.
+
+    Read-only: unlike :meth:`PointCache.load` this never deletes a corrupt
+    file — index builders skip and count corruption, while the write path
+    (the sweep engine) remains the one place entries are retired.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        if not _ENTRY_KEYS <= set(payload):
+            raise ValueError("point payload missing keys")
+        if payload["fingerprint"] != path.stem:
+            raise ValueError("point entry under the wrong fingerprint")
+        hang = bool(payload["hang"])
+        measurement = None
+        if not hang:
+            measurement = measurement_from_payload(payload["measurement"])
+        if not isinstance(payload["context"], dict):
+            raise ValueError("point context must be a dict")
+        return PointEntry(
+            fingerprint=payload["fingerprint"],
+            scope=str(payload["scope"]),
+            context=payload["context"],
+            version=str(payload["version"]),
+            record=PointRecord(hang=hang, measurement=measurement),
+        )
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
 
 
 @dataclass(frozen=True)

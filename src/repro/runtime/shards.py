@@ -45,6 +45,7 @@ class WorkUnit:
 
     @property
     def label(self) -> str:
+        """Human-readable unit name, e.g. ``fig6[vggnet/2]``."""
         if self.shard_key is None:
             return self.experiment_id
         return f"{self.experiment_id}[{'/'.join(str(k) for k in self.shard_key)}]"

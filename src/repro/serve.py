@@ -1,0 +1,294 @@
+"""HTTP serving layer for the characterization database.
+
+``repro-undervolt serve`` wraps one
+:class:`~repro.runtime.query.CharacterizationIndex` in a stdlib
+``ThreadingHTTPServer`` (no web framework, no new dependencies) and
+exposes the characterization queries as JSON-over-GET endpoints:
+
+========================  =====================================================
+endpoint                  answers
+========================  =====================================================
+``/healthz``              liveness + library version + indexed-point count
+``/stats``                the index's full counter set (LRU, coalescing,
+                          ``served_from_cache``, journal summary)
+``/points``               one dataset's measured points
+                          (``?benchmark=&board=&variant=&f_mhz=&temp=``), or —
+                          with ``&v_mv=`` — one operating point
+                          (``&mode=exact|nearest|interpolate``)
+``/landmarks``            Vmin/Vcrash landmark rows per matching dataset
+                          (all filters optional)
+``/guardband``            per-board guardband maps (+ fleet worst case)
+========================  =====================================================
+
+Responses are rendered through :func:`repro.runtime.query.to_json`
+(sorted keys, fixed separators), so two concurrent identical queries
+return byte-identical bodies — the property the concurrency tests pin.
+
+Misses are 404s by default: a serving instance must never silently turn
+a read into a multi-minute sweep.  Start the server with
+``compute=True`` (CLI: ``--compute``) to allow clients to opt in per
+request via ``&compute=1``; coalescing in the index guarantees N
+concurrent requests for one missing sweep trigger exactly one
+computation.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.experiment import ExperimentConfig
+from repro.errors import CampaignError
+from repro.runtime.query import CharacterizationIndex, to_json
+from repro.version import __version__
+
+
+def _first(params: dict, name: str) -> str | None:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+def _as_int(value: str | None, name: str) -> int | None:
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer") from None
+
+
+def _as_float(value: str | None, name: str) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be a number") from None
+
+
+def _as_bool(value: str | None) -> bool:
+    return value is not None and value.lower() not in ("", "0", "false", "no")
+
+
+class CharacterizationRequestHandler(BaseHTTPRequestHandler):
+    """Routes one GET request to the server's index (see module docstring)."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler's contract
+        """Dispatch the request path; errors map to 4xx/5xx JSON bodies."""
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        try:
+            handler = {
+                "/healthz": self._handle_healthz,
+                "/stats": self._handle_stats,
+                "/points": self._handle_points,
+                "/landmarks": self._handle_landmarks,
+                "/guardband": self._handle_guardband,
+            }.get(url.path)
+            if handler is None:
+                self._reply(404, {"error": f"unknown endpoint {url.path!r}"})
+                return
+            self._reply(200, handler(params))
+        except PermissionError as exc:
+            self._reply(403, {"error": str(exc)})
+        except (KeyError, FileNotFoundError) as exc:
+            self._reply(404, {"error": str(exc)})
+        except (ValueError, CampaignError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> CharacterizationIndex:
+        """The characterization index this server serves."""
+        return self.server.index  # type: ignore[attr-defined]
+
+    def _compute_allowed(self, params: dict) -> bool:
+        """Whether this request may schedule computation on a miss."""
+        wants = _as_bool(_first(params, "compute"))
+        if wants and not self.server.allow_compute:  # type: ignore[attr-defined]
+            raise PermissionError(
+                "read-through compute is disabled; start the server with --compute"
+            )
+        return wants
+
+    def _handle_healthz(self, params: dict) -> dict:
+        """Liveness probe: version + how many points are indexed."""
+        stats = self.index.stats()
+        return {
+            "status": "ok",
+            "version": stats["version"],
+            "points_indexed": stats["points"]["indexed"],
+            "datasets": stats["datasets"],
+        }
+
+    def _handle_stats(self, params: dict) -> dict:
+        """The index's full stats payload."""
+        return self.index.stats()
+
+    def _handle_points(self, params: dict) -> dict:
+        """Dataset dump, or single-point lookup when ``v_mv`` is given."""
+        benchmark = _first(params, "benchmark")
+        if benchmark is None:
+            raise ValueError("query parameter 'benchmark' is required")
+        common = dict(
+            variant=_first(params, "variant"),
+            board=_as_int(_first(params, "board"), "board") or 0,
+            f_mhz=_as_float(_first(params, "f_mhz"), "f_mhz"),
+            t_setpoint_c=_as_float(_first(params, "temp"), "temp"),
+        )
+        v_mv = _as_float(_first(params, "v_mv"), "v_mv")
+        if v_mv is None:
+            return self.index.points(benchmark, **common)
+        return self.index.point(
+            benchmark,
+            v_mv,
+            mode=_first(params, "mode") or "exact",
+            compute=self._compute_allowed(params),
+            **common,
+        )
+
+    def _handle_landmarks(self, params: dict) -> dict:
+        """Landmark rows for every dataset matching the filters."""
+        return {
+            "landmarks": self.index.landmarks(
+                benchmark=_first(params, "benchmark"),
+                variant=_first(params, "variant"),
+                board=_as_int(_first(params, "board"), "board"),
+                compute=self._compute_allowed(params),
+            )
+        }
+
+    def _handle_guardband(self, params: dict) -> dict:
+        """Per-board guardband maps for the matching datasets."""
+        return {
+            "guardband": self.index.guardband(
+                benchmark=_first(params, "benchmark"),
+                variant=_first(params, "variant"),
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = to_json(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Access logging, silenced when the server runs quiet (tests)."""
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+
+class CharacterizationServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one characterization index.
+
+    Threading matters: landmark extraction and LRU refills take real
+    time, and the paper's "database for downstream users" is read-heavy —
+    one slow query must not head-of-line-block the health checks.  The
+    shared :class:`~repro.runtime.query.CharacterizationIndex` is
+    thread-safe and coalesces duplicate read-through computations.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        index: CharacterizationIndex,
+        allow_compute: bool = False,
+        quiet: bool = False,
+    ):
+        super().__init__(address, CharacterizationRequestHandler)
+        self.index = index
+        self.allow_compute = allow_compute
+        self.quiet = quiet
+
+
+def make_server(
+    cache_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: ExperimentConfig | None = None,
+    allow_compute: bool = False,
+    lru_capacity: int | None = None,
+    jobs: int = 1,
+    quiet: bool = False,
+) -> CharacterizationServer:
+    """Build a ready-to-run server over one cache directory.
+
+    ``port=0`` binds an ephemeral port (the tests' pattern); read the
+    bound address back from ``server.server_address``.
+    """
+    kwargs: dict = {"config": config, "jobs": jobs}
+    if lru_capacity is not None:
+        kwargs["lru_capacity"] = lru_capacity
+    index = CharacterizationIndex(cache_dir, **kwargs)
+    return CharacterizationServer(
+        (host, port), index, allow_compute=allow_compute, quiet=quiet
+    )
+
+
+def serve_in_thread(server: CharacterizationServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (tests/embedding).
+
+    Call ``server.shutdown()`` then ``server.server_close()`` to stop.
+    """
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def serve(
+    cache_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: ExperimentConfig | None = None,
+    allow_compute: bool = False,
+    lru_capacity: int | None = None,
+    jobs: int = 1,
+) -> int:
+    """Blocking entry point behind ``repro-undervolt serve``."""
+    server = make_server(
+        cache_dir, host=host, port=port, config=config,
+        allow_compute=allow_compute, lru_capacity=lru_capacity, jobs=jobs,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    stats = server.index.stats()
+    print(
+        f"serving characterization index of {cache_dir} "
+        f"({stats['points']['indexed']} points, {stats['datasets']} datasets) "
+        f"on http://{bound_host}:{bound_port} "
+        f"(compute={'on' if allow_compute else 'off'})",
+        flush=True,  # operators tail piped logs; don't sit in the buffer
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+__all__ = [
+    "CharacterizationRequestHandler",
+    "CharacterizationServer",
+    "make_server",
+    "serve",
+    "serve_in_thread",
+]

@@ -39,8 +39,13 @@ class TestCalibratedModel:
         for v, fmax in expected.items():
             assert model.fmax_on_grid_mhz(v, CAL.f_grid_mhz) == fmax, f"at {v}"
 
+    # deadline=None on the @given properties below: each example is
+    # microseconds of pure math, but hypothesis's per-example wall-clock
+    # deadline flakes when the suite shares a loaded box (observed once
+    # in CI under the bench job); wall time is not what these properties
+    # assert.
     @given(st.floats(min_value=0.53, max_value=0.99))
-    @settings(max_examples=100)
+    @settings(max_examples=100, deadline=None)
     def test_fsafe_monotonic_in_voltage(self, v):
         # Below ~0.52 V the extrapolated curve rests on its 1 MHz floor
         # (already deep in the hang region), so monotonicity is asserted
@@ -99,7 +104,7 @@ class TestAlphaPowerModel:
         assert m.fsafe_mhz(CAL.vmin_mean) == pytest.approx(333.5, rel=1e-6)
 
     @given(st.floats(min_value=0.45, max_value=0.95))
-    @settings(max_examples=100)
+    @settings(max_examples=100, deadline=None)
     def test_monotonic_in_voltage(self, v):
         m = AlphaPowerDelayModel(CAL)
         assert m.fsafe_mhz(v + 0.005) > m.fsafe_mhz(v)

@@ -184,3 +184,101 @@ class TestRuntimeCommands:
         code = main(["campaign", "sec41", "--no-cache", "--resume"])
         assert code == 2
         assert "--resume requires the result cache" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def warm_cache_dir(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["sweep", "vggnet", "--board", "0", "--repeats", "1",
+             "--samples", "8", "--cache-dir", cache_dir]
+        ) == 0
+        return cache_dir
+
+    def test_query_landmarks_json(self, warm_cache_dir, capsys):
+        import json
+
+        capsys.readouterr()
+        code = main(
+            ["query", "landmarks", "--benchmark", "vggnet", "--board", "0",
+             "--repeats", "1", "--samples", "8", "--cache-dir", warm_cache_dir]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["landmarks"]
+        assert row["complete"] is True
+        assert row["vcrash_mv"] < row["vmin_mv"] < 850.0
+
+    def test_query_point_exact(self, warm_cache_dir, capsys):
+        import json
+
+        capsys.readouterr()
+        code = main(
+            ["query", "points", "--benchmark", "vggnet", "--board", "0",
+             "--v-mv", "850", "--repeats", "1", "--samples", "8",
+             "--cache-dir", warm_cache_dir]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hang"] is False and payload["vccint_mv"] == 850.0
+
+    def test_query_guardband_markdown(self, warm_cache_dir, capsys):
+        capsys.readouterr()
+        code = main(
+            ["query", "guardband", "--benchmark", "vggnet", "--markdown",
+             "--repeats", "1", "--samples", "8", "--cache-dir", warm_cache_dir]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Characterization database" in out
+        assert "Fleet-safe worst case" in out
+
+    def test_query_stats_on_empty_store(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["query", "stats", "--repeats", "1", "--samples", "8",
+             "--cache-dir", str(tmp_path / "empty")]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"]["indexed"] == 0
+
+    def test_query_points_requires_benchmark(self, tmp_path, capsys):
+        code = main(
+            ["query", "points", "--repeats", "1", "--samples", "8",
+             "--cache-dir", str(tmp_path / "empty")]
+        )
+        assert code == 2
+        assert "--benchmark is required" in capsys.readouterr().out
+
+    def test_serve_parser_wiring(self):
+        from repro.cli import _cmd_serve
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--compute", "--cache-dir", "somewhere",
+             "--lru-capacity", "16"]
+        )
+        assert args.func is _cmd_serve
+        assert args.port == 0 and args.compute and args.lru_capacity == 16
+
+    def test_query_miss_is_a_clean_error_not_a_traceback(self, tmp_path, capsys):
+        code = main(
+            ["query", "points", "--benchmark", "vggnet", "--board", "0",
+             "--repeats", "1", "--samples", "8",
+             "--cache-dir", str(tmp_path / "cold")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: no indexed dataset")
+
+    def test_query_markdown_skips_the_json_payload_path(self, tmp_path, capsys):
+        # 'points' + --markdown must not require --v-mv/--benchmark plumbing:
+        # the report renders the whole (empty) index without computing.
+        code = main(
+            ["query", "points", "--markdown", "--repeats", "1",
+             "--samples", "8", "--cache-dir", str(tmp_path / "cold")]
+        )
+        assert code == 0
+        assert "# Characterization database" in capsys.readouterr().out

@@ -75,9 +75,14 @@ PUBLIC_MODULES = [
     "repro.runtime",
     "repro.runtime.hashing",
     "repro.runtime.cache",
+    "repro.runtime.points",
+    "repro.runtime.journal",
     "repro.runtime.shards",
     "repro.runtime.executor",
     "repro.runtime.campaign",
+    "repro.runtime.query",
+    "repro.query",
+    "repro.serve",
     "repro.cli",
 ]
 

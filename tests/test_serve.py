@@ -1,0 +1,167 @@
+"""HTTP serving layer: endpoints, byte-identity, and the no-recompute gate."""
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.runtime.campaign as campaign_mod
+from repro.core.experiment import ExperimentConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import run_sweep_campaign
+from repro.serve import make_server, serve_in_thread
+
+CONFIG = ExperimentConfig(repeats=1, samples=8)
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-cache")
+    run_sweep_campaign("vggnet", [0], CONFIG, cache=ResultCache(root))
+    return root
+
+
+@pytest.fixture()
+def server(warm_cache):
+    server = make_server(warm_cache, port=0, config=CONFIG, quiet=True)
+    serve_in_thread(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def get(server, path: str) -> tuple[int, bytes]:
+    port = server.server_address[1]
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=30) as r:
+        return r.status, r.read()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["points_indexed"] > 0
+
+    def test_landmarks_served_from_warm_store_without_resweeping(
+        self, server, monkeypatch
+    ):
+        """The acceptance gate: /landmarks answers from cache, counted."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("a warm /landmarks query re-ran a sweep")
+
+        monkeypatch.setattr(campaign_mod, "run_sweep_unit", forbidden)
+        served_before = server.index.stats()["queries"]["served_from_cache"]
+        status, body = get(server, "/landmarks?benchmark=vggnet&board=0")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["landmarks"][0]["complete"] is True
+        assert payload["landmarks"][0]["vcrash_mv"] < payload["landmarks"][0]["vmin_mv"]
+        counters = server.index.stats()["queries"]
+        assert counters["served_from_cache"] == served_before + 1
+        assert counters["computed_sweeps"] == 0
+
+    def test_point_lookup_modes(self, server):
+        _, body = get(server, "/points?benchmark=vggnet&board=0&v_mv=850")
+        assert json.loads(body)["hang"] is False
+        _, body = get(
+            server, "/points?benchmark=vggnet&board=0&v_mv=848.7&mode=nearest"
+        )
+        assert json.loads(body)["vccint_mv"] == 850.0
+        _, body = get(
+            server, "/points?benchmark=vggnet&board=0&v_mv=847.5&mode=interpolate"
+        )
+        assert json.loads(body)["interpolated"] is True
+
+    def test_points_dump_and_guardband(self, server):
+        _, body = get(server, "/points?benchmark=vggnet&board=0")
+        payload = json.loads(body)
+        assert payload["n_points"] == len(
+            [p for p in payload["points"] if not p["hang"]]
+        )
+        _, body = get(server, "/guardband?benchmark=vggnet")
+        (entry,) = json.loads(body)["guardband"]
+        assert entry["boards"][0]["board"] == 0
+
+    def test_stats_counts_lru_and_queries(self, server):
+        get(server, "/landmarks?benchmark=vggnet")
+        _, body = get(server, "/stats")
+        payload = json.loads(body)
+        assert payload["points"]["indexed"] > 0
+        assert payload["queries"]["served_from_cache"] >= 1
+        assert payload["lru"]["capacity"] > 0
+
+
+class TestErrors:
+    def expect_error(self, server, path: str, code: int) -> dict:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, path)
+        assert excinfo.value.code == code
+        return json.loads(excinfo.value.read())
+
+    def test_unknown_endpoint_404(self, server):
+        self.expect_error(server, "/nope", 404)
+
+    def test_unknown_dataset_404(self, server):
+        payload = self.expect_error(server, "/points?benchmark=missingnet", 404)
+        assert "missingnet" in payload["error"]
+
+    def test_missing_required_param_400(self, server):
+        self.expect_error(server, "/points", 400)
+
+    def test_bad_param_type_400(self, server):
+        self.expect_error(server, "/points?benchmark=vggnet&board=zero", 400)
+
+    def test_compute_disabled_403(self, server):
+        payload = self.expect_error(
+            server, "/landmarks?benchmark=vggnet&board=1&compute=1", 403
+        )
+        assert "--compute" in payload["error"]
+
+
+class TestParallelByteIdentity:
+    def test_concurrent_identical_queries_return_identical_bytes(self, server):
+        paths = [
+            "/landmarks?benchmark=vggnet",
+            "/guardband?benchmark=vggnet",
+            "/points?benchmark=vggnet&board=0&v_mv=850",
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for path in paths:
+                bodies = [
+                    f.result()[1]
+                    for f in [pool.submit(get, server, path) for _ in range(12)]
+                ]
+                assert all(b == bodies[0] for b in bodies)
+
+
+class TestComputeEnabled:
+    def test_read_through_fills_a_cold_store_once(self, tmp_path, monkeypatch):
+        runs = []
+        real = campaign_mod.run_sweep_unit
+
+        def counting(*args, **kwargs):
+            runs.append(args[:2])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_sweep_unit", counting)
+        server = make_server(
+            tmp_path, port=0, config=CONFIG, allow_compute=True, quiet=True
+        )
+        serve_in_thread(server)
+        try:
+            _, body = get(server, "/landmarks?benchmark=vggnet&board=0&compute=1")
+            (row,) = json.loads(body)["landmarks"]
+            assert row["complete"] is True
+            assert runs == [("vggnet", 0)]
+            # Second identical query: served from the now-warm store.
+            _, again = get(server, "/landmarks?benchmark=vggnet&board=0&compute=1")
+            assert json.loads(again)["landmarks"] == [row]
+            assert runs == [("vggnet", 0)]
+        finally:
+            server.shutdown()
+            server.server_close()
