@@ -31,6 +31,8 @@ BENCH_FILES = [
     "benchmarks/bench_micro.py",
     "benchmarks/bench_runtime.py",
     "benchmarks/bench_sweep.py",
+    "benchmarks/bench_query.py",
+    "benchmarks/bench_executor.py",
 ]
 
 #: Gate configuration carried into the baseline file.  The speedup and
@@ -56,6 +58,38 @@ SPEEDUP_GATES = [
                "(see extra_info_ratio_gates) — wall-clock tracks it "
                "sub-linearly because bisection probes cluster in the "
                "slow critical region",
+    },
+    {
+        "fast": "benchmarks/bench_query.py::test_query_warm_lru",
+        "slow": "benchmarks/bench_query.py::test_query_cold_index",
+        "min_ratio": 5.0,
+        "why": "characterization serving path: a warm index (LRU + "
+               "landmark memo) must answer a mixed query batch >=5x "
+               "faster than rebuilding the index from the on-disk point "
+               "store; the bench bodies additionally assert cold and "
+               "warm answers are identical and that the warm path "
+               "computes nothing",
+    },
+    {
+        "fast": "benchmarks/bench_executor.py::test_fig3_fleet_point_probes_warm_fabric",
+        "slow": "benchmarks/bench_executor.py::test_fig3_fleet_point_probes_cold_pools",
+        "min_ratio": 2.0,
+        "why": "warm-worker execution fabric: a repeats-heavy adaptive "
+               "fig3 fleet with every probe dispatched to workers must "
+               "run >=2x faster on one leased pool (warm models + "
+               "fabric-scope clean passes) than on a fresh pool per "
+               "probe round; the bench body additionally asserts "
+               "identical landmarks and probe counts",
+    },
+    {
+        "fast": "benchmarks/bench_executor.py::test_workload_build_from_plane",
+        "slow": "benchmarks/bench_executor.py::test_workload_build_cold",
+        "min_ratio": 5.0,
+        "why": "content-addressed model plane: loading a spilled "
+               "workload (memory-mapped blobs, no weight generation or "
+               "calibration pass) must beat a from-scratch build >=5x; "
+               "the bench body asserts the loaded workload serves "
+               "identical labels and clean accuracy",
     },
 ]
 EXTRA_INFO_RATIO_GATES = [

@@ -69,6 +69,20 @@ def _board_arg(value: str):
         ) from None
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` accepts a worker count or 'auto' (one per CPU)."""
+    if value == "auto":
+        from repro.runtime.fabric import resolve_jobs
+
+        return resolve_jobs("auto")
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'auto', got {value!r}"
+        ) from None
+
+
 def _cache_from_args(args):
     """A ResultCache per the cache flags, or None when disabled."""
     if args.no_cache:
@@ -76,6 +90,24 @@ def _cache_from_args(args):
     from repro.runtime.cache import ResultCache
 
     return ResultCache(args.cache_dir)
+
+
+def _fabric_from_args(args, cache):
+    """One leased worker fabric per CLI invocation (no-op when serial).
+
+    Entering the returned context activates the fabric, so every
+    campaign round the command issues — experiments, sweeps, the
+    adaptive strategy's bisection probes — shares one persistent pool
+    and its warm workers instead of respawning per round.
+    """
+    from contextlib import nullcontext
+
+    if args.jobs <= 1:
+        return nullcontext()
+    from repro.runtime.fabric import WorkerFabric
+
+    blob_root = cache.blob_root if cache is not None else None
+    return WorkerFabric(args.jobs, blob_root=blob_root)
 
 
 def _add_config_flags(parser, *, repeats: int, samples: int) -> None:
@@ -132,8 +164,10 @@ def _add_runtime_flags(parser) -> None:
     from repro.runtime.cache import DEFAULT_CACHE_DIR
 
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the campaign runtime (default 1 = serial)",
+        "--jobs", type=_jobs_arg, default=1,
+        help="worker processes for the campaign runtime, or 'auto' for "
+             "one per CPU (default 1 = serial); parallel runs lease one "
+             "persistent worker fabric for the whole invocation",
     )
     parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -157,9 +191,9 @@ def _cmd_run(args) -> int:
     from repro.runtime.campaign import run_campaign
 
     config = _config_from_args(args)
-    outcome = run_campaign(
-        [args.experiment], config, jobs=args.jobs, cache=_cache_from_args(args)
-    )
+    cache = _cache_from_args(args)
+    with _fabric_from_args(args, cache):
+        outcome = run_campaign([args.experiment], config, jobs=args.jobs, cache=cache)
     entry = outcome.entries[0]
     result = entry.result
     print(result.render())
@@ -182,10 +216,11 @@ def _cmd_sweep(args) -> int:
         boards = list(range(config.cal.n_boards))
     else:
         boards = [args.board]
-    outcome = run_sweep_campaign(
-        args.benchmark, boards, config, jobs=args.jobs,
-        cache=_cache_from_args(args),
-    )
+    cache = _cache_from_args(args)
+    with _fabric_from_args(args, cache):
+        outcome = run_sweep_campaign(
+            args.benchmark, boards, config, jobs=args.jobs, cache=cache
+        )
     for board, entry in zip(boards, outcome.entries):
         print(
             render_table(
@@ -204,10 +239,11 @@ def _cmd_report(args) -> int:
 
     config = _config_from_args(args)
     cache = _cache_from_args(args)
-    report = generate_report(
-        config, jobs=args.jobs, cache=cache,
-        journal=_journal_from_args(args, cache),
-    )
+    with _fabric_from_args(args, cache):
+        report = generate_report(
+            config, jobs=args.jobs, cache=cache,
+            journal=_journal_from_args(args, cache),
+        )
     with open(args.out, "w") as f:
         f.write(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
@@ -234,10 +270,11 @@ def _cmd_campaign(args) -> int:
     if args.resume and cache is None:
         print("error: --resume requires the result cache (drop --no-cache)")
         return 2
-    outcome = run_campaign(
-        ids, config, jobs=args.jobs, cache=cache,
-        journal=_journal_from_args(args, cache), resume=args.resume,
-    )
+    with _fabric_from_args(args, cache):
+        outcome = run_campaign(
+            ids, config, jobs=args.jobs, cache=cache,
+            journal=_journal_from_args(args, cache), resume=args.resume,
+        )
     rows = [
         {
             "experiment": e.experiment_id,
@@ -430,8 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"cache directory holding the point store (default {DEFAULT_CACHE_DIR})",
     )
     p_query.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for read-through computes (default 1)",
+        "--jobs", type=_jobs_arg, default=1,
+        help="worker processes for read-through computes, or 'auto' (default 1)",
     )
     p_query.add_argument(
         "--pretty", action="store_true", help="indent the JSON output"
@@ -464,8 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on parsed point payloads held in memory",
     )
     p_serve.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for read-through computes (default 1)",
+        "--jobs", type=_jobs_arg, default=1,
+        help="worker processes for read-through computes, or 'auto' (default 1)",
     )
     _add_config_flags(p_serve, repeats=3, samples=96)
     p_serve.set_defaults(func=_cmd_serve)

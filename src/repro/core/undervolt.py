@@ -379,6 +379,7 @@ class VoltageSweep:
         step_mv: float | None = None,
         f_mhz: float | None = None,
         strategy: GridStrategy | AdaptiveStrategy | None = None,
+        measure=None,
     ) -> SweepResult:
         """Sweep from ``start_mv`` (default Vnom) down to crash or floor.
 
@@ -388,6 +389,17 @@ class VoltageSweep:
         every point is served from / stored to the content-addressed point
         cache, so interrupted or re-parameterized sweeps only pay for
         voltages never measured before.
+
+        ``measure`` overrides how a single voltage is evaluated: a
+        ``measure(v_mv) -> Measurement`` callable (raising
+        :class:`~repro.errors.BoardHangError` on a hang) that the
+        strategy probes instead of the in-process session.  The campaign
+        runtime uses this to dispatch every probe — the coarse descent
+        and each bisection round alike — to a leased worker fabric
+        (:func:`repro.runtime.campaign.run_sweep_unit_remote`); per-point
+        RNG streams are named by voltage, so a dispatched probe is
+        bit-identical to a local one and the strategy cannot tell the
+        difference.
         """
         cal = self.session.board.cal
         start_mv = cal.vnom * 1000.0 if start_mv is None else start_mv
@@ -396,11 +408,12 @@ class VoltageSweep:
         if floor_mv >= start_mv:
             raise ValueError("floor must be below the start voltage")
 
-        # Late import: repro.core must stay importable without the runtime
-        # package; the point cache is an optional acceleration.
-        from repro.runtime.points import cached_point_measure
+        if measure is None:
+            # Late import: repro.core must stay importable without the
+            # runtime package; the point cache is an optional acceleration.
+            from repro.runtime.points import cached_point_measure
 
-        measure = cached_point_measure(self.session, self.config, f_mhz)
+            measure = cached_point_measure(self.session, self.config, f_mhz)
         probe = SweepProbe(self.session, measure)
         measurements, crash_mv = strategy.run(probe, start_mv, floor_mv)
         if not measurements:

@@ -22,11 +22,20 @@ from repro.dpu.perf import PerformanceModel, PerformanceReport
 from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.faults.injector import BatchedFaultInjector, FaultInjector
 from repro.models.zoo import Workload
-from repro.nn.differential import CleanPass, capture_clean_pass, forward_repeats
+from repro.nn.differential import (
+    CleanPass,
+    capture_clean_pass,
+    fabric_clean_pass_cache,
+    forward_repeats,
+)
 
 #: Retain the fault-free reference pass across measurements only while its
 #: activations fit this budget; past it, each batched call recomputes the
-#: clean stream (still once per call, not once per repeat).
+#: clean stream (still once per call, not once per repeat).  Retained
+#: passes live in the process-wide fabric cache
+#: (:func:`repro.nn.differential.fabric_clean_pass_cache`), so every
+#: engine a warm worker builds for the same workload — one per voltage
+#: point under point-granular dispatch — shares a single capture.
 CLEAN_PASS_CACHE_BYTES = 256 * 1024 * 1024
 
 
@@ -67,9 +76,10 @@ class DPUEngine:
             effective_ops_fraction=workload.effective_ops_fraction,
             quant_bits=workload.quantization.weight_bits,
         )
-        #: Fault-free reference passes by activation bit-width (None value
-        #: marks a workload too large to retain; see CLEAN_PASS_CACHE_BYTES).
-        self._clean_passes: dict[int | None, CleanPass | None] = {}
+        #: Per-engine memo of bit-widths whose pass is too large to retain
+        #: (see CLEAN_PASS_CACHE_BYTES); retained passes live in the
+        #: process-wide fabric cache, shared across engines.
+        self._clean_pass_over_budget: set[int | None] = set()
 
     def run(
         self,
@@ -191,15 +201,26 @@ class DPUEngine:
     def _clean_pass(self, activation_bits: int | None) -> CleanPass | None:
         """The cached fault-free reference pass, or ``None`` if over budget.
 
-        The cache assumes the workload's graph and dataset are immutable —
-        true for zoo-built workloads (BRAM weight-corruption studies run
-        on deep copies).  Without the cache the differential executor
-        recomputes the clean stream inline, freeing it as it goes, so peak
-        memory stays bounded for large workloads.
+        Retained passes live in the process-wide fabric cache, keyed by
+        the identity of (graph, evaluation batch, bits) — so every engine
+        a warm worker constructs over the same zoo-memoized workload (one
+        per voltage point under point-granular dispatch, one per board
+        within a process) shares one capture.  The cache assumes the
+        workload's graph and dataset are immutable — true for zoo-built
+        workloads (BRAM weight-corruption studies run on deep copies,
+        which miss by identity and can never poison it).  Without a
+        retained pass the differential executor recomputes the clean
+        stream inline, freeing it as it goes, so peak memory stays
+        bounded for large workloads.
         """
-        if activation_bits in self._clean_passes:
-            return self._clean_passes[activation_bits]
         graph = self.workload.graph
+        images = self.workload.dataset.images
+        cache = fabric_clean_pass_cache()
+        clean = cache.get(graph, images, activation_bits)
+        if clean is not None:
+            return clean
+        if activation_bits in self._clean_pass_over_budget:
+            return None
         shapes = graph.infer_shapes(batch=self.workload.dataset.n)
         estimate = 0
         for name, node in graph.nodes.items():
@@ -208,10 +229,9 @@ class DPUEngine:
             factor = 3 if node.layer.mac_ops_hint > 0 else 1
             estimate += 4 * elems * factor
         if estimate > CLEAN_PASS_CACHE_BYTES:
-            self._clean_passes[activation_bits] = None
+            self._clean_pass_over_budget.add(activation_bits)
             return None
-        clean = capture_clean_pass(
-            graph, self.workload.dataset.images, activation_bits
-        )
-        self._clean_passes[activation_bits] = clean
+        clean = capture_clean_pass(graph, images, activation_bits)
+        if not cache.put(graph, images, activation_bits, clean):
+            self._clean_pass_over_budget.add(activation_bits)
         return clean

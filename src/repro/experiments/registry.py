@@ -144,15 +144,22 @@ def run_unit(
     shard_key: tuple | None,
     config: ExperimentConfig,
     point_root: str | None = None,
+    blob_root: str | None = None,
 ) -> ExperimentResult:
     """Execute one work unit: a whole experiment or a single shard.
 
     Top-level by design — worker processes receive only picklable
-    ``(experiment_id, shard_key, config, point_root)`` tuples and resolve
-    the callable through the registry on their side.  When ``point_root``
-    is set, the unit runs under an active per-point cache scope: every
-    voltage point its sweeps measure is served from / stored to the
-    content-addressed point store at that directory.
+    ``(experiment_id, shard_key, config, point_root, blob_root)`` tuples
+    and resolve the callable through the registry on their side.  When
+    ``point_root`` is set, the unit runs under an active per-point cache
+    scope: every voltage point its sweeps measure is served from / stored
+    to the content-addressed point store at that directory.  When
+    ``blob_root`` is set, the unit additionally runs under the model
+    plane (:mod:`repro.runtime.blobs`): workload construction first
+    consults the content-addressed blob store — loading spilled weight
+    and dataset arrays memory-mapped — and spills fresh builds for every
+    later process; tasks ship these directory strings and blob keys,
+    never pickled arrays.
 
     The scope is the *experiment id alone*, deliberately not the shard
     key: whether the campaign planner sharded the experiment (``jobs >
@@ -163,10 +170,11 @@ def run_unit(
     replay the points a parallel run measured, and vice versa.
     """
     # Late import: the runtime package depends on this module.
+    from repro.runtime.blobs import maybe_blob_plane
     from repro.runtime.points import maybe_point_scope
 
     spec = get_spec(experiment_id)
-    with maybe_point_scope(point_root, experiment_id):
+    with maybe_blob_plane(blob_root), maybe_point_scope(point_root, experiment_id):
         if shard_key is None:
             return spec.runner(config)
         if spec.shards is None:

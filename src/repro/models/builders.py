@@ -179,6 +179,92 @@ def _final_dense(graph: Graph) -> L.Dense:
     return head
 
 
+# ----------------------------------------------------------------------
+# Graph serialization for the model plane (repro.runtime.blobs).
+# ----------------------------------------------------------------------
+
+#: Layer class -> (manifest kind, array attribute names, scalar params).
+_LAYER_CODEC: dict[type, tuple[str, tuple[str, ...], tuple[str, ...]]] = {
+    L.Input: ("input", (), ("shape",)),
+    L.Conv2D: ("conv2d", ("weights", "bias"), ("stride", "padding")),
+    L.Dense: ("dense", ("weights", "bias"), ()),
+    L.MaxPool: ("maxpool", (), ("pool", "stride", "padding")),
+    L.AvgPool: ("avgpool", (), ("pool", "stride", "padding")),
+    L.GlobalAvgPool: ("gap", (), ()),
+    L.ReLU: ("relu", (), ()),
+    L.BatchNorm: ("batchnorm", ("scale", "shift"), ()),
+    L.Softmax: ("softmax", (), ()),
+    L.Flatten: ("flatten", (), ()),
+    L.Add: ("add", (), ()),
+    L.Concat: ("concat", (), ()),
+}
+
+_KIND_TO_LAYER = {kind: cls for cls, (kind, _, _) in _LAYER_CODEC.items()}
+
+
+def graph_manifest(graph: Graph, store) -> dict:
+    """Serialize an executable graph into a model-plane manifest fragment.
+
+    Every weight tensor is spilled to the content-addressed ``store``
+    (:class:`repro.runtime.blobs.BlobStore`) and referenced by key; layer
+    geometry travels as plain JSON scalars.  The round trip through
+    :func:`graph_from_manifest` is bit-exact — ``.npy`` blobs preserve
+    dtype, shape, and bytes — which is what lets worker processes load a
+    spilled model instead of rebuilding it, without moving any result.
+    """
+    nodes = []
+    for name in graph.topological_order():
+        node = graph.nodes[name]
+        layer = node.layer
+        try:
+            kind, array_attrs, param_attrs = _LAYER_CODEC[type(layer)]
+        except KeyError:
+            raise GraphError(f"cannot serialize layer type {type(layer).__name__}") from None
+        entry: dict = {"name": name, "kind": kind, "inputs": list(node.inputs)}
+        if param_attrs:
+            entry["params"] = {attr: _jsonable_param(getattr(layer, attr)) for attr in param_attrs}
+        if array_attrs:
+            entry["arrays"] = {attr: store.put_array(getattr(layer, attr)) for attr in array_attrs}
+        nodes.append(entry)
+    return {"name": graph.name, "nodes": nodes, "output": graph.output_name}
+
+
+def _jsonable_param(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def graph_from_manifest(manifest: dict, store) -> Graph | None:
+    """Rebuild a graph from its manifest; ``None`` if any blob is missing.
+
+    A missing or corrupt array blob makes the whole graph unusable — the
+    caller falls back to a from-scratch build (and re-spills), so a
+    garbage-collected or torn plane only ever costs time.
+    """
+    graph = Graph(name=str(manifest["name"]))
+    for entry in manifest["nodes"]:
+        arrays = {}
+        for attr, key in entry.get("arrays", {}).items():
+            array = store.get_array(str(key))
+            if array is None:
+                return None
+            arrays[attr] = array
+        params = dict(entry.get("params", {}))
+        kind = str(entry["kind"])
+        cls = _KIND_TO_LAYER.get(kind)
+        if cls is None:
+            return None
+        name = str(entry["name"])
+        if cls is L.Input:
+            layer = L.Input(name, tuple(params["shape"]))
+        else:
+            layer = cls(name, **arrays, **params)
+        graph.add(layer, tuple(entry["inputs"]))
+    graph.set_output(str(manifest["output"]))
+    return graph
+
+
 def exposure_by_node(spec: ModelSpec) -> dict[str, int]:
     """Map each compute layer name to its full-size op count (1 MAC = 2 ops).
 

@@ -10,7 +10,7 @@ configuration hundreds of times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
@@ -162,10 +162,135 @@ def build(
     width_scale: float = 0.25,
     seed: int = 2020,
 ) -> Workload:
-    """Assemble (and memoize) a benchmark variant ready for measurement."""
+    """Assemble (and memoize) a benchmark variant ready for measurement.
+
+    When a model plane is active (:func:`repro.runtime.blobs.blob_plane`),
+    the variant is first looked up in the content-addressed blob store —
+    a spilled workload loads its weight/dataset arrays memory-mapped
+    instead of regenerating and re-calibrating them — and a from-scratch
+    build is spilled back for the next process.  Plane hits are bit-exact
+    by construction; the plane never changes a measurement, only its
+    cost.
+    """
     return _build_cached(
         name, weight_bits, pruned, prune_sparsity, samples, width_scale, seed
     )
+
+
+def default_variant_label(name: str, weight_bits: int = 8, pruned: bool = False) -> str:
+    """The variant label :func:`build` would stamp, without building.
+
+    Mirrors :attr:`Workload.variant_label` — pinned against it by test —
+    so orchestrators that only *route* work (the parent side of a
+    dispatched sweep) can name the variant without paying for weights,
+    calibration, or labels.
+    """
+    parts = [name, QuantizationSpec(weight_bits=weight_bits, activation_bits=weight_bits).label.lower()]
+    if pruned:
+        parts.append("pruned")
+    return "-".join(parts)
+
+
+#: Bump to retire every spilled workload manifest (schema change).
+WORKLOAD_PLANE_FORMAT = 1
+
+
+def workload_plane_key(
+    name: str,
+    weight_bits: int,
+    pruned: bool,
+    prune_sparsity: float,
+    samples: int,
+    width_scale: float,
+    seed: int,
+) -> str:
+    """Stable manifest key of one built workload variant.
+
+    Hashes every :func:`build` argument plus the library version and the
+    plane format, mirroring the result cache's keying discipline: a new
+    release (which may move weights or calibration) retires the spilled
+    models rather than serving stale ones.
+    """
+    import hashlib
+
+    from repro.runtime.hashing import canonical_json, current_version
+
+    payload = {
+        "kind": "workload",
+        "format": WORKLOAD_PLANE_FORMAT,
+        "name": name,
+        "weight_bits": weight_bits,
+        "pruned": pruned,
+        "prune_sparsity": prune_sparsity,
+        "samples": samples,
+        "width_scale": width_scale,
+        "seed": seed,
+        "version": current_version(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()[:32]
+
+
+def _export_workload(store, key: str, workload: Workload) -> None:
+    """Spill one built workload to the model plane (best effort)."""
+    from repro.models.builders import graph_manifest
+
+    manifest = {
+        "format": WORKLOAD_PLANE_FORMAT,
+        "benchmark": workload.spec.name,
+        "graph": graph_manifest(workload.graph, store),
+        "dataset": {
+            "name": workload.dataset.name,
+            "images": store.put_array(workload.dataset.images),
+            "labels": store.put_array(workload.dataset.labels),
+        },
+        "weight_bits": workload.quantization.weight_bits,
+        "activation_bits": workload.quantization.activation_bits,
+        "pruned": workload.pruned,
+        "exposure": workload.exposure,
+        "clean_accuracy": workload.clean_accuracy,
+        "vulnerability": workload.vulnerability,
+        "effective_ops_fraction": workload.effective_ops_fraction,
+    }
+    store.put_manifest(key, manifest)
+
+
+def _workload_from_plane(store, key: str) -> Workload | None:
+    """Load a spilled workload; ``None`` means build from scratch."""
+    from repro.errors import GraphError
+    from repro.models.builders import graph_from_manifest
+
+    manifest = store.get_manifest(key)
+    if manifest is None or manifest.get("format") != WORKLOAD_PLANE_FORMAT:
+        return None
+    try:
+        graph = graph_from_manifest(manifest["graph"], store)
+        if graph is None:
+            return None
+        images = store.get_array(str(manifest["dataset"]["images"]))
+        labels = store.get_array(str(manifest["dataset"]["labels"]))
+        if images is None or labels is None:
+            return None
+        spec = get_spec(str(manifest["benchmark"]))
+        quant = QuantizationSpec(
+            weight_bits=int(manifest["weight_bits"]),
+            activation_bits=int(manifest["activation_bits"]),
+        )
+        return Workload(
+            spec=spec,
+            graph=graph,
+            dataset=Dataset(
+                name=str(manifest["dataset"]["name"]), images=images, labels=labels
+            ),
+            profile=profile_for(spec.name),
+            quantization=quant,
+            pruned=bool(manifest["pruned"]),
+            exposure={str(k): float(v) for k, v in manifest["exposure"].items()},
+            clean_accuracy=float(manifest["clean_accuracy"]),
+            vulnerability=float(manifest["vulnerability"]),
+            effective_ops_fraction=float(manifest["effective_ops_fraction"]),
+        )
+    except (KeyError, TypeError, ValueError, GraphError):
+        return None
 
 
 @lru_cache(maxsize=64)
@@ -180,6 +305,17 @@ def _build_cached(
 ) -> Workload:
     from repro.fpga.calibration import DEFAULT_CALIBRATION as CAL
     from repro.nn.prune import effective_ops_fraction as _eof
+    from repro.runtime.blobs import active_blob_store
+
+    plane = active_blob_store()
+    plane_key = None
+    if plane is not None:
+        plane_key = workload_plane_key(
+            name, weight_bits, pruned, prune_sparsity, samples, width_scale, seed
+        )
+        spilled = _workload_from_plane(plane, plane_key)
+        if spilled is not None:
+            return spilled
 
     spec = get_spec(name)
     graph = build_executable(spec, width_scale=width_scale, seed=seed)
@@ -236,7 +372,7 @@ def _build_cached(
     )
     exposure = {k: v * masking for k, v in exposure.items()}
 
-    return Workload(
+    workload = Workload(
         spec=spec,
         graph=variant,
         dataset=dataset,
@@ -248,3 +384,11 @@ def _build_cached(
         vulnerability=vulnerability,
         effective_ops_fraction=ops_fraction,
     )
+    if plane is not None and plane_key is not None:
+        try:
+            _export_workload(plane, plane_key, workload)
+        except OSError:
+            # The plane is an acceleration; a full disk or unwritable
+            # cache dir must never fail a measurement.
+            pass
+    return workload

@@ -47,6 +47,8 @@ voltage-independent, so a sweep pays for it once.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -339,6 +341,124 @@ def forward_repeats(
         if view is not None:
             merged[r, view.samples] = view.values
     return merged
+
+
+class CleanPassCache:
+    """Process-wide (fabric-scope) cache of captured clean passes.
+
+    Historically each :class:`~repro.dpu.engine.DPUEngine` held its own
+    clean-pass memo, which covers one sweep driven through one session —
+    but point-granular execution (the characterization service's
+    read-through computes, the fabric's dispatched probes) builds a fresh
+    session per voltage point, and every one of them recomputed a pass
+    that is voltage-independent.  This cache lifts the memo to process
+    scope: one clean pass per (graph, evaluation batch, activation bits),
+    shared by every engine a warm worker ever constructs.
+
+    Keys are **object identities**, guarded by weak references: the model
+    zoo memoizes workload construction per process, so equal build
+    parameters yield the *same* graph/batch objects and hit, while any
+    other object — a deep-copied BRAM-corruption variant, a test's
+    hand-built graph, a different config's workload — misses by
+    construction.  Cache state therefore can never leak across configs,
+    and a garbage-collected graph can never alias a new one (the weakref
+    dies with it).  Entries are LRU-evicted once retained bytes exceed
+    the budget; a single pass larger than the budget is not retained at
+    all (the caller recomputes inline with bounded peak memory, exactly
+    as before).
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+
+    def _key(self, graph, batch: np.ndarray, activation_bits: int | None) -> tuple:
+        return (id(graph), id(batch), activation_bits)
+
+    def get(self, graph, batch: np.ndarray, activation_bits: int | None) -> CleanPass | None:
+        """The cached pass for exactly these objects, or ``None``."""
+        key = self._key(graph, batch, activation_bits)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        graph_ref, batch_ref, clean = entry
+        if graph_ref() is not graph or batch_ref() is not batch:
+            # A dead referent whose id was recycled: drop, never serve.
+            self._drop(key)
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return clean
+
+    def put(self, graph, batch: np.ndarray, activation_bits: int | None, clean: CleanPass) -> bool:
+        """Retain one pass; returns False when it exceeds the budget."""
+        nbytes = clean.nbytes
+        if nbytes > self.max_bytes:
+            return False
+        self._prune_dead()
+        key = self._key(graph, batch, activation_bits)
+        if key in self._entries:
+            self._drop(key)
+        self._entries[key] = (weakref.ref(graph), weakref.ref(batch), clean)
+        self._bytes += nbytes
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            self._drop(oldest)
+            self.evictions += 1
+        return True
+
+    def _prune_dead(self) -> None:
+        """Drop passes whose graph or batch has been garbage-collected.
+
+        Short-lived workloads (the BRAM corruption studies' per-trial
+        deep copies) would otherwise pin unreachable passes against the
+        byte budget and LRU-evict the live, shared ones — the opposite
+        of what the fabric cache exists for.
+        """
+        dead = [
+            key
+            for key, (g_ref, b_ref, _clean) in self._entries.items()
+            if g_ref() is None or b_ref() is None
+        ]
+        for key in dead:
+            self._drop(key)
+
+    def _drop(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry[2].nbytes
+
+    def clear(self) -> None:
+        """Drop every retained pass (worker teardown, tests)."""
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self) -> dict:
+        """Counters + occupancy, JSON-able."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process's fabric-scope clean-pass cache (one per worker process;
+#: discarded with the process when a broken pool is respawned).
+_FABRIC_CLEAN_CACHE = CleanPassCache()
+
+
+def fabric_clean_pass_cache() -> CleanPassCache:
+    """The process-wide clean-pass cache engines share."""
+    return _FABRIC_CLEAN_CACHE
 
 
 def _union_samples(

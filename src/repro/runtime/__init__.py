@@ -18,9 +18,18 @@ embarrassingly parallel, cache-friendly workload:
   and completed work units for ``campaign --resume``.
 * :mod:`repro.runtime.shards` — work-unit planning against the shard
   metadata experiments register (per-benchmark, per-(benchmark, board)).
-* :mod:`repro.runtime.executor` — ``ProcessPoolExecutor`` fan-out with a
-  deterministic in-process serial path, automatic fallback, and
-  per-task completion hooks (units finalize as they land).
+* :mod:`repro.runtime.blobs` — the content-addressed model plane:
+  weight/dataset arrays spilled once as memory-mapped ``.npy`` blobs,
+  so tasks ship keys instead of pickled arrays and cold workers load
+  models instead of rebuilding them.
+* :mod:`repro.runtime.fabric` — :class:`WorkerFabric`, the persistent
+  process pool leased for a campaign's lifetime: worker warm state
+  (memoized models, clean passes, the model plane) survives across
+  every ``run_tasks`` round instead of dying with a per-call pool.
+* :mod:`repro.runtime.executor` — fabric-aware fan-out with chunked
+  submission, a deterministic in-process serial path, automatic
+  fallback, and per-task completion hooks (units finalize as they
+  land).
 * :mod:`repro.runtime.campaign` — the orchestrator gluing the above
   together, plus the named campaign sets the CLI exposes.
 * :mod:`repro.runtime.query` — the serving side: a read-through
@@ -35,6 +44,7 @@ runners directly — parallelism, caching (experiment- and point-level),
 and resuming are pure accelerations.
 """
 
+from repro.runtime.blobs import BlobStats, BlobStore, blob_plane, maybe_blob_plane
 from repro.runtime.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
 from repro.runtime.campaign import (
     DEFAULT_ORDER,
@@ -46,6 +56,7 @@ from repro.runtime.campaign import (
     run_sweep_campaign,
 )
 from repro.runtime.executor import TaskOutcome, run_tasks
+from repro.runtime.fabric import WorkerFabric, active_fabric, fabric_scope, resolve_jobs
 from repro.runtime.hashing import config_fingerprint, point_fingerprint
 from repro.runtime.journal import CampaignJournal, campaign_fingerprint
 from repro.runtime.points import PointCache, PointEntry, PointStats, point_scope
@@ -62,6 +73,8 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_ORDER",
     "NAMED_CAMPAIGNS",
+    "BlobStats",
+    "BlobStore",
     "CacheStats",
     "CampaignEntry",
     "CampaignJournal",
@@ -76,14 +89,20 @@ __all__ = [
     "ResultCache",
     "TaskOutcome",
     "WorkUnit",
+    "WorkerFabric",
+    "active_fabric",
+    "blob_plane",
     "campaign_fingerprint",
     "config_fingerprint",
+    "fabric_scope",
+    "maybe_blob_plane",
     "merge_unit_results",
     "open_index",
     "plan_units",
     "point_fingerprint",
     "point_scope",
     "resolve_campaign",
+    "resolve_jobs",
     "run_campaign",
     "run_sweep_campaign",
     "run_tasks",

@@ -56,9 +56,7 @@ def atomic_write_text(path: Path, text: str) -> None:
     the property the resume machinery is built on.
     """
     path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
-    )
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
@@ -157,6 +155,16 @@ class ResultCache:
         the point store itself lives in :mod:`repro.runtime.points`.
         """
         return self.root / "points"
+
+    @property
+    def blob_root(self) -> Path:
+        """Root of the companion model plane (``<root>/blobs/``).
+
+        Spilled workload arrays and manifests live beside the result and
+        point stores so one ``--cache-dir`` carries all three; the blob
+        store itself lives in :mod:`repro.runtime.blobs`.
+        """
+        return self.root / "blobs"
 
     def load(self, fingerprint: str, experiment_id: str) -> CacheHit | None:
         """Return the cached entry, or ``None`` on miss or corruption.

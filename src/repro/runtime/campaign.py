@@ -38,9 +38,11 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.experiment import ExperimentConfig
+from repro.errors import BoardHangError
 from repro.experiments.registry import ExperimentResult, get_spec, run_unit
 from repro.runtime.cache import ResultCache, normalize_result
-from repro.runtime.executor import TaskOutcome, run_tasks
+from repro.runtime.executor import TaskOutcome, run_tasks, run_tasks_threaded
+from repro.runtime.fabric import WorkerFabric, active_fabric
 from repro.runtime.hashing import config_fingerprint
 from repro.runtime.journal import CampaignJournal, campaign_fingerprint
 from repro.runtime.shards import merge_unit_results, plan_units
@@ -190,6 +192,8 @@ def _execute_cached(
     journal: CampaignJournal | None = None,
     campaign_id: str | None = None,
     resume: bool = False,
+    fabric: WorkerFabric | None = None,
+    threads: int = 0,
 ) -> list[CampaignEntry]:
     """The shared cache-consult / fan-out / merge / store sequence.
 
@@ -274,13 +278,42 @@ def _execute_cached(
         if unit.remaining == 0:
             finalize(unit)
 
-    run_tasks(flat, jobs=jobs, on_complete=on_complete)
+    if threads > 0:
+        # In-process thread fan-out: the tasks are dispatchers (point-mode
+        # sweep drivers) that must not be pickled to a pool but should
+        # still overlap, each feeding the shared fabric.
+        run_tasks_threaded(flat, threads, on_complete=on_complete)
+    else:
+        run_tasks(flat, jobs=jobs, on_complete=on_complete, fabric=fabric)
 
     for unit in pending:
         if unit.entry is None:  # pragma: no cover - executor guarantees completion
             raise RuntimeError(f"unit {unit.unit_id!r} never completed")
         entries[unit.unit_id] = unit.entry
     return [entries[unit_id] for unit_id, _, _ in requests]
+
+
+def _leased_fabric(
+    fabric: WorkerFabric | None, jobs: int, cache: ResultCache | None
+) -> tuple[WorkerFabric | None, WorkerFabric | None]:
+    """Resolve the fabric a campaign runs on: given, leased, or owned.
+
+    Returns ``(fabric, owned)`` — ``owned`` is a fabric this call created
+    (and must close when it finishes); an explicitly passed or
+    scope-leased fabric is used as-is so one pool serves every round of
+    an enclosing lease.  With ``jobs <= 1`` everything stays serial and
+    no fabric is involved.
+    """
+    if fabric is not None:
+        return fabric, None
+    fabric = active_fabric()
+    if fabric is not None:
+        return fabric, None
+    if jobs <= 1:
+        return None, None
+    blob_root = str(cache.blob_root) if cache is not None else None
+    owned = WorkerFabric(jobs, blob_root=blob_root)
+    return owned, owned
 
 
 def run_campaign(
@@ -291,6 +324,7 @@ def run_campaign(
     shard: bool = True,
     journal: CampaignJournal | None = None,
     resume: bool = False,
+    fabric: WorkerFabric | None = None,
 ) -> CampaignOutcome:
     """Run a set of experiments, reusing cached results where possible.
 
@@ -300,6 +334,13 @@ def run_campaign(
     :mod:`repro.runtime.journal`).  Resuming does not change *what* runs —
     completed units are cache hits either way — it changes what the run
     records and reports.
+
+    With ``jobs > 1`` the work runs on a :class:`WorkerFabric` — the one
+    passed in, the scope's active lease, or a pool owned (and closed) by
+    this call — so worker warm state persists across every round the
+    campaign dispatches.  When a cache is attached its blob plane is
+    threaded to the workers, which load spilled models memory-mapped
+    instead of rebuilding them.
     """
     config = config or ExperimentConfig()
     jobs = max(1, int(jobs))
@@ -310,6 +351,8 @@ def run_campaign(
     for exp_id in ids:
         get_spec(exp_id)  # fail fast on unknown ids, before touching cache
     point_root = str(cache.point_root) if cache is not None else None
+    blob_root = str(cache.blob_root) if cache is not None else None
+    fabric, owned = _leased_fabric(fabric, jobs, cache)
 
     def request_for(exp_id: str) -> _Request:
         def make_tasks() -> list:
@@ -318,7 +361,7 @@ def run_campaign(
             # one-call-per-experiment shape by construction.
             units = plan_units(exp_id, config, shard=shard and jobs > 1)
             return [
-                (run_unit, (u.experiment_id, u.shard_key, config, point_root))
+                (run_unit, (u.experiment_id, u.shard_key, config, point_root, blob_root))
                 for u in units
             ]
 
@@ -329,16 +372,29 @@ def run_campaign(
         return exp_id, make_tasks, merge
 
     campaign_id = campaign_fingerprint(ids, config) if journal is not None else None
-    entries = _execute_cached(
-        [request_for(e) for e in ids], config, jobs, cache,
-        journal=journal, campaign_id=campaign_id, resume=resume,
-    )
+    try:
+        entries = _execute_cached(
+            [request_for(e) for e in ids],
+            config,
+            jobs,
+            cache,
+            journal=journal,
+            campaign_id=campaign_id,
+            resume=resume,
+            fabric=fabric,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
     stats = None
     if journal is not None and campaign_id is not None:
         stats = journal.last_run(campaign_id)
     return CampaignOutcome(
-        entries=tuple(entries), config=config, jobs=jobs,
-        campaign_id=campaign_id, journal_stats=stats,
+        entries=tuple(entries),
+        config=config,
+        jobs=jobs,
+        campaign_id=campaign_id,
+        journal_stats=stats,
     )
 
 
@@ -352,29 +408,160 @@ def sweep_unit_id(benchmark: str, board_sample: int) -> str:
     return f"sweep:{benchmark}:board{board_sample}"
 
 
+def _sweep_result(benchmark: str, board_sample: int, sweep) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=sweep_unit_id(benchmark, board_sample),
+        title=f"sweep: {benchmark} on board {board_sample}",
+        rows=[p.measurement.as_dict() for p in sweep.points],
+        summary={"crash_mv": sweep.crash_mv},
+    )
+
+
 def run_sweep_unit(
     benchmark: str,
     board_sample: int,
     config: ExperimentConfig,
     point_root: str | None = None,
+    blob_root: str | None = None,
 ) -> ExperimentResult:
     """One full Vnom-to-crash sweep, packaged as an ExperimentResult."""
     from repro.core.session import make_session
     from repro.core.undervolt import VoltageSweep
     from repro.fpga.board import make_board
+    from repro.runtime.blobs import maybe_blob_plane
     from repro.runtime.points import maybe_point_scope
 
     unit_id = sweep_unit_id(benchmark, board_sample)
-    board = make_board(sample=board_sample, cal=config.cal)
-    session = make_session(board, benchmark, config)
-    with maybe_point_scope(point_root, unit_id):
-        sweep = VoltageSweep(session, config).run()
-    return ExperimentResult(
-        experiment_id=unit_id,
-        title=f"sweep: {benchmark} on board {board_sample}",
-        rows=[p.measurement.as_dict() for p in sweep.points],
-        summary={"crash_mv": sweep.crash_mv},
+    with maybe_blob_plane(blob_root):
+        board = make_board(sample=board_sample, cal=config.cal)
+        session = make_session(board, benchmark, config)
+        with maybe_point_scope(point_root, unit_id):
+            sweep = VoltageSweep(session, config).run()
+    return _sweep_result(benchmark, board_sample, sweep)
+
+
+def measure_point_task(
+    benchmark: str,
+    board_sample: int,
+    v_mv: float,
+    f_mhz: float | None,
+    config: ExperimentConfig,
+    point_root: str | None,
+    scope: str,
+    blob_root: str | None = None,
+) -> tuple[bool, object]:
+    """One dispatched voltage probe; returns ``(hang, measurement)``.
+
+    Top-level so a fabric can ship it to a warm worker: the worker's
+    memoized workload, plane-loaded model, and fabric-scope clean pass
+    make the probe cost little more than its fault cones.  A board hang
+    is *returned*, not raised — the parent sweep replays it as the
+    strategy expects — and, under a point scope, recorded in the point
+    store exactly as an in-process sweep would record it.
+    """
+    from repro.core.session import make_session
+    from repro.fpga.board import make_board
+    from repro.runtime.blobs import maybe_blob_plane
+    from repro.runtime.points import cached_point_measure, maybe_point_scope
+
+    with maybe_blob_plane(blob_root):
+        board = make_board(sample=board_sample, cal=config.cal)
+        session = make_session(board, benchmark, config)
+        with maybe_point_scope(point_root, scope):
+            measure = cached_point_measure(session, config, f_mhz)
+            try:
+                return (False, measure(v_mv))
+            except BoardHangError:
+                return (True, None)
+
+
+@dataclass(frozen=True)
+class _SweepWorkloadHandle:
+    """Just the identity a parent-side sweep driver needs of a workload."""
+
+    name: str
+    variant_label: str
+
+
+@dataclass(frozen=True)
+class RemoteSweepSession:
+    """A build-free stand-in for :class:`~repro.core.session.AcceleratorSession`.
+
+    The parent side of a dispatched sweep only *routes* probes: it needs
+    the board (calibration for the start voltage, ``power_cycle`` for
+    hang recovery) and the workload's identity labels — never its
+    weights, dataset, or engine, which live in the workers.  Keeping the
+    parent model-free matters beyond memory: worker pools fork from the
+    parent, so a parent that built models would hand every cold worker a
+    warm copy and hide the true cost the fabric exists to amortize.
+    """
+
+    board: object
+    workload: _SweepWorkloadHandle
+    config: ExperimentConfig
+
+
+def remote_sweep_session(
+    benchmark: str, board_sample: int, config: ExperimentConfig
+) -> RemoteSweepSession:
+    """Parent-side sweep handle for (benchmark, board): board, no model."""
+    from repro.fpga.board import make_board
+    from repro.models.zoo import default_variant_label
+
+    return RemoteSweepSession(
+        board=make_board(sample=board_sample, cal=config.cal),
+        workload=_SweepWorkloadHandle(
+            name=benchmark,
+            variant_label=default_variant_label(benchmark),
+        ),
+        config=config,
     )
+
+
+def run_sweep_unit_remote(
+    benchmark: str,
+    board_sample: int,
+    config: ExperimentConfig,
+    point_root: str | None,
+    blob_root: str | None,
+    fabric: WorkerFabric | None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """One sweep driven in-process, with every probe dispatched remotely.
+
+    The strategy — grid walk or adaptive bisection — runs here, in the
+    parent (over a model-free :class:`RemoteSweepSession`), but each
+    ``measure(v)`` it issues becomes a :func:`measure_point_task` on the
+    fabric's warm pool.  Probe results are bit-identical to an
+    in-process sweep (per-point RNG streams are named by voltage), so
+    the assembled :class:`~repro.core.undervolt.SweepResult` is too;
+    what changes is *where* the cost lands — on workers whose model and
+    clean-pass state persists across every bisection round.
+    """
+    from repro.core.undervolt import VoltageSweep
+
+    unit_id = sweep_unit_id(benchmark, board_sample)
+    session = remote_sweep_session(benchmark, board_sample, config)
+
+    def measure(v_mv: float):
+        task_args = (
+            benchmark,
+            board_sample,
+            v_mv,
+            None,
+            config,
+            point_root,
+            unit_id,
+            blob_root,
+        )
+        outcomes = run_tasks([(measure_point_task, task_args)], jobs=jobs, fabric=fabric)
+        hang, measurement = outcomes[0].value
+        if hang:
+            raise BoardHangError(f"dispatched probe hung at {v_mv} mV", vccint_v=v_mv / 1000.0)
+        return measurement
+
+    sweep = VoltageSweep(session, config).run(measure=measure)
+    return _sweep_result(benchmark, board_sample, sweep)
 
 
 def run_sweep_campaign(
@@ -383,20 +570,59 @@ def run_sweep_campaign(
     config: ExperimentConfig | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    fabric: WorkerFabric | None = None,
+    dispatch: str = "unit",
 ) -> CampaignOutcome:
-    """Sweep one benchmark on several boards, cached and fanned out."""
+    """Sweep one benchmark on several boards, cached and fanned out.
+
+    ``dispatch`` selects the work granularity: ``"unit"`` (default) ships
+    whole board sweeps to the pool — best when boards outnumber workers —
+    while ``"point"`` runs each board's strategy on a parent thread and
+    dispatches every voltage probe to the fabric's warm workers — the
+    adaptive strategy's bisection rounds then reuse one leased pool (and
+    its warm model/clean-pass state) end to end instead of paying
+    per-round setup, and the per-board driver threads keep the pool
+    busy across boards.  Both modes produce bit-identical results and
+    share the same point store.
+    """
     config = config or ExperimentConfig()
     jobs = max(1, int(jobs))
+    if dispatch not in ("unit", "point"):
+        raise ValueError(f"dispatch must be 'unit' or 'point', got {dispatch!r}")
     point_root = str(cache.point_root) if cache is not None else None
+    blob_root = str(cache.blob_root) if cache is not None else None
+    fabric, owned = _leased_fabric(fabric, jobs, cache)
 
     def request_for(board: int) -> _Request:
+        if dispatch == "point":
+            # The unit runs in-process on a parent thread (its probes
+            # dispatch); the outer pass must never pickle the fabric
+            # handle in the task args, so it uses threads, not a pool.
+            remote_args = (benchmark, board, config, point_root, blob_root, fabric, jobs)
+            return (
+                sweep_unit_id(benchmark, board),
+                lambda: [(run_sweep_unit_remote, remote_args)],
+                lambda results: results[0],
+            )
         return (
             sweep_unit_id(benchmark, board),
-            lambda: [(run_sweep_unit, (benchmark, board, config, point_root))],
+            lambda: [(run_sweep_unit, (benchmark, board, config, point_root, blob_root))],
             lambda results: results[0],
         )
 
-    entries = _execute_cached(
-        [request_for(b) for b in boards], config, jobs, cache
-    )
+    try:
+        entries = _execute_cached(
+            [request_for(b) for b in boards],
+            config,
+            jobs if dispatch == "unit" else 1,
+            cache,
+            fabric=fabric if dispatch == "unit" else None,
+            # Point mode: drive the per-board strategies on parent threads
+            # so every fabric worker stays busy across boards, while the
+            # fabric handle in the task args is never pickled.
+            threads=0 if dispatch == "unit" else min(jobs, max(1, len(boards))),
+        )
+    finally:
+        if owned is not None:
+            owned.close()
     return CampaignOutcome(entries=tuple(entries), config=config, jobs=jobs)

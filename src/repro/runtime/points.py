@@ -126,6 +126,19 @@ class PointCache:
 
     def __post_init__(self):
         self.root = Path(self.root)
+        #: Read-side parse memo keyed by filename: (mtime_ns, size,
+        #: *light* entry or None for corrupt).  Entries are immutable
+        #: once written (writers replace atomically, which moves the
+        #: mtime), so an unchanged stat means an unchanged parse — the
+        #: fast path warm index refreshes ride on.  Memoized entries are
+        #: stripped of their measurement payload so the memo stays a
+        #: few hundred bytes per point however large the store grows:
+        #: payload residency is the :class:`~repro.runtime.query.MeasurementLRU`'s
+        #: job, never this memo's.
+        self._scan_memo: dict[str, tuple[int, int, PointEntry | None]] = {}
+        #: Scan counters: files served from the memo vs re-read.
+        self.scan_fast_hits = 0
+        self.scan_rereads = 0
 
     def path_for(self, fingerprint: str) -> Path:
         """On-disk location of one point entry."""
@@ -190,19 +203,72 @@ class PointCache:
             return []
         return sorted(p for p in self.root.glob("*.json") if p.is_file())
 
+    def scan(self) -> Iterator[tuple[Path, "PointEntry | None"]]:
+        """Walk every point file, yielding ``(path, entry-or-None)``.
+
+        ``None`` marks a corrupt or schema-drifted file (callers keep
+        their corruption counters).  Unchanged files — same mtime and
+        size as the previous scan through this cache instance — are
+        served from the parse memo without touching their bytes, so a
+        warm index refresh over a large store costs one ``stat`` per
+        file instead of one full JSON parse.  Memoized corrupt verdicts
+        are reused too: a file that has not changed cannot have healed.
+
+        Memo-served entries are *light*: ``record.measurement`` is
+        ``None`` even for alive points (the memo keeps identity, never
+        payloads — see ``_scan_memo``).  A freshly parsed file yields
+        its full entry; readers that need a payload for a memoized
+        point re-read it via :func:`read_point_entry`.
+        """
+        seen: set[str] = set()
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted between listing and stat
+            seen.add(path.name)
+            memo = self._scan_memo.get(path.name)
+            if memo is not None and memo[0] == stat.st_mtime_ns and memo[1] == stat.st_size:
+                self.scan_fast_hits += 1
+                yield path, memo[2]
+                continue
+            entry = read_point_entry(path)
+            self._scan_memo[path.name] = (stat.st_mtime_ns, stat.st_size, _light_entry(entry))
+            self.scan_rereads += 1
+            yield path, entry
+        for name in set(self._scan_memo) - seen:
+            # pop, not del: concurrent scans over one cache instance may
+            # both observe (and both prune) an externally deleted file.
+            self._scan_memo.pop(name, None)
+
     def iter_entries(self) -> Iterator[PointEntry]:
         """Parse every valid point file, in sorted-filename order.
 
         The iteration API index builders consume: corrupt or
         schema-drifted files are silently skipped (use
-        :func:`read_point_entry` directly to distinguish them), and the
-        deterministic order makes any first-wins deduplication downstream
-        reproducible across runs.
+        :func:`read_point_entry` or :meth:`scan` to distinguish them),
+        and the deterministic order makes any first-wins deduplication
+        downstream reproducible across runs.  Rides :meth:`scan`'s
+        mtime/size fast path: files unchanged since the last iteration
+        through this instance are not re-read — and, like ``scan``,
+        yields those as light entries without a measurement payload.
         """
-        for path in self.entries():
-            entry = read_point_entry(path)
+        for _path, entry in self.scan():
             if entry is not None:
                 yield entry
+
+
+def _light_entry(entry: "PointEntry | None") -> "PointEntry | None":
+    """The memoized form of a parsed entry: identity kept, payload dropped."""
+    if entry is None or entry.record.measurement is None:
+        return entry
+    return PointEntry(
+        fingerprint=entry.fingerprint,
+        scope=entry.scope,
+        context=entry.context,
+        version=entry.version,
+        record=PointRecord(hang=False, measurement=None),
+    )
 
 
 @dataclass(frozen=True)

@@ -252,6 +252,7 @@ def compute_point_unit(
     config: ExperimentConfig,
     point_root: str,
     scope: str,
+    blob_root: str | None = None,
 ) -> bool:
     """Measure one voltage point into the point store; ``True`` = alive.
 
@@ -259,19 +260,23 @@ def compute_point_unit(
     a worker process.  The measurement runs under the given point scope,
     so the entry it writes is exactly the one a ``repro sweep`` of the
     same (benchmark, board) would write — and a point already in the
-    store is replayed, not recomputed.
+    store is replayed, not recomputed.  With ``blob_root`` the worker
+    builds its session under the model plane, loading a spilled workload
+    memory-mapped instead of rebuilding it.
     """
     from repro.core.session import make_session
     from repro.fpga.board import make_board
+    from repro.runtime.blobs import maybe_blob_plane
 
-    board_obj = make_board(sample=board, cal=config.cal)
-    session = make_session(board_obj, benchmark, config)
-    with maybe_point_scope(point_root, scope):
-        measure = cached_point_measure(session, config, f_mhz)
-        try:
-            measure(v_mv)
-        except BoardHangError:
-            return False  # the hang itself was recorded in the store
+    with maybe_blob_plane(blob_root):
+        board_obj = make_board(sample=board, cal=config.cal)
+        session = make_session(board_obj, benchmark, config)
+        with maybe_point_scope(point_root, scope):
+            measure = cached_point_measure(session, config, f_mhz)
+            try:
+                measure(v_mv)
+            except BoardHangError:
+                return False  # the hang itself was recorded in the store
     return True
 
 
@@ -311,6 +316,10 @@ class CharacterizationIndex:
         self.jobs = max(1, int(jobs))
         self._cache = ResultCache(self.cache_dir)
         self._points = PointCache(self._cache.point_root)
+        #: Lazily leased worker fabric for read-through computes: one
+        #: persistent pool (and its warm model/clean-pass state) serves
+        #: every miss this index ever fills, instead of a pool per miss.
+        self._fabric = None
         self._lru = MeasurementLRU(lru_capacity)
         self._coalescer = RequestCoalescer()
         self._lock = threading.Lock()
@@ -343,8 +352,11 @@ class CharacterizationIndex:
         seeds: list[tuple[str, Measurement]] = []
         corrupt = 0
         excluded = 0
-        for path in self._points.entries():
-            entry = read_point_entry(path)
+        # PointCache.scan serves unchanged files from its mtime/size
+        # parse memo, so a warm refresh costs one stat per file instead
+        # of one JSON parse; corrupt verdicts are memoized and counted
+        # identically either way.
+        for path, entry in self._points.scan():
             if entry is None:
                 corrupt += 1
                 continue
@@ -456,13 +468,20 @@ class CharacterizationIndex:
             return self._datasets.get(key)
 
     def _one_dataset(
-        self, benchmark: str, variant: str | None, board: int,
-        f_mhz: float | None, t_setpoint_c: float | None,
+        self,
+        benchmark: str,
+        variant: str | None,
+        board: int,
+        f_mhz: float | None,
+        t_setpoint_c: float | None,
     ) -> _Dataset:
         """Resolve query filters to exactly one dataset, or raise KeyError."""
         keys = self.dataset_keys(
-            benchmark=benchmark, variant=variant, board=board,
-            f_mhz=f_mhz, t_setpoint_c=t_setpoint_c,
+            benchmark=benchmark,
+            variant=variant,
+            board=board,
+            f_mhz=f_mhz,
+            t_setpoint_c=t_setpoint_c,
         )
         if not keys:
             raise KeyError(
@@ -495,9 +514,7 @@ class CharacterizationIndex:
     ) -> dict:
         """Every indexed point of one dataset, high-to-low voltage."""
         dataset = self._one_dataset(benchmark, variant, board, f_mhz, t_setpoint_c)
-        refs = sorted(
-            dataset.alive + dataset.hangs, key=lambda r: -r.vccint_mv
-        )
+        refs = sorted(dataset.alive + dataset.hangs, key=lambda r: -r.vccint_mv)
         payload = {
             **dataset.key.as_dict(),
             "n_points": len(dataset.alive),
@@ -535,19 +552,13 @@ class CharacterizationIndex:
             raise ValueError(f"unknown point mode {mode!r}")
         v_mv = round(float(vccint_mv), 4)
         try:
-            dataset = self._one_dataset(
-                benchmark, variant, board, f_mhz, t_setpoint_c
-            )
+            dataset = self._one_dataset(benchmark, variant, board, f_mhz, t_setpoint_c)
             row = self._point_from(dataset, v_mv, mode)
         except KeyError:
             if not (compute and mode == "exact"):
                 raise
-            self.ensure_point(
-                benchmark, v_mv, board=board, f_mhz=f_mhz
-            )
-            dataset = self._one_dataset(
-                benchmark, variant, board, f_mhz, t_setpoint_c
-            )
+            self.ensure_point(benchmark, v_mv, board=board, f_mhz=f_mhz)
+            dataset = self._one_dataset(benchmark, variant, board, f_mhz, t_setpoint_c)
             row = self._point_from(dataset, v_mv, mode)
             return {**dataset.key.as_dict(), "mode": mode, **row}
         with self._lock:
@@ -560,9 +571,7 @@ class CharacterizationIndex:
             for ref in dataset.alive + dataset.hangs:
                 if abs(ref.vccint_mv - v_mv) <= EXACT_TOLERANCE_MV:
                     return self._point_row(ref)
-            raise KeyError(
-                f"no measured point at {v_mv} mV for {dataset.key.as_dict()}"
-            )
+            raise KeyError(f"no measured point at {v_mv} mV for {dataset.key.as_dict()}")
         if not dataset.alive:
             raise KeyError(f"dataset {dataset.key.as_dict()} has no alive points")
         if mode == "nearest":
@@ -625,9 +634,7 @@ class CharacterizationIndex:
         """
         computed = False
         if compute and benchmark is not None and board is not None:
-            keys = self.dataset_keys(
-                benchmark=benchmark, variant=variant, board=board
-            )
+            keys = self.dataset_keys(benchmark=benchmark, variant=variant, board=board)
             usable = [
                 k for k in keys if self._landmarks_for(k).get("complete")
             ]
@@ -669,16 +676,12 @@ class CharacterizationIndex:
                 row.update(complete=True, **regions.as_dict())
             except CampaignError as exc:
                 row.update(complete=False, reason=str(exc))
-            row.update(
-                n_points=len(dataset.alive), n_hangs=len(dataset.hangs)
-            )
+            row.update(n_points=len(dataset.alive), n_hangs=len(dataset.hangs))
         with self._lock:
             self._landmark_memo[key] = row
         return row
 
-    def guardband(
-        self, benchmark: str | None = None, variant: str | None = None
-    ) -> list[dict]:
+    def guardband(self, benchmark: str | None = None, variant: str | None = None) -> list[dict]:
         """Per-board guardband maps, one entry per (benchmark, variant).
 
         Reshapes the landmark rows into the deployment question the
@@ -726,15 +729,41 @@ class CharacterizationIndex:
             if boards:
                 worst = max(boards, key=lambda b: b["vmin_mv"])
                 entry["worst_case_vmin_mv"] = worst["vmin_mv"]
-                entry["fleet_guardband_mv"] = min(
-                    b["guardband_mv"] for b in boards
-                )
+                entry["fleet_guardband_mv"] = min(b["guardband_mv"] for b in boards)
             maps.append(entry)
         return maps
 
     # ------------------------------------------------------------------
     # Read-through compute (coalesced)
     # ------------------------------------------------------------------
+
+    def _compute_fabric(self):
+        """The index's leased fabric (spawned on first compute), if any.
+
+        Created under the index lock: concurrent first misses for
+        *different* keys (which the coalescer deliberately does not
+        collapse) must share one fabric, not leak one pool each.
+        """
+        if self.jobs <= 1:
+            return None
+        from repro.runtime.fabric import WorkerFabric
+
+        with self._lock:
+            if self._fabric is None:
+                self._fabric = WorkerFabric(self.jobs, blob_root=self._cache.blob_root)
+            return self._fabric
+
+    def close(self) -> None:
+        """Release the compute fabric's pool (idempotent).
+
+        Queries served from the index need no resources; only an index
+        that has computed misses with ``jobs > 1`` holds worker
+        processes, and long-lived embedders (the HTTP server, tests)
+        should release them deterministically rather than at GC time.
+        """
+        fabric, self._fabric = self._fabric, None
+        if fabric is not None:
+            fabric.close()
 
     def ensure_sweep(self, benchmark: str, board: int):
         """Make sure (benchmark, board) has a full sweep's points.
@@ -751,8 +780,12 @@ class CharacterizationIndex:
 
         def compute():
             outcome = run_sweep_campaign(
-                benchmark, [int(board)], self.config,
-                jobs=self.jobs, cache=self._cache,
+                benchmark,
+                [int(board)],
+                self.config,
+                jobs=self.jobs,
+                cache=self._cache,
+                fabric=self._compute_fabric(),
             )
             self.refresh()
             return outcome
@@ -786,17 +819,20 @@ class CharacterizationIndex:
 
         def compute():
             scope = sweep_unit_id(benchmark, int(board))
+            task_args = (
+                benchmark,
+                int(board),
+                v_mv,
+                f_mhz,
+                self.config,
+                str(self._points.root),
+                scope,
+                str(self._cache.blob_root),
+            )
             outcomes = run_tasks(
-                [
-                    (
-                        compute_point_unit,
-                        (
-                            benchmark, int(board), v_mv, f_mhz,
-                            self.config, str(self._points.root), scope,
-                        ),
-                    )
-                ],
+                [(compute_point_unit, task_args)],
                 jobs=1,
+                fabric=self._compute_fabric(),
             )
             self.refresh()
             return outcomes[0].value

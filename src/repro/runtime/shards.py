@@ -62,9 +62,7 @@ class WorkUnit:
         return self.experiment_id
 
 
-def plan_units(
-    experiment_id: str, config: ExperimentConfig, shard: bool = True
-) -> list[WorkUnit]:
+def plan_units(experiment_id: str, config: ExperimentConfig, shard: bool = True) -> list[WorkUnit]:
     """Split one experiment into work units (a single unit if unsharded)."""
     spec = get_spec(experiment_id)
     if shard and spec.shards is not None:
@@ -83,9 +81,7 @@ def merge_unit_results(
 ) -> ExperimentResult:
     """Combine per-unit results back into one experiment result."""
     if len(units) != len(results):
-        raise ValueError(
-            f"{experiment_id}: {len(units)} units but {len(results)} results"
-        )
+        raise ValueError(f"{experiment_id}: {len(units)} units but {len(results)} results")
     if len(units) == 1 and units[0].shard_key is None:
         return results[0]
     spec = get_spec(experiment_id)

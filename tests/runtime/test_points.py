@@ -253,3 +253,56 @@ class TestGridAdaptiveProperty:
         other_config = CFG.with_overrides(**plan)
         other = fresh_session(workload, other_config).run_at(v_mv)
         assert other == baseline
+
+
+class TestScanFastPath:
+    def _warm_store(self, workload, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        session = fresh_session(workload)
+        sweep(session, CFG, cache)
+        return cache
+
+    def test_warm_scan_skips_unchanged_files(self, workload, tmp_path):
+        cache = self._warm_store(workload, tmp_path)
+        first = list(cache.scan())
+        n = len(first)
+        assert n > 0
+        assert cache.scan_rereads == n and cache.scan_fast_hits == 0
+        second = list(cache.scan())
+        assert cache.scan_fast_hits == n  # one stat each, zero re-parses
+        assert [p.name for p, _ in first] == [p.name for p, _ in second]
+        # Memo-served entries keep identity but drop the payload: the
+        # memo must never hold parsed measurements (that is the LRU's
+        # job), so a warm refresh stays O(points * stat) in time AND
+        # O(points * metadata) in memory.
+        for (_, fresh), (_, warm) in zip(first, second):
+            assert warm.fingerprint == fresh.fingerprint
+            assert warm.context == fresh.context
+            assert warm.record.hang == fresh.record.hang
+            assert warm.record.measurement is None
+
+    def test_rewritten_file_is_reparsed(self, workload, tmp_path):
+        cache = self._warm_store(workload, tmp_path)
+        list(cache.scan())
+        victim = cache.entries()[0]
+        payload = json.loads(victim.read_text())
+        victim.write_text(json.dumps(payload))  # rewrite moves the mtime
+        list(cache.scan())
+        assert cache.scan_rereads > len(cache.entries())  # victim re-read
+
+    def test_corrupt_verdict_memoized_and_still_counted(self, workload, tmp_path):
+        cache = self._warm_store(workload, tmp_path)
+        victim = cache.entries()[0]
+        victim.write_text("garbage")
+        for _ in range(2):  # fresh parse, then memo-served verdict
+            entries = dict(cache.scan())
+            assert entries[victim] is None
+
+    def test_deleted_file_pruned_from_memo(self, workload, tmp_path):
+        cache = self._warm_store(workload, tmp_path)
+        list(cache.scan())
+        victim = cache.entries()[0]
+        victim.unlink()
+        names = [p.name for p, _ in cache.scan()]
+        assert victim.name not in names
+        assert victim.name not in cache._scan_memo

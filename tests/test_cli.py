@@ -104,6 +104,38 @@ class TestConfigFlags:
             args = parser.parse_args(argv + ["--jobs", "3", "--no-cache"])
             assert args.jobs == 3 and args.no_cache
 
+    def test_jobs_auto_resolves_to_cpu_count(self):
+        import os
+
+        parser = build_parser()
+        for argv in (
+            ["run", "sec41"],
+            ["sweep", "vggnet"],
+            ["campaign", "tables"],
+            ["query", "stats"],
+            ["serve"],
+        ):
+            args = parser.parse_args(argv + ["--jobs", "auto"])
+            assert args.jobs == (os.cpu_count() or 1)
+
+    def test_jobs_rejects_garbage(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "sec41", "--jobs", "many"])
+        assert "worker count or 'auto'" in capsys.readouterr().err
+
+    def test_jobs_recorded_in_run_metadata(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        code = main([
+            "campaign", "sec41", "--repeats", "1", "--samples", "16",
+            "--jobs", "2", "--no-cache", "--out", str(out),
+        ])
+        assert code == 0
+        assert "**Run metadata** (jobs = 2;" in out.read_text()
+
 
 class TestRuntimeCommands:
     def test_run_with_cache_dir(self, tmp_path, capsys):
