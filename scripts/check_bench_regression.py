@@ -119,13 +119,23 @@ def check(report: dict, baseline: dict, tolerance: float | None = None) -> list[
 
     extra = load_extra_info(report)
     for gate in baseline.get("extra_info_ratio_gates", []):
-        key = gate["key"]
-        high = extra.get(gate["slow"], {}).get(key)
-        low = extra.get(gate["fast"], {}).get(key)
+        # Either one ``key`` read from both benchmarks, or per-side
+        # ``slow_key``/``fast_key`` — the latter lets a gate hold two
+        # counters of the *same* benchmark to a ratio (e.g. voltage
+        # points executed per batched execution round).
+        slow_key = gate.get("slow_key", gate.get("key"))
+        fast_key = gate.get("fast_key", gate.get("key"))
+        label = (
+            slow_key
+            if slow_key == fast_key
+            else f"{slow_key}/{fast_key}"
+        )
+        high = extra.get(gate["slow"], {}).get(slow_key)
+        low = extra.get(gate["fast"], {}).get(fast_key)
         if high is None or low is None:
             failures.append(
-                f"extra_info gate needs {key!r} recorded by both "
-                f"{gate['slow']} and {gate['fast']}"
+                f"extra_info gate needs {slow_key!r} recorded by "
+                f"{gate['slow']} and {fast_key!r} by {gate['fast']}"
             )
             continue
         if high <= 0 or low <= 0:
@@ -133,18 +143,18 @@ def check(report: dict, baseline: dict, tolerance: float | None = None) -> list[
             # this gate exists to catch exactly that kind of regression.
             failures.append(
                 f"extra_info gate counters must be positive: "
-                f"{key} = {high}/{low}"
+                f"{label} = {high}/{low}"
             )
             continue
         ratio = high / low
         needed = gate["min_ratio"]
         verdict = "ok" if ratio >= needed else "FAILED"
-        print(f"{verdict:>10}  {key} {gate['slow'].split('::')[-1]} / "
+        print(f"{verdict:>10}  {label} {gate['slow'].split('::')[-1]} / "
               f"{gate['fast'].split('::')[-1]} = {high}/{low} = {ratio:.2f}x "
               f"(required >= {needed}x)")
         if ratio < needed:
             failures.append(
-                f"extra_info gate failed: {key} ratio {ratio:.2f}x < "
+                f"extra_info gate failed: {label} ratio {ratio:.2f}x < "
                 f"{needed}x ({gate.get('why', '')})"
             )
     return failures

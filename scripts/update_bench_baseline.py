@@ -50,14 +50,15 @@ SPEEDUP_GATES = [
     {
         "fast": "benchmarks/bench_sweep.py::test_fig3_landmarks_adaptive",
         "slow": "benchmarks/bench_sweep.py::test_fig3_landmarks_grid_dense",
-        "min_ratio": 2.5,
+        "min_ratio": 12.0,
         "why": "fig3 landmark search at 1 mV resolution: the adaptive "
-               "strategy must stay well faster than the dense grid while "
-               "reaching identical Vmin/Vcrash (asserted in the bench "
-               "body); the >=3x acceptance bound is on points executed "
-               "(see extra_info_ratio_gates) — wall-clock tracks it "
-               "sub-linearly because bisection probes cluster in the "
-               "slow critical region",
+               "strategy must stay >=12x faster wall-clock than the dense "
+               "grid while reaching identical Vmin/Vcrash (asserted in "
+               "the bench body).  Voltage-axis round batching is what "
+               "lifts this past the old ~5x: probe rounds are planned as "
+               "speculative batches and each round is one voltage-stacked "
+               "engine pass, so most of the adaptive dance costs liveness "
+               "checks instead of full measurements",
     },
     {
         "fast": "benchmarks/bench_query.py::test_query_warm_lru",
@@ -101,6 +102,19 @@ EXTRA_INFO_RATIO_GATES = [
         "why": "the adaptive strategy must execute >=3x fewer voltage "
                "points than the dense grid at equal 1 mV resolution "
                "(hardware-independent counter recorded by the bench)",
+    },
+    {
+        "slow": "benchmarks/bench_sweep.py::test_fig3_landmarks_grid_dense",
+        "slow_key": "points_executed",
+        "fast": "benchmarks/bench_sweep.py::test_fig3_landmarks_grid_dense",
+        "fast_key": "rounds_executed",
+        "min_ratio": 4.0,
+        "why": "round-batched execution: the dense grid must coalesce its "
+               "voltage points into >=4x fewer execution rounds — one "
+               "voltage-stacked engine pass (one fabric task under round "
+               "dispatch) per round — instead of dispatching one task per "
+               "point (hardware-independent counters recorded by the "
+               "bench)",
     },
 ]
 

@@ -21,7 +21,8 @@ Every campaign-shaped command accepts ``--jobs`` (process fan-out),
 experiments plus individual sweep voltage points), and the full set of
 :class:`~repro.core.experiment.ExperimentConfig` knobs (``--v-step``,
 ``--strategy``, ``--v-resolution``, ``--width-scale``,
-``--accuracy-tolerance``, ``--repeat-mode``, ``--batch-budget``).
+``--accuracy-tolerance``, ``--repeat-mode``, ``--batch-budget``,
+``--point-batch``).
 ``campaign`` additionally journals its plan under the cache dir and
 accepts ``--resume`` to pick an interrupted campaign back up, skipping
 every unit (and every already-measured voltage point) that completed.
@@ -54,6 +55,7 @@ def _config_from_args(args):
         accuracy_tolerance=args.accuracy_tolerance,
         repeat_mode=args.repeat_mode,
         batch_budget=args.batch_budget,
+        point_batch=args.point_batch,
     )
 
 
@@ -157,6 +159,14 @@ def _add_config_flags(parser, *, repeats: int, samples: int) -> None:
         help="max stacked inferences per batched forward pass; larger "
              "repeat sets chunk along the repeat axis "
              f"(default {defaults.batch_budget})",
+    )
+    parser.add_argument(
+        "--point-batch", dest="point_batch", type=int,
+        default=defaults.point_batch,
+        help="max planned voltage points per sweep execution round (one "
+             "fabric task / one stacked engine pass per round); round "
+             "shape never changes results "
+             f"(default {defaults.point_batch})",
     )
 
 

@@ -29,7 +29,7 @@ SWEEP_STRATEGIES = ("grid", "adaptive")
 #: they are: both repeat modes produce bit-identical Measurements, so these
 #: knobs are excluded from the result-cache fingerprint (see
 #: :func:`repro.runtime.hashing.config_fingerprint`).
-EXECUTION_FIELDS = ("repeat_mode", "batch_budget")
+EXECUTION_FIELDS = ("repeat_mode", "batch_budget", "point_batch")
 
 #: Config fields that steer *which* voltage points a sweep visits — the
 #: grid pitch, the search strategy, and the loss tolerance the adaptive
@@ -73,6 +73,13 @@ class ExperimentConfig:
     #: ``repeats * samples`` exceeds it, batched runs chunk along the
     #: repeat axis (chunking never changes results, only peak memory).
     batch_budget: int = 4096
+    #: Max planned points per sweep execution round: how many voltages a
+    #: strategy hands the executor at once (one fabric task per round
+    #: under round-granular dispatch, one voltage-stacked engine pass
+    #: in-process).  Round shape never changes any point's numbers — the
+    #: per-point RNG streams are named by voltage — so this is an
+    #: execution knob, excluded from every cache fingerprint.
+    point_batch: int = 8
 
     def __post_init__(self):
         if self.repeats < 1:
@@ -98,6 +105,10 @@ class ExperimentConfig:
         if self.batch_budget < 1:
             raise CampaignError(
                 f"batch_budget must be >= 1, got {self.batch_budget}"
+            )
+        if self.point_batch < 1:
+            raise CampaignError(
+                f"point_batch must be >= 1, got {self.point_batch}"
             )
 
     @property

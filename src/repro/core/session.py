@@ -105,6 +105,37 @@ class Measurement:
         }
 
 
+@dataclass(frozen=True)
+class PointPlan:
+    """The board-side half of one operating point, frozen before execution.
+
+    Produced by :meth:`AcceleratorSession.plan_point` — the PMBus dance
+    (set rails, set clock, liveness check, telemetry) plus the derived
+    fault regime — and consumed by :meth:`AcceleratorSession.execute_plans`
+    / :meth:`AcceleratorSession.finalize_point`.  Splitting the dance from
+    the engine work is what lets a sweep round execute many points' fault
+    realizations as one stacked pass while each point's Measurement stays
+    bit-identical to a solo :meth:`AcceleratorSession.run_at`.
+    """
+
+    vccint_mv: float
+    f_mhz: float
+    temperature_c: float
+    p_op: float
+    collapse: bool
+    #: Effective realization count (1 for fault-free points).
+    repeats: int
+    #: Repeat execution mode for this point ("batched" | "loop").
+    mode: str
+    power_w: float
+    bram_power_w: float
+
+    @property
+    def engine_free(self) -> bool:
+        """True when the point needs no engine pass (deterministic clean)."""
+        return self.p_op <= 0.0 and not self.collapse
+
+
 class AcceleratorSession:
     """Binds a board sample to a workload and measures operating points."""
 
@@ -157,6 +188,28 @@ class AcceleratorSession:
         Raises :class:`BoardHangError` if the point is below this board's
         crash voltage (after latching the hang, as the real board would).
         """
+        plan = self.plan_point(
+            vccint_mv, f_mhz=f_mhz, repeats=repeats, repeat_mode=repeat_mode
+        )
+        outcomes = self.execute_plans([plan])[0]
+        return self.finalize_point(plan, outcomes)
+
+    def plan_point(
+        self,
+        vccint_mv: float,
+        f_mhz: float | None = None,
+        repeats: int | None = None,
+        repeat_mode: str | None = None,
+    ) -> PointPlan:
+        """Program the board for one point and freeze its execution plan.
+
+        Performs the full PMBus dance — rails, clock, optional temperature
+        regulation, liveness check, telemetry — and derives the point's
+        fault regime (``p_op``, crash-edge collapse, effective repeats).
+        Raises :class:`BoardHangError` below the board's crash voltage,
+        exactly as :meth:`run_at` does; the board is left programmed at
+        the point, so plans in a round must be taken in visiting order.
+        """
         v = vccint_mv / 1000.0
         f_mhz = self.board.cal.f_default_mhz if f_mhz is None else f_mhz
         repeats = self.config.repeats if repeats is None else repeats
@@ -184,44 +237,87 @@ class AcceleratorSession:
             v < self.board.vcrash_v + self.board.cal.collapse_margin_v
             and p_op > 0.0
         )
+        return PointPlan(
+            vccint_mv=vccint_mv,
+            f_mhz=f_mhz,
+            temperature_c=t_c,
+            p_op=p_op,
+            collapse=collapse,
+            # Fault-free points are deterministic: one realization suffices,
+            # and both modes take the same single-run shortcut.
+            repeats=repeats if (p_op > 0.0 or collapse) else 1,
+            mode=mode,
+            power_w=telemetry.vccint_power_w,
+            bram_power_w=telemetry.vccbram_power_w,
+        )
 
-        # Fault-free points are deterministic: one realization suffices,
-        # and both modes take the same single-run shortcut.
-        effective_repeats = repeats if (p_op > 0.0 or collapse) else 1
-        rngs = [
-            self._seeds.rng(f"faults/v{vccint_mv:.1f}/f{f_mhz:.0f}/r{r}")
-            for r in range(effective_repeats)
-        ]
-        if mode == "batched" and effective_repeats > 1:
-            outcomes = self.engine.run_batched(
-                p_op,
-                f_mhz,
-                rngs,
-                control_collapse=collapse,
-                max_stacked=self.config.batch_budget,
+    def _plan_rngs(self, plan: PointPlan) -> list:
+        """The plan's per-realization RNG streams, named by its voltage.
+
+        Stream names depend only on the operating point — never on round
+        shape or batching — which is what makes a point's numerics
+        independent of how many neighbours share its execution round.
+        """
+        return [
+            self._seeds.rng(
+                f"faults/v{plan.vccint_mv:.1f}/f{plan.f_mhz:.0f}/r{r}"
             )
-        else:
-            outcomes = [
-                self.engine.run(p_op, f_mhz, rng=rng, control_collapse=collapse)
-                for rng in rngs
+            for r in range(plan.repeats)
+        ]
+
+    def execute_plans(self, plans: list[PointPlan]) -> list:
+        """Run the engine work of several planned points, batched.
+
+        All ``"batched"``-mode plans execute as one
+        :meth:`~repro.dpu.engine.DPUEngine.run_points` call — their fault
+        realizations stack along the batch axis, chunked to the config's
+        ``batch_budget`` — while ``"loop"``-mode plans keep the historical
+        one-engine-run-per-repeat path.  Returns one outcome list per
+        plan, aligned with the input; every outcome is bit-identical to a
+        solo :meth:`run_at` at the same point.
+        """
+        results: list = [None] * len(plans)
+        stacked: list[tuple[int, PointPlan]] = []
+        for i, plan in enumerate(plans):
+            if plan.mode == "loop":
+                results[i] = [
+                    self.engine.run(
+                        plan.p_op, plan.f_mhz, rng=rng, control_collapse=plan.collapse
+                    )
+                    for rng in self._plan_rngs(plan)
+                ]
+            else:
+                stacked.append((i, plan))
+        if stacked:
+            specs = [
+                (plan.p_op, plan.f_mhz, self._plan_rngs(plan), plan.collapse)
+                for _i, plan in stacked
             ]
+            outcomes = self.engine.run_points(
+                specs, max_stacked=self.config.batch_budget
+            )
+            for (i, _plan), outs in zip(stacked, outcomes):
+                results[i] = outs
+        return results
+
+    def finalize_point(self, plan: PointPlan, outcomes: list) -> Measurement:
+        """Reduce one plan's realization outcomes into its Measurement."""
         stats = reduce_repeats(
             [o.accuracy for o in outcomes], [o.faults_injected for o in outcomes]
         )
-
-        perf = self.engine.perf_model.report(f_mhz)
+        perf = self.engine.perf_model.report(plan.f_mhz)
         return Measurement(
             benchmark=self.workload.name,
             variant=self.workload.variant_label,
             board_sample=self.board.sample,
-            vccint_v=v,
-            f_mhz=f_mhz,
-            temperature_c=t_c,
+            vccint_v=plan.vccint_mv / 1000.0,
+            f_mhz=plan.f_mhz,
+            temperature_c=plan.temperature_c,
             clean_accuracy=self.workload.clean_accuracy,
-            power_w=telemetry.vccint_power_w,
-            bram_power_w=telemetry.vccbram_power_w,
+            power_w=plan.power_w,
+            bram_power_w=plan.bram_power_w,
             gops=perf.gops,
-            repeats=effective_repeats,
+            repeats=plan.repeats,
             **stats,
         )
 

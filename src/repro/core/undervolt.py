@@ -21,6 +21,24 @@ named by its voltage, so a point's measurement is bit-identical whether a
 dense walk or a bisection reached it — which is also what makes the
 runtime's per-point result cache (:mod:`repro.runtime.points`) safe to
 share between strategies.
+
+Execution is *round-based* (the plan/execute split): a strategy is a
+generator (:meth:`GridStrategy.plan_rounds` /
+:meth:`AdaptiveStrategy.plan_rounds`) yielding rounds of
+:class:`PlannedPoint` plans and receiving per-point outcomes back, and a
+round executor decides how a round runs — serially against a
+:class:`SweepProbe`, batched in-process through one stacked engine pass
+(:func:`repro.runtime.points.cached_round_measure`), or shipped to a
+worker fabric as a single task per round
+(:func:`repro.runtime.campaign.run_sweep_unit_remote`).  Plans come in
+two modes: ``"measure"`` asks for the point's full Measurement, while
+``"probe"`` asks only what the board dance already knows — whether the
+point is alive and whether its fault rate is zero.  A zero-rate probe is
+provably loss-free, so it yields its full Measurement for free (the
+fault-free shortcut needs no engine pass); a faulty-but-alive probe costs
+*nothing but the dance*.  The adaptive strategy rides this to skip the
+expensive deep-critical accuracy measurements the old bisection paid for
+points that feed no landmark.
 """
 
 from __future__ import annotations
@@ -40,6 +58,69 @@ def grid_voltage_mv(start_mv: float, index: int, resolution_mv: float) -> float:
     on identical RNG streams and per-point cache keys.
     """
     return round(start_mv - index * resolution_mv, 6)
+
+
+@dataclass(frozen=True)
+class PlannedPoint:
+    """One planned evaluation in a sweep round.
+
+    ``index`` is the point's implicit-grid index (``v_mv ==
+    grid_voltage_mv(start, index, resolution)``); outcomes are keyed by
+    it.  ``mode`` selects what the executor must deliver:
+
+    * ``"measure"`` — the point's full :class:`Measurement` (outcome
+      ``("measurement", m)``) or a hang (``("hang", None)``);
+    * ``"probe"`` — liveness plus fault regime from the board dance
+      alone: ``("measurement", m)`` when the point is provably fault-free
+      (the Measurement comes from the deterministic shortcut, for free),
+      ``("alive", None)`` when it is alive but faulty, ``("hang", None)``
+      when it hangs.
+
+    Executors evaluate a round's points in list order and stop at the
+    first hang; points after it get no outcome.
+    """
+
+    index: int
+    v_mv: float
+    mode: str = "measure"
+
+
+def drive_rounds(gen, execute_round) -> tuple[list[Measurement], float | None, int]:
+    """Drive a strategy's round generator to completion.
+
+    ``gen`` is a :meth:`plan_rounds` generator; ``execute_round`` maps a
+    round (list of :class:`PlannedPoint`) to ``{index: outcome}``.
+    Returns ``(measurements, crash_mv, rounds_executed)``.
+    """
+    rounds = 0
+    try:
+        plan = next(gen)
+        while True:
+            outcomes = execute_round(plan)
+            rounds += 1
+            plan = gen.send(outcomes)
+    except StopIteration as stop:
+        measurements, crash_mv = stop.value
+        return measurements, crash_mv, rounds
+
+
+def _probe_round_executor(probe: "SweepProbe"):
+    """Serial round executor over a :class:`SweepProbe` (one point at a time)."""
+
+    def execute(points: list[PlannedPoint]) -> dict:
+        outcomes: dict[int, tuple] = {}
+        for point in points:
+            if point.mode == "probe":
+                outcome = probe.probe_point(point.v_mv)
+            else:
+                m = probe.measure(point.v_mv)
+                outcome = ("hang", None) if m is None else ("measurement", m)
+            outcomes[point.index] = outcome
+            if outcome[0] == "hang":
+                break
+        return outcomes
+
+    return execute
 
 
 @dataclass(frozen=True)
@@ -83,6 +164,16 @@ class SweepResult:
     points_executed: int = 0
     #: How many of the executed probes hung the board.
     hang_probes: int = 0
+    #: Liveness-only probes: board dances that established "alive but
+    #: faulty" without an accuracy measurement.  Deliberately *excluded*
+    #: from ``points_executed`` — a dance costs microseconds while a
+    #: measurement costs an engine pass, so folding them together would
+    #: let a strategy trade expensive points for cheap probes without the
+    #: cost gate noticing.
+    liveness_probes: int = 0
+    #: Execution rounds the sweep dispatched (one fabric task per round
+    #: under round-granular dispatch; one stacked engine pass in-process).
+    rounds_executed: int = 0
 
     @classmethod
     def from_measurements(
@@ -192,12 +283,15 @@ class SweepProbe:
     additionally splits evaluations into replays and fresh computes).
     """
 
-    def __init__(self, session: AcceleratorSession, measure):
+    def __init__(self, session: AcceleratorSession, measure, probe=None):
         self.session = session
         self._measure = measure
+        self._probe = probe
         self._memo: dict[float, Measurement | None] = {}
+        self._probe_memo: dict[float, tuple] = {}
         self.executed = 0
         self.hangs = 0
+        self.liveness = 0
 
     def measure(self, v_mv: float) -> Measurement | None:
         """Measure one voltage (memoized); ``None`` records a board hang."""
@@ -214,6 +308,43 @@ class SweepProbe:
         self._memo[key] = outcome
         return outcome
 
+    def probe_point(self, v_mv: float) -> tuple:
+        """Probe one voltage (memoized): liveness and fault regime only.
+
+        Returns a :class:`PlannedPoint` probe outcome — ``("measurement",
+        m)`` when the point is provably fault-free, ``("alive", None)``
+        when alive but faulty, ``("hang", None)`` on a hang (after
+        power-cycling).  Without a dedicated ``probe`` callable this
+        degrades to a full measurement, which is correct for every
+        strategy (a probe that over-delivers accuracy data is still a
+        probe) — the dispatched-measure sweep path keeps exactly its
+        historical cost that way.
+        """
+        key = round(v_mv, 6)
+        if key in self._probe_memo:
+            return self._probe_memo[key]
+        if self._probe is None:
+            m = self.measure(v_mv)
+            outcome = ("hang", None) if m is None else ("measurement", m)
+        else:
+            try:
+                outcome = self._probe(v_mv)
+                if outcome[0] == "measurement":
+                    self.executed += 1
+                else:
+                    self.liveness += 1
+            except BoardHangError:
+                self.session.board.power_cycle()
+                self.hangs += 1
+                outcome = ("hang", None)
+        self._probe_memo[key] = outcome
+        return outcome
+
+
+def _deepest_index(start_mv: float, floor_mv: float, resolution_mv: float) -> int:
+    """Deepest grid index still at or above the floor."""
+    return int((start_mv - floor_mv) / resolution_mv + 1e-9)
+
 
 @dataclass(frozen=True)
 class GridStrategy:
@@ -223,36 +354,82 @@ class GridStrategy:
 
     name = "grid"
 
+    def plan_rounds(self, start_mv: float, floor_mv: float, point_batch: int = 8):
+        """Round generator for the dense walk.
+
+        Yields ``point_batch``-sized rounds of consecutive measure plans,
+        descending until the floor or the first hang.  Returns
+        ``(measurements, crash_mv)`` via ``StopIteration``; the
+        measurements are bit-identical to the serial walk — batching
+        decides how rounds execute, never what any point computes.
+        """
+        res = self.resolution_mv
+        deepest = _deepest_index(start_mv, floor_mv, res)
+        batch = max(1, int(point_batch))
+        measured: dict[int, Measurement] = {}
+        index = 0
+        while index <= deepest:
+            chunk = list(range(index, min(index + batch, deepest + 1)))
+            results = yield [
+                PlannedPoint(i, grid_voltage_mv(start_mv, i, res)) for i in chunk
+            ]
+            advanced = chunk[-1] + 1
+            for i in chunk:
+                outcome = results.get(i)
+                if outcome is not None and outcome[0] == "hang":
+                    return (
+                        [measured[j] for j in sorted(measured)],
+                        grid_voltage_mv(start_mv, i, res),
+                    )
+                if outcome is None:
+                    # Executor stopped early without a hang outcome for
+                    # this index: re-request from here next round.
+                    advanced = i
+                    break
+                measured[i] = outcome[1]
+            index = advanced
+        return [measured[j] for j in sorted(measured)], None
+
     def run(
         self, probe: SweepProbe, start_mv: float, floor_mv: float
     ) -> tuple[list[Measurement], float | None]:
         """Walk every grid point down; returns ``(points, crash_mv)``."""
-        points: list[Measurement] = []
-        index = 0
-        while True:
-            v_mv = grid_voltage_mv(start_mv, index, self.resolution_mv)
-            if v_mv < floor_mv - 1e-9:
-                return points, None
-            measurement = probe.measure(v_mv)
-            if measurement is None:
-                return points, v_mv
-            points.append(measurement)
-            index += 1
+        measurements, crash_mv, _rounds = drive_rounds(
+            self.plan_rounds(start_mv, floor_mv, point_batch=1),
+            _probe_round_executor(probe),
+        )
+        return measurements, crash_mv
 
 
 @dataclass(frozen=True)
 class AdaptiveStrategy:
-    """Coarse descent plus bisection toward the two region boundaries.
+    """Probe-ladder descent plus measured refinement of both boundaries.
 
-    Phase 1 walks the grid in ``coarse_factor``-sized strides until the
-    first lossy or hung point.  Phase 2 bisects the guardband/critical
-    boundary (last loss-free stride vs first bad one), phase 3 continues
-    the coarse descent to the first hang and bisects the critical/crash
-    boundary.  All probes land on the same implicit grid the dense walk
-    uses, so at equal resolution the detected Vmin/Vcrash landmarks — and
-    each visited point's measurement — match the grid strategy exactly,
-    while the number of executed points drops from O(range/resolution) to
-    O(range/(resolution*coarse_factor) + log2(coarse_factor)).
+    The search leans on what a ``"probe"`` plan gets for free: the board
+    dance decides liveness and whether the point's fault rate is zero,
+    and a zero-rate point's Measurement costs nothing (the fault-free
+    shortcut).  Phases:
+
+    1. **Coarse probe ladder** — stride down in ``coarse_factor`` steps
+       with probe plans.  Fault-free rungs yield free measurements; the
+       ladder stops at the first rung that is faulty, lossy, or hung.
+    2. **Vmin fine walk** — measure every grid point from the last free
+       rung down to the first lossy point.  Most of these are still
+       fault-free (free); the handful inside the loss-onset band are the
+       only real accuracy measurements the boundary needs.  When the
+       ladder hit a hang before any lossy point, the walk is replaced by
+       the historical measured bisection of (last free rung, hang).
+    3. **Crash search** — stride down from the deepest known-alive point
+       with probe plans (a hang stops the round exactly where the search
+       wants to stop), then bisect liveness to one grid step, then
+       confirm the crash edge with one full measurement — the paper's
+       ``last_alive`` point.
+
+    All plans land on the same implicit grid the dense walk uses, so at
+    equal resolution the detected Vmin/Vcrash landmarks — and every
+    visited point's measurement — match the grid strategy exactly, while
+    the *expensive* points (real engine passes) collapse to the onset
+    band plus one crash-edge confirmation.
     """
 
     resolution_mv: float
@@ -268,86 +445,190 @@ class AdaptiveStrategy:
         loss = measurement.clean_accuracy - measurement.accuracy
         return loss <= self.accuracy_tolerance
 
-    def run(
-        self, probe: SweepProbe, start_mv: float, floor_mv: float
-    ) -> tuple[list[Measurement], float | None]:
-        """Coarse-descend then bisect; returns ``(points, crash_mv)``."""
+    def plan_rounds(self, start_mv: float, floor_mv: float, point_batch: int = 8):
+        """Round generator for the adaptive search (see class docstring).
+
+        Yields rounds of :class:`PlannedPoint` plans and receives
+        ``{index: outcome}`` dicts back; returns ``(measurements,
+        crash_mv)`` via ``StopIteration``.  Probe rounds are speculative
+        — executors stop at the first hang, so a whole descent can ship
+        as one round and stop itself exactly at the crash bracket.
+        """
         res = self.resolution_mv
-        # Deepest grid index still at or above the floor.
-        deepest = int((start_mv - floor_mv) / res + 1e-9)
-        alive: dict[int, Measurement] = {}
-        hung: set[int] = set()
-
-        def at(index: int) -> Measurement | None:
-            if index in alive:
-                return alive[index]
-            if index in hung:
-                return None
-            outcome = probe.measure(grid_voltage_mv(start_mv, index, res))
-            if outcome is None:
-                hung.add(index)
-            else:
-                alive[index] = outcome
-            return outcome
-
+        deepest = _deepest_index(start_mv, floor_mv, res)
         stride = max(1, int(self.coarse_factor))
+        batch = max(1, int(point_batch))
+
+        def v(index: int) -> float:
+            return grid_voltage_mv(start_mv, index, res)
+
+        measured: dict[int, Measurement] = {}
+        hung: set[int] = set()
+        alive_probed: set[int] = set()
+
+        def absorb(results: dict) -> None:
+            for i, outcome in results.items():
+                if outcome is None:
+                    continue
+                kind, m = outcome
+                if kind == "hang":
+                    hung.add(i)
+                elif kind == "alive":
+                    alive_probed.add(i)
+                else:
+                    measured[i] = m
+
+        def finish(crash_idx: int | None):
+            points = [measured[i] for i in sorted(measured)]
+            if not points:
+                # Mirror the dense walk: hanging at the very start is an
+                # error surfaced by VoltageSweep.run (no points collected).
+                return [], v(min(hung)) if hung else None
+            return points, None if crash_idx is None else v(crash_idx)
+
+        # Phase 1: coarse probe ladder, stopping at the first rung that
+        # is not a loss-free measurement.
         coarse = list(range(0, deepest + 1, stride))
         if coarse[-1] != deepest:
             coarse.append(deepest)
-
-        # Phase 1: coarse descent until the first lossy or hung stride.
         last_free: int | None = None
-        first_bad: int | None = None
-        for index in coarse:
-            outcome = at(index)
-            if outcome is None or not self._loss_free(outcome):
-                first_bad = index
-                break
-            last_free = index
-
-        # Phase 2: bisect the guardband/critical boundary to one grid step.
-        if last_free is not None and first_bad is not None:
-            free, bad = last_free, first_bad
-            while bad - free > 1:
-                mid = (free + bad) // 2
-                outcome = at(mid)
-                if outcome is not None and self._loss_free(outcome):
-                    free = mid
-                else:
-                    bad = mid
-
-        # Phase 3: continue the coarse descent through the critical region
-        # until the first hang (the dense walk pays for these too).
-        if not hung and first_bad is not None:
-            index = first_bad + stride
-            while index < deepest:
-                if at(index) is None:
+        stop: tuple[int, str] | None = None
+        pos = 0
+        while pos < len(coarse) and stop is None:
+            chunk = coarse[pos : pos + batch]
+            results = yield [PlannedPoint(i, v(i), "probe") for i in chunk]
+            absorb(results)
+            for i in chunk:
+                if i in hung:
+                    stop = (i, "hang")
                     break
-                index += stride
-            if not hung:
-                at(deepest)
+                if i in alive_probed:
+                    stop = (i, "alive")
+                    break
+                m = measured.get(i)
+                if m is None:
+                    stop = (i, "hang")  # skipped: executor hit a hang here
+                    break
+                if self._loss_free(m):
+                    last_free = i
+                else:
+                    stop = (i, "lossy")
+                    break
+            pos += batch
 
-        if not alive:
-            # Mirror the dense walk: hanging at the very start is an error
-            # surfaced by VoltageSweep.run below (no points collected).
-            return [], grid_voltage_mv(start_mv, 0, res) if hung else None
+        if stop is None:
+            # Every rung down to the floor measured loss-free.
+            return finish(None)
+        stop_idx, stop_kind = stop
+
+        # Phase 2: refine the guardband/critical boundary.
+        if stop_kind == "hang":
+            # Hang before any lossy rung: measured bisection of the gap,
+            # exactly the historical phase-2 search (a hung mid narrows
+            # from the bad side).
+            if last_free is not None:
+                free, bad = last_free, min(hung)
+                while bad - free > 1:
+                    mid = (free + bad) // 2
+                    results = yield [PlannedPoint(mid, v(mid))]
+                    absorb(results)
+                    m = measured.get(mid)
+                    if m is not None and self._loss_free(m):
+                        free = mid
+                    else:
+                        bad = mid
+        else:
+            # Fine measure-walk from the last free rung to the first
+            # lossy point.  Fault-free prefixes cost nothing; only the
+            # loss-onset band pays for engine passes.  Measuring every
+            # step (rather than bisecting) makes the measured point set a
+            # superset of nothing and the Vmin landmark grid-exact
+            # without any loss-monotonicity assumption.
+            index = 0 if last_free is None else last_free + 1
+            while index <= deepest:
+                if index in hung or (hung and index >= min(hung)):
+                    break
+                m = measured.get(index)
+                if m is None:
+                    results = yield [PlannedPoint(index, v(index))]
+                    absorb(results)
+                    if index in hung:
+                        break
+                    m = measured.get(index)
+                    if m is None:  # pragma: no cover - defensive
+                        break
+                if not self._loss_free(m):
+                    break
+                last_free = index
+                index += 1
+
+        # Phase 3: crash search.  Probe-stride down from the deepest
+        # known-alive index; the whole descent ships as one speculative
+        # round because executors stop at the first hang.
         if not hung:
-            # Floor reached alive — no crash boundary to refine.
-            return [alive[i] for i in sorted(alive)], None
+            known = set(measured) | alive_probed
+            base = max(known)
+            descent = [
+                i
+                for i in range(base + stride, deepest + 1, stride)
+                if i not in known
+            ]
+            if deepest not in known and (not descent or descent[-1] != deepest):
+                descent.append(deepest)
+            if descent:
+                results = yield [PlannedPoint(i, v(i), "probe") for i in descent]
+                absorb(results)
+        if not hung:
+            # Floor reached alive — no crash boundary; make sure the
+            # deepest point carries a full measurement (it is the sweep's
+            # last_alive).
+            if deepest not in measured:
+                results = yield [PlannedPoint(deepest, v(deepest))]
+                absorb(results)
+            if deepest not in hung:
+                return finish(None)
 
-        # Phase 4: bisect the critical/crash boundary.  The final hung
-        # probe sits one grid step below the last alive point, exactly
-        # where the dense walk records its crash.
-        alive_idx = max(alive)
+        # Bisect liveness to a one-step bracket.
+        alive_known = set(measured) | alive_probed
         hang_idx = min(hung)
+        below = [i for i in alive_known if i < hang_idx]
+        if not below:
+            return finish(hang_idx)
+        alive_idx = max(below)
         while hang_idx - alive_idx > 1:
             mid = (alive_idx + hang_idx) // 2
-            if at(mid) is None:
+            results = yield [PlannedPoint(mid, v(mid), "probe")]
+            absorb(results)
+            if mid in hung:
                 hang_idx = mid
             else:
                 alive_idx = mid
-        points = [alive[i] for i in sorted(alive)]
-        return points, grid_voltage_mv(start_mv, hang_idx, res)
+
+        # Confirm the crash edge with one full measurement — the sweep's
+        # last_alive point, one grid step above the recorded crash.
+        edge = hang_idx - 1
+        while edge >= 0 and edge not in measured:
+            results = yield [PlannedPoint(edge, v(edge))]
+            absorb(results)
+            if edge in hung:
+                # Defensive: liveness said alive but the measure hung —
+                # shift the bracket up and confirm the new edge.
+                hang_idx = edge
+                edge = hang_idx - 1
+                continue
+            if edge not in measured:  # pragma: no cover - defensive
+                break
+        return finish(hang_idx)
+
+    def run(
+        self, probe: SweepProbe, start_mv: float, floor_mv: float
+    ) -> tuple[list[Measurement], float | None]:
+        """Coarse-descend then refine; returns ``(points, crash_mv)``."""
+        measurements, crash_mv, _rounds = drive_rounds(
+            self.plan_rounds(start_mv, floor_mv, point_batch=1),
+            _probe_round_executor(probe),
+        )
+        return measurements, crash_mv
 
 
 def sweep_strategy(
@@ -380,26 +661,36 @@ class VoltageSweep:
         f_mhz: float | None = None,
         strategy: GridStrategy | AdaptiveStrategy | None = None,
         measure=None,
+        measure_round=None,
+        point_batch: int | None = None,
     ) -> SweepResult:
         """Sweep from ``start_mv`` (default Vnom) down to crash or floor.
 
         The visiting order and point set come from ``strategy`` (default:
-        whatever the config selects — ``grid`` unless overridden).  When a
+        whatever the config selects — ``grid`` unless overridden), as a
+        sequence of *rounds* of :class:`PlannedPoint` plans (up to
+        ``point_batch`` per round, default the config's ``point_batch``).
+        Every plan in a round is executed through one voltage-stacked
+        engine pass — per-point RNG streams are named by voltage, so the
+        round's shape cannot change any point's numbers.  When a
         per-point cache scope is active (:mod:`repro.runtime.points`),
-        every point is served from / stored to the content-addressed point
-        cache, so interrupted or re-parameterized sweeps only pay for
-        voltages never measured before.
+        every measured point is served from / stored to the
+        content-addressed point cache with the same per-point fingerprint
+        a serial sweep would use, so interrupted or re-parameterized
+        sweeps only pay for voltages never measured before.
 
-        ``measure`` overrides how a single voltage is evaluated: a
-        ``measure(v_mv) -> Measurement`` callable (raising
-        :class:`~repro.errors.BoardHangError` on a hang) that the
-        strategy probes instead of the in-process session.  The campaign
-        runtime uses this to dispatch every probe — the coarse descent
-        and each bisection round alike — to a leased worker fabric
-        (:func:`repro.runtime.campaign.run_sweep_unit_remote`); per-point
-        RNG streams are named by voltage, so a dispatched probe is
-        bit-identical to a local one and the strategy cannot tell the
-        difference.
+        ``measure_round`` overrides how a whole round is evaluated: a
+        ``measure_round(points) -> {index: outcome}`` callable following
+        the :func:`drive_rounds` protocol.  The campaign runtime uses
+        this to dispatch each round — the coarse descent and each
+        bisection round alike — as *one* task on a leased worker fabric
+        (:func:`repro.runtime.campaign.run_sweep_unit_remote`); a
+        dispatched round is bit-identical to a local one and the strategy
+        cannot tell the difference.  ``measure`` is the historical
+        per-point override (``measure(v_mv) -> Measurement``, raising
+        :class:`~repro.errors.BoardHangError` on a hang); when given, the
+        sweep degrades to serial per-point execution with probe plans
+        promoted to full measurements.
         """
         cal = self.session.board.cal
         start_mv = cal.vnom * 1000.0 if start_mv is None else start_mv
@@ -407,15 +698,37 @@ class VoltageSweep:
             strategy = sweep_strategy(self.config, step_mv=step_mv)
         if floor_mv >= start_mv:
             raise ValueError("floor must be below the start voltage")
+        if point_batch is None:
+            point_batch = getattr(self.config, "point_batch", 8)
 
-        if measure is None:
-            # Late import: repro.core must stay importable without the
-            # runtime package; the point cache is an optional acceleration.
-            from repro.runtime.points import cached_point_measure
+        if measure_round is None:
+            if measure is not None:
+                measure_round = _probe_round_executor(
+                    SweepProbe(self.session, measure)
+                )
+            else:
+                # Late import: repro.core must stay importable without the
+                # runtime package; the point cache is an optional
+                # acceleration.
+                from repro.runtime.points import cached_round_measure
 
-            measure = cached_point_measure(self.session, self.config, f_mhz)
-        probe = SweepProbe(self.session, measure)
-        measurements, crash_mv = strategy.run(probe, start_mv, floor_mv)
+                measure_round = cached_round_measure(
+                    self.session, self.config, f_mhz
+                )
+
+        counts = {"measurement": 0, "hang": 0, "alive": 0}
+
+        def counted(points: list[PlannedPoint]) -> dict:
+            results = measure_round(points)
+            for outcome in results.values():
+                if outcome is not None:
+                    counts[outcome[0]] += 1
+            return results
+
+        measurements, crash_mv, rounds = drive_rounds(
+            strategy.plan_rounds(start_mv, floor_mv, point_batch=point_batch),
+            counted,
+        )
         if not measurements:
             raise BoardHangError(
                 f"board hung at the very first point ({start_mv} mV)"
@@ -428,6 +741,8 @@ class VoltageSweep:
             crash_mv=crash_mv,
             resolution_mv=strategy.resolution_mv,
             strategy=strategy.name,
-            points_executed=probe.executed + probe.hangs,
-            hang_probes=probe.hangs,
+            points_executed=counts["measurement"] + counts["hang"],
+            hang_probes=counts["hang"],
+            liveness_probes=counts["alive"],
+            rounds_executed=rounds,
         )

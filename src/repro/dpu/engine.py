@@ -26,6 +26,7 @@ from repro.nn.differential import (
     CleanPass,
     capture_clean_pass,
     fabric_clean_pass_cache,
+    forward_points,
     forward_repeats,
 )
 
@@ -197,6 +198,100 @@ class DPUEngine:
                 for i, faults in enumerate(planner.faults_per_repeat)
             )
         return outcomes
+
+    def run_points(
+        self,
+        specs: list[tuple],
+        max_stacked: int | None = None,
+    ) -> list[list[InferenceOutcome]]:
+        """Run several operating points' realizations as stacked lanes.
+
+        ``specs`` is one ``(p_per_op, f_mhz, rngs, control_collapse)``
+        tuple per point; the return value is one outcome list per spec,
+        aligned with the input.  Every outcome is bit-identical to the
+        same realization under :meth:`run` / :meth:`run_batched` — each
+        lane consumes only its own RNG stream, so stacking points changes
+        where GEMM batches land, never what any lane computes.
+
+        Fault-free points (``p_per_op == 0`` without collapse) take the
+        deterministic clean-accuracy shortcut per realization, exactly as
+        :meth:`run` does, and contribute no lanes.  The remaining lanes
+        are flattened across specs and chunked so no pass stacks more
+        than ``max_stacked`` inferences (lanes times evaluation-set
+        size); a chunk may span spec boundaries — chunking is a memory
+        knob and cannot change results.
+        """
+        results: list[list[InferenceOutcome] | None] = [None] * len(specs)
+        dataset = self.workload.dataset
+        bits = self.workload.quantization.activation_bits
+        lanes: list[tuple[int, np.random.Generator]] = []
+        for s, (p_per_op, f_mhz, rngs, control_collapse) in enumerate(specs):
+            perf = self.perf_model.report(f_mhz)
+            if p_per_op <= 0.0 and not control_collapse:
+                results[s] = [
+                    InferenceOutcome(
+                        accuracy=self.workload.clean_accuracy,
+                        faults_injected=0,
+                        perf=perf,
+                    )
+                    for _ in rngs
+                ]
+                continue
+            if not rngs:
+                raise ValueError("faulty runs need an RNG stream per realization")
+            results[s] = []
+            lanes.extend((s, rng) for rng in rngs)
+        if not lanes:
+            return results  # type: ignore[return-value]
+
+        clean = self._clean_pass(bits)
+        chunk = len(lanes)
+        if max_stacked is not None and max_stacked >= 1:
+            chunk = max(1, min(chunk, max_stacked // dataset.n))
+        for start in range(0, len(lanes), chunk):
+            segment = lanes[start : start + chunk]
+            # One planner per contiguous same-spec run: each consumes only
+            # its own slice of that spec's RNG streams, in stream order.
+            planners: list[BatchedFaultInjector] = []
+            spec_of: list[int] = []
+            i = 0
+            while i < len(segment):
+                s = segment[i][0]
+                j = i
+                while j < len(segment) and segment[j][0] == s:
+                    j += 1
+                p_per_op, f_mhz, _rngs, control_collapse = specs[s]
+                planners.append(
+                    BatchedFaultInjector(
+                        exposure_ops=self.workload.exposure,
+                        p_per_op=p_per_op,
+                        rngs=[rng for _s, rng in segment[i:j]],
+                        vulnerability=self.workload.vulnerability,
+                        batch_size=dataset.n,
+                        control_collapse=control_collapse,
+                    )
+                )
+                spec_of.append(s)
+                i = j
+            probs_per_planner = forward_points(
+                self.workload.graph,
+                dataset.images,
+                bits,
+                planners,
+                clean=clean,
+            )
+            for s, planner, probs in zip(spec_of, planners, probs_per_planner):
+                perf = self.perf_model.report(specs[s][1])
+                preds = np.argmax(probs, axis=-1)
+                results[s].extend(
+                    InferenceOutcome(
+                        accuracy=dataset.accuracy_of(preds[k]),
+                        faults_injected=faults,
+                        perf=perf,
+                    )
+                    for k, faults in enumerate(planner.faults_per_repeat)
+                )
+        return results  # type: ignore[return-value]
 
     def _clean_pass(self, activation_bits: int | None) -> CleanPass | None:
         """The cached fault-free reference pass, or ``None`` if over budget.

@@ -153,7 +153,11 @@ def run_unit(
     and resolve the callable through the registry on their side.  When
     ``point_root`` is set, the unit runs under an active per-point cache
     scope: every voltage point its sweeps measure is served from / stored
-    to the content-addressed point store at that directory.  When
+    to the content-addressed point store at that directory — and the
+    sweeps inside execute round-granularly (each strategy round is one
+    voltage-stacked engine pass over :func:`repro.runtime.points.cached_round_measure`),
+    with every point still landing as its own store entry under the
+    unchanged per-point fingerprint.  When
     ``blob_root`` is set, the unit additionally runs under the model
     plane (:mod:`repro.runtime.blobs`): workload construction first
     consults the content-addressed blob store — loading spilled weight

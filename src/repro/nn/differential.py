@@ -54,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GraphError
+from repro.faults.injector import _PLAN_NONE
 from repro.nn.graph import Graph
 from repro.nn.layers import Input
 from repro.nn.tensor import (
@@ -341,6 +342,70 @@ def forward_repeats(
         if view is not None:
             merged[r, view.samples] = view.values
     return merged
+
+
+class _PlannerStack:
+    """Several per-point planners presented as one ``repeats`` axis.
+
+    The voltage-axis batching adapter: lane ``off_i + r`` of the stack is
+    realization ``r`` of point ``i``, where ``off_i`` is the cumulative
+    repeat count of the points before it.  Each wrapped planner draws only
+    from its own RNG streams, in the same per-node order a solo
+    :func:`forward_repeats` call would — so every lane's fault plan (and
+    therefore its cone math) is byte-for-byte independent of which other
+    points share the stack.  Points whose planner is disabled at a node
+    (zero exposure, zero rate) contribute no-op plans without consuming
+    any RNG, exactly as their solo call would return ``None``.
+    """
+
+    def __init__(self, planners):
+        self.planners = list(planners)
+
+    @property
+    def repeats(self) -> int:
+        return sum(p.repeats for p in self.planners)
+
+    def plan_node(self, name, shape, width, qmin, qmax):
+        per = [p.plan_node(name, shape, width, qmin, qmax) for p in self.planners]
+        if all(plans is None for plans in per):
+            return None
+        merged = []
+        for planner, plans in zip(self.planners, per):
+            merged.extend(plans if plans is not None else [_PLAN_NONE] * planner.repeats)
+        return merged
+
+
+def forward_points(
+    graph: Graph,
+    batch: np.ndarray,
+    activation_bits: int | None,
+    planners,
+    clean: CleanPass | None = None,
+) -> list[np.ndarray]:
+    """Run several points' fault realizations as one stacked pass.
+
+    ``planners`` is one :class:`~repro.faults.injector.BatchedFaultInjector`
+    per voltage point; all realizations of all points advance through the
+    graph together, so every layer evaluates the union of every lane's
+    fault cone as a single fixed-shape GEMM batch — one engine pass per
+    sweep round instead of one per point.  Returns one ``(R_i, n, ...)``
+    array per planner, where each row is bit-identical to the same
+    realization under a solo :func:`forward_repeats` call (and hence to
+    the serial per-point loop): the per-lane cone math is untouched, the
+    stack only widens the batch axis it runs on.
+    """
+    planners = list(planners)
+    if not planners:
+        return []
+    merged = forward_repeats(
+        graph, batch, activation_bits, _PlannerStack(planners), clean=clean
+    )
+    out: list[np.ndarray] = []
+    offset = 0
+    for planner in planners:
+        out.append(merged[offset : offset + planner.repeats])
+        offset += planner.repeats
+    return out
 
 
 class CleanPassCache:

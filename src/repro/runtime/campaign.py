@@ -475,6 +475,46 @@ def measure_point_task(
                 return (True, None)
 
 
+def measure_round_task(
+    benchmark: str,
+    board_sample: int,
+    points: tuple,
+    f_mhz: float | None,
+    config: ExperimentConfig,
+    point_root: str | None,
+    scope: str,
+    blob_root: str | None = None,
+) -> list:
+    """One dispatched sweep *round*: many planned points, one fabric task.
+
+    ``points`` is a tuple of ``(index, v_mv, mode)`` triples — the wire
+    form of :class:`~repro.core.undervolt.PlannedPoint` — executed in
+    order through :func:`~repro.runtime.points.cached_round_measure`, so
+    every engine-bound plan in the round runs as one voltage-stacked
+    pass on the worker's warm model.  Returns ``[(index, kind,
+    measurement-or-None), ...]`` for the points that got an outcome
+    (execution stops at the first hang, exactly as in-process rounds
+    do); per-point store entries land under the *unchanged* per-point
+    fingerprints, so round dispatch and per-point dispatch share one
+    store.  Top-level so a fabric can ship it to a warm worker.
+    """
+    from repro.core.session import make_session
+    from repro.core.undervolt import PlannedPoint
+    from repro.fpga.board import make_board
+    from repro.runtime.blobs import maybe_blob_plane
+    from repro.runtime.points import cached_round_measure, maybe_point_scope
+
+    with maybe_blob_plane(blob_root):
+        board = make_board(sample=board_sample, cal=config.cal)
+        session = make_session(board, benchmark, config)
+        with maybe_point_scope(point_root, scope):
+            execute = cached_round_measure(session, config, f_mhz)
+            outcomes = execute(
+                [PlannedPoint(index, v_mv, mode) for index, v_mv, mode in points]
+            )
+    return [(index, kind, m) for index, (kind, m) in outcomes.items()]
+
+
 @dataclass(frozen=True)
 class _SweepWorkloadHandle:
     """Just the identity a parent-side sweep driver needs of a workload."""
@@ -527,40 +567,40 @@ def run_sweep_unit_remote(
     fabric: WorkerFabric | None,
     jobs: int = 1,
 ) -> ExperimentResult:
-    """One sweep driven in-process, with every probe dispatched remotely.
+    """One sweep driven in-process, with every *round* dispatched remotely.
 
-    The strategy — grid walk or adaptive bisection — runs here, in the
+    The strategy — grid walk or adaptive search — runs here, in the
     parent (over a model-free :class:`RemoteSweepSession`), but each
-    ``measure(v)`` it issues becomes a :func:`measure_point_task` on the
-    fabric's warm pool.  Probe results are bit-identical to an
-    in-process sweep (per-point RNG streams are named by voltage), so
-    the assembled :class:`~repro.core.undervolt.SweepResult` is too;
-    what changes is *where* the cost lands — on workers whose model and
-    clean-pass state persists across every bisection round.
+    round of planned points it emits becomes **one**
+    :func:`measure_round_task` on the fabric's warm pool — an adaptive
+    bisection round is one fabric task, not N per-point dispatches.
+    Round results are bit-identical to an in-process sweep (per-point
+    RNG streams are named by voltage, and the worker executes the same
+    round protocol), so the assembled
+    :class:`~repro.core.undervolt.SweepResult` is too; what changes is
+    *where* the cost lands — on workers whose model and clean-pass state
+    persists across every round.
     """
     from repro.core.undervolt import VoltageSweep
 
     unit_id = sweep_unit_id(benchmark, board_sample)
     session = remote_sweep_session(benchmark, board_sample, config)
 
-    def measure(v_mv: float):
+    def measure_round(points) -> dict:
         task_args = (
             benchmark,
             board_sample,
-            v_mv,
+            tuple((p.index, p.v_mv, p.mode) for p in points),
             None,
             config,
             point_root,
             unit_id,
             blob_root,
         )
-        outcomes = run_tasks([(measure_point_task, task_args)], jobs=jobs, fabric=fabric)
-        hang, measurement = outcomes[0].value
-        if hang:
-            raise BoardHangError(f"dispatched probe hung at {v_mv} mV", vccint_v=v_mv / 1000.0)
-        return measurement
+        outcomes = run_tasks([(measure_round_task, task_args)], jobs=jobs, fabric=fabric)
+        return {index: (kind, m) for index, kind, m in outcomes[0].value}
 
-    sweep = VoltageSweep(session, config).run(measure=measure)
+    sweep = VoltageSweep(session, config).run(measure_round=measure_round)
     return _sweep_result(benchmark, board_sample, sweep)
 
 
@@ -572,18 +612,24 @@ def run_sweep_campaign(
     cache: ResultCache | None = None,
     fabric: WorkerFabric | None = None,
     dispatch: str = "unit",
+    journal: CampaignJournal | None = None,
+    resume: bool = False,
 ) -> CampaignOutcome:
     """Sweep one benchmark on several boards, cached and fanned out.
 
     ``dispatch`` selects the work granularity: ``"unit"`` (default) ships
     whole board sweeps to the pool — best when boards outnumber workers —
     while ``"point"`` runs each board's strategy on a parent thread and
-    dispatches every voltage probe to the fabric's warm workers — the
-    adaptive strategy's bisection rounds then reuse one leased pool (and
-    its warm model/clean-pass state) end to end instead of paying
-    per-round setup, and the per-board driver threads keep the pool
-    busy across boards.  Both modes produce bit-identical results and
-    share the same point store.
+    dispatches every sweep *round* as one task to the fabric's warm
+    workers — the adaptive strategy's bisection rounds then reuse one
+    leased pool (and its warm model/clean-pass state) end to end instead
+    of paying per-round setup, and the per-board driver threads keep the
+    pool busy across boards.  Both modes produce bit-identical results
+    and share the same point store.
+
+    ``journal``/``resume`` mirror :func:`run_campaign`: with a journal
+    the sweep plan and per-board completions are written through, and a
+    resumed campaign counts previously completed boards as resumed work.
     """
     config = config or ExperimentConfig()
     jobs = max(1, int(jobs))
@@ -610,12 +656,20 @@ def run_sweep_campaign(
             lambda results: results[0],
         )
 
+    campaign_id = (
+        campaign_fingerprint([sweep_unit_id(benchmark, b) for b in boards], config)
+        if journal is not None
+        else None
+    )
     try:
         entries = _execute_cached(
             [request_for(b) for b in boards],
             config,
             jobs if dispatch == "unit" else 1,
             cache,
+            journal=journal,
+            campaign_id=campaign_id,
+            resume=resume,
             fabric=fabric if dispatch == "unit" else None,
             # Point mode: drive the per-board strategies on parent threads
             # so every fabric worker stays busy across boards, while the
@@ -625,4 +679,13 @@ def run_sweep_campaign(
     finally:
         if owned is not None:
             owned.close()
-    return CampaignOutcome(entries=tuple(entries), config=config, jobs=jobs)
+    stats = None
+    if journal is not None and campaign_id is not None:
+        stats = journal.last_run(campaign_id)
+    return CampaignOutcome(
+        entries=tuple(entries),
+        config=config,
+        jobs=jobs,
+        campaign_id=campaign_id,
+        journal_stats=stats,
+    )

@@ -409,3 +409,113 @@ def cached_point_measure(
         return measurement
 
     return measure
+
+
+def cached_round_measure(
+    session: AcceleratorSession,
+    config: ExperimentConfig,
+    f_mhz: float | None = None,
+):
+    """A round executor (``points -> {index: outcome}``) over the point store.
+
+    This is the in-process backend of the sweep engine's round protocol
+    (:func:`repro.core.undervolt.drive_rounds`): each round dances the
+    board through its plans in order, then executes every plan that needs
+    an engine pass as *one* voltage-stacked call
+    (:meth:`~repro.core.session.AcceleratorSession.execute_plans`).
+    Outcomes and cache entries are bit-identical to the serial per-point
+    loop because each point's RNG streams are named by its voltage, and
+    each point still lands as its own cache entry under the *unchanged*
+    per-point fingerprint.
+
+    Semantics per plan, in round order (stopping after the first hang —
+    the board is down, later plans get no outcome):
+
+    * ``"measure"`` plans consult the point store first (cached hangs
+      replay without touching the board) and write fresh outcomes back,
+      exactly like :func:`cached_point_measure`;
+    * ``"probe"`` plans never read the store — the board dance alone
+      decides liveness and the fault regime, so cached and uncached
+      sweeps take identical paths — but their *deterministic* outcomes
+      (fault-free measurements via the clean shortcut, and hangs) are
+      written back under the same fingerprints a measure plan would use,
+      unless the point is already on disk (probes warm the store; they
+      never churn it).  A live faulty probe reports ``("alive", None)``
+      and stores nothing.
+
+    A hang power-cycles the board before returning, so the next round
+    starts on a live board.
+    """
+    active = active_point_scope()
+    cache = scope = None
+    if active is not None:
+        cache, scope = active.cache, active.scope
+
+    def keys(v_mv: float) -> tuple[str, dict]:
+        context = point_context(session, v_mv, f_mhz)
+        return point_fingerprint(scope, context, config), context
+
+    def execute(points) -> dict:
+        outcomes: dict[int, tuple] = {}
+        pending: list[tuple] = []  # (point, plan, fingerprint, context)
+        for p in points:
+            fingerprint = context = None
+            if cache is not None and p.mode == "measure":
+                fingerprint, context = keys(p.v_mv)
+                record = cache.load(fingerprint)
+                if record is not None:
+                    if record.hang:
+                        outcomes[p.index] = ("hang", None)
+                        break
+                    outcomes[p.index] = ("measurement", record.measurement)
+                    continue
+            try:
+                plan = session.plan_point(p.v_mv, f_mhz=f_mhz)
+            except BoardHangError:
+                session.board.power_cycle()
+                if cache is not None:
+                    if fingerprint is None:
+                        # Probe plan: store the hang only if the point is
+                        # not already on disk (probes never read entries,
+                        # so an existing one must be left untouched).
+                        fingerprint, context = keys(p.v_mv)
+                        if not cache.path_for(fingerprint).exists():
+                            cache.store(
+                                fingerprint, scope, context, None, current_version()
+                            )
+                    else:
+                        cache.store(
+                            fingerprint, scope, context, None, current_version()
+                        )
+                outcomes[p.index] = ("hang", None)
+                break
+            if p.mode == "probe" and not plan.engine_free:
+                outcomes[p.index] = ("alive", None)
+                continue
+            pending.append((p, plan, fingerprint, context))
+        if pending:
+            # Plans danced before any hang still owe their measurements;
+            # the stacked engine pass never touches the board.
+            results = session.execute_plans([plan for _p, plan, _f, _c in pending])
+            for (p, plan, fingerprint, context), outs in zip(pending, results):
+                measurement = session.finalize_point(plan, outs)
+                if cache is not None:
+                    if fingerprint is None:
+                        # Probe plan whose point came out fault-free: the
+                        # measurement is deterministic, so write it back
+                        # unless the point is already on disk.
+                        fingerprint, context = keys(p.v_mv)
+                        if not cache.path_for(fingerprint).exists():
+                            cache.store(
+                                fingerprint, scope, context, measurement,
+                                current_version(),
+                            )
+                    else:
+                        cache.store(
+                            fingerprint, scope, context, measurement,
+                            current_version(),
+                        )
+                outcomes[p.index] = ("measurement", measurement)
+        return outcomes
+
+    return execute

@@ -117,12 +117,29 @@ class TestAdaptiveEquivalence:
 class TestAdaptiveOnSyntheticProbe:
     """Drive strategies with a scripted probe to pin the search behaviour."""
 
+    class M:
+        clean_accuracy = 0.9
+
+        def __init__(self, acc, v):
+            self.accuracy = acc
+            self.vccint_mv = v
+
     class FakeProbe:
-        """Loss-free above vmin, lossy above vcrash, hang below."""
+        """Loss-free above vmin, lossy above vcrash, hang below.
+
+        Speaks both halves of the :class:`SweepProbe` protocol:
+        ``measure`` (full measurements; ``None`` = hang) and
+        ``probe_point`` (board-dance outcomes: fault-free at or above
+        ``fault_free_mv`` — one step above vmin, as on a real board —
+        alive-but-faulty in between, hang below vcrash).  Only *paid*
+        measurements are counted: a probe's fault-free measurement comes
+        from the deterministic clean shortcut, i.e. for free.
+        """
 
         def __init__(self, vmin_mv, vcrash_mv):
             self.vmin_mv = vmin_mv
             self.vcrash_mv = vcrash_mv
+            self.fault_free_mv = vmin_mv + 1.0
             self.measured = []
 
         def measure(self, v_mv):
@@ -130,15 +147,14 @@ class TestAdaptiveOnSyntheticProbe:
                 return None
             self.measured.append(v_mv)
             accuracy = 0.9 if v_mv >= self.vmin_mv else 0.5
+            return TestAdaptiveOnSyntheticProbe.M(accuracy, v_mv)
 
-            class M:
-                clean_accuracy = 0.9
-
-                def __init__(self, acc, v):
-                    self.accuracy = acc
-                    self.vccint_mv = v
-
-            return M(accuracy, v_mv)
+        def probe_point(self, v_mv):
+            if v_mv < self.vcrash_mv:
+                return ("hang", None)
+            if v_mv >= self.fault_free_mv:
+                return ("measurement", TestAdaptiveOnSyntheticProbe.M(0.9, v_mv))
+            return ("alive", None)
 
     def landmarks(self, strategy, start=620.0, floor=500.0):
         probe = self.FakeProbe(vmin_mv=571.0, vcrash_mv=544.0)

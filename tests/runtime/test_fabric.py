@@ -225,6 +225,72 @@ class TestBrokenPool:
             assert normalize_result(result).summary == entry.result.summary
         assert len(seen) == 3
 
+    def test_crash_mid_batched_round_resumes_byte_identical(self, tmp_path):
+        """Kill the pool mid-batched-round: replay-only-unfinished must
+        leave the point store byte-identical to an uninterrupted run.
+
+        Point writes are per-point atomic, so a worker dying partway
+        through a round leaves a durable *prefix* of that round's
+        entries.  The resumed campaign replays those from disk, computes
+        only what never landed, and its journal counts zero recomputed
+        units — the crashed unit never completed, so finishing it is
+        fresh work, not a recompute.
+        """
+        from repro.core.undervolt import sweep_strategy
+        from repro.runtime.campaign import measure_round_task, sweep_unit_id
+        from repro.runtime.hashing import config_fingerprint
+        from repro.runtime.journal import campaign_fingerprint
+        from repro.runtime.points import PointCache
+
+        cache_a = ResultCache(tmp_path / "a")
+        cache_b = ResultCache(tmp_path / "b")
+        with WorkerFabric(2) as fabric:
+            reference = run_sweep_campaign(
+                "vggnet", [0], CFG, jobs=2, cache=cache_a,
+                fabric=fabric, dispatch="point",
+            )
+
+        # The crash: the first dispatched round's worker stores a prefix
+        # of its points, then the pool dies mid-round.
+        unit_id = sweep_unit_id("vggnet", 0)
+        gen = sweep_strategy(CFG).plan_rounds(850.0, 500.0, point_batch=CFG.point_batch)
+        first_round = next(gen)
+        gen.close()
+        prefix = tuple((p.index, p.v_mv, p.mode) for p in first_round[:3])
+        journal = CampaignJournal(cache_b.root / JOURNAL_NAME)
+        journal.begin(
+            campaign_fingerprint([unit_id], CFG),
+            [(unit_id, config_fingerprint(unit_id, CFG))],
+        )
+        round_args = (
+            "vggnet", 0, prefix, None, CFG, str(cache_b.point_root), unit_id, None,
+        )
+        with WorkerFabric(2) as fabric:
+            tasks = [
+                (measure_round_task, round_args),
+                (_die_in_pool_worker, (1,)),
+            ]
+            run_tasks(tasks, jobs=2, fabric=fabric)
+            assert fabric.broken_pools == 1
+        assert len(PointCache(cache_b.point_root).entries()) == 3  # the prefix
+
+        with WorkerFabric(2) as fabric:
+            resumed = run_sweep_campaign(
+                "vggnet", [0], CFG, jobs=2, cache=cache_b,
+                fabric=fabric, dispatch="point", journal=journal, resume=True,
+            )
+        assert resumed.journal_stats["recomputed"] == 0
+        assert resumed.journal_stats["fresh"] == 1
+        assert resumed.entries[0].result.rows == reference.entries[0].result.rows
+
+        names_a = sorted(p.name for p in PointCache(cache_a.point_root).entries())
+        names_b = sorted(p.name for p in PointCache(cache_b.point_root).entries())
+        assert names_a == names_b and names_a
+        for name in names_a:
+            bytes_a = (cache_a.point_root / name).read_bytes()
+            bytes_b = (cache_b.point_root / name).read_bytes()
+            assert bytes_a == bytes_b, name
+
 
 class TestCampaignsOnFabric:
     def test_campaign_owns_and_closes_a_fabric(self):
