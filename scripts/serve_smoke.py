@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI smoke test for the async serving plane.
+
+Boots the real ``repro-undervolt serve`` process (the CLI entry, not an
+embedded server) against a warmed cache directory and exercises the
+production contract end to end:
+
+1. ``/healthz`` answers 200 with ``status: ok``;
+2. a data-plane query answers 200 with a strong ``ETag``, and replaying
+   it with ``If-None-Match`` answers 304 with an empty body;
+3. ``/metrics`` reports the revalidation;
+4. SIGTERM produces a graceful drain and exit code 0, and the structured
+   access log holds every request — including the 304;
+5. a second server started with ``--max-inflight 0`` sheds every
+   data-plane request with 503 + ``Retry-After`` while ``/healthz``
+   stays live, and also exits 0 on SIGTERM.
+
+Usage (CI runs this against the shared ``.repro-cache-ci`` store)::
+
+    PYTHONPATH=src python scripts/serve_smoke.py \
+        --cache-dir .repro-cache-ci --repeats 1 --samples 8
+
+Unknown arguments pass through to ``repro-undervolt serve``, so the
+smoke run can match whatever config the cache was warmed at.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+BANNER = re.compile(r"http://[\d.]+:(\d+)")
+
+
+def start_server(serve_args: list[str]) -> tuple[subprocess.Popen, int]:
+    """Start ``serve`` on an ephemeral port; returns (process, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *serve_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    match = BANNER.search(banner)
+    if not match:
+        proc.kill()
+        tail = banner + (proc.stdout.read() or "")
+        raise SystemExit(f"server printed no address banner:\n{tail}")
+    print(f"  {banner.strip()}")
+    return proc, int(match.group(1))
+
+
+def get(url: str, headers: dict | None = None) -> tuple[int, bytes, dict]:
+    """GET returning ``(status, body, headers)`` for any status code."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def stop(proc: subprocess.Popen) -> str:
+    """SIGTERM the server; require a graceful drain and exit code 0."""
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    if proc.returncode != 0:
+        raise SystemExit(f"server exited {proc.returncode}, not 0:\n{out}")
+    if "shutting down" not in out:
+        raise SystemExit(f"no graceful-shutdown line in server output:\n{out}")
+    return out
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve smoke FAILED: {message}")
+    print(f"  ok: {message}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", required=True)
+    args, serve_args = parser.parse_known_args(argv)
+    base = ["--cache-dir", args.cache_dir, *serve_args]
+
+    print("serve smoke: healthz / ETag-304 / metrics / graceful shutdown")
+    access_log = tempfile.NamedTemporaryFile(
+        mode="r", suffix=".jsonl", prefix="serve-smoke-", delete=False
+    )
+    proc, port = start_server([*base, "--access-log", access_log.name])
+    origin = f"http://127.0.0.1:{port}"
+    try:
+        status, body, _ = get(f"{origin}/healthz")
+        payload = json.loads(body)
+        expect(status == 200 and payload["status"] == "ok", "/healthz answers 200 ok")
+
+        status, body, headers = get(f"{origin}/landmarks")
+        etag = headers.get("ETag", "")
+        expect(status == 200 and etag.startswith('"'), "/landmarks answers 200 with a strong ETag")
+        json.loads(body)  # canonical JSON parses
+
+        status, body, headers = get(f"{origin}/landmarks", {"If-None-Match": etag})
+        expect(
+            status == 304 and body == b"" and headers.get("ETag") == etag,
+            "If-None-Match revalidation answers 304 with an empty body",
+        )
+
+        status, body, _ = get(f"{origin}/metrics")
+        counters = json.loads(body)["counters"]
+        expect(
+            status == 200 and counters["not_modified_total"] >= 1,
+            "/metrics counts the 304 revalidation",
+        )
+    finally:
+        out = stop(proc)
+    expect("shutting down" in out, "SIGTERM drains gracefully and exits 0")
+    records = [json.loads(line) for line in access_log.read().splitlines()]
+    expect(
+        len(records) >= 4 and any(r["status"] == 304 for r in records),
+        "structured access log flushed every request (including the 304)",
+    )
+
+    print("serve smoke: admission shed under --max-inflight 0")
+    proc, port = start_server([*base, "--max-inflight", "0"])
+    origin = f"http://127.0.0.1:{port}"
+    try:
+        status, body, headers = get(f"{origin}/landmarks")
+        expect(
+            status == 503 and headers.get("Retry-After") == "1",
+            "data-plane request shed with 503 + Retry-After",
+        )
+        json.loads(body)  # the shed body is still canonical JSON
+        status, _, _ = get(f"{origin}/healthz")
+        expect(status == 200, "/healthz stays live while the data plane sheds")
+    finally:
+        stop(proc)
+    expect(True, "shed server also exits 0 on SIGTERM")
+
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Examples::
     repro-undervolt query landmarks --benchmark vggnet --board 0
     repro-undervolt query guardband --benchmark vggnet --markdown
     repro-undervolt serve --port 8080 --compute
+    repro-undervolt serve --max-inflight 128 --access-log access.jsonl
 
 Every campaign-shaped command accepts ``--jobs`` (process fan-out),
 ``--cache-dir``/``--no-cache`` (the content-addressed result cache: whole
@@ -30,8 +31,12 @@ every unit (and every already-measured voltage point) that completed.
 The serving side reads what the campaigns wrote: ``query`` answers
 one-shot characterization questions (points / landmarks / guardband /
 stats) from the cache dir's point store, and ``serve`` exposes the same
-queries as JSON endpoints over HTTP (see :mod:`repro.serve`).  Both
-accept ``--compute`` to fill misses through the campaign executor.
+queries as JSON endpoints over an async HTTP plane with admission
+control (``--max-inflight``/``--max-connections``), request coalescing
+(``--coalesce-window``), ETag revalidation, ``/metrics`` counters, JSON
+access logs (``--access-log``), and graceful drain on SIGTERM (see
+:mod:`repro.serve`).  Both accept ``--compute`` to fill misses through
+the campaign executor.
 """
 
 from __future__ import annotations
@@ -386,6 +391,11 @@ def _cmd_serve(args) -> int:
         allow_compute=args.compute,
         lru_capacity=args.lru_capacity,
         jobs=args.jobs,
+        max_inflight=args.max_inflight,
+        max_connections=args.max_connections,
+        coalesce_window_s=args.coalesce_window,
+        drain_timeout_s=args.drain_timeout,
+        access_log=args.access_log,
     )
 
 
@@ -513,6 +523,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--jobs", type=_jobs_arg, default=1,
         help="worker processes for read-through computes, or 'auto' (default 1)",
+    )
+    from repro.serve import (
+        DEFAULT_COALESCE_WINDOW_S,
+        DEFAULT_DRAIN_TIMEOUT_S,
+        DEFAULT_MAX_CONNECTIONS,
+        DEFAULT_MAX_INFLIGHT,
+    )
+
+    p_serve.add_argument(
+        "--max-inflight", dest="max_inflight", type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        help="admission control: concurrent data-plane requests beyond "
+             "this are shed with 503 + Retry-After instead of queueing; "
+             "0 sheds everything except /healthz and /metrics "
+             f"(default {DEFAULT_MAX_INFLIGHT})",
+    )
+    p_serve.add_argument(
+        "--max-connections", dest="max_connections", type=int,
+        default=DEFAULT_MAX_CONNECTIONS,
+        help="connections beyond this are answered 503 and closed "
+             f"(default {DEFAULT_MAX_CONNECTIONS})",
+    )
+    p_serve.add_argument(
+        "--coalesce-window", dest="coalesce_window", type=float,
+        default=DEFAULT_COALESCE_WINDOW_S,
+        help="seconds a completed data-plane response stays in the "
+             "dedupe map serving identical requests (0 = pure "
+             "single-flight: only concurrent duplicates collapse; "
+             f"default {DEFAULT_COALESCE_WINDOW_S})",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", dest="drain_timeout", type=float,
+        default=DEFAULT_DRAIN_TIMEOUT_S,
+        help="graceful-shutdown deadline (s) for draining in-flight "
+             f"requests on SIGTERM/SIGINT (default {DEFAULT_DRAIN_TIMEOUT_S})",
+    )
+    p_serve.add_argument(
+        "--access-log", dest="access_log", default=None,
+        help="structured JSON access log: a file path, or '-' for stdout "
+             "(default: no access log)",
     )
     _add_config_flags(p_serve, repeats=3, samples=96)
     p_serve.set_defaults(func=_cmd_serve)

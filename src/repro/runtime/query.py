@@ -44,10 +44,14 @@ Three properties make it a service rather than a file reader:
    one missing key trigger exactly one computation; the other N-1 block
    on the leader's result.
 
-The index is thread-safe (one instance serves
-:mod:`repro.serve`'s ``ThreadingHTTPServer``) and all query payloads are
+The index is thread-safe (one instance serves :mod:`repro.serve`'s
+asyncio plane from its worker-thread pool) and all query payloads are
 plain JSON-able dicts, rendered canonically by :func:`to_json` so
-concurrent identical queries produce byte-identical responses.
+concurrent identical queries produce byte-identical responses.  The
+serving plane precomputes the landmark memo at startup through
+:meth:`CharacterizationIndex.precompute_landmarks`, and generalizes the
+:class:`RequestCoalescer` single-flight discipline to an async dedupe
+map one layer up (:class:`repro.serve.AsyncDedupeMap`).
 """
 
 from __future__ import annotations
@@ -207,6 +211,12 @@ class RequestCoalescer:
     leader's :class:`~concurrent.futures.Future` and receives the same
     result (or the same exception).  Once the leader finishes, the key
     is released and a later request computes afresh.
+
+    Safe from any thread — including the async serving plane's worker
+    pool, where blocking on the leader's future parks a worker thread,
+    never the event loop.  The plane's own
+    :class:`repro.serve.AsyncDedupeMap` is this same discipline
+    expressed over ``asyncio`` futures, one layer up.
     """
 
     def __init__(self):
@@ -680,6 +690,22 @@ class CharacterizationIndex:
         with self._lock:
             self._landmark_memo[key] = row
         return row
+
+    def precompute_landmarks(self) -> int:
+        """Warm the landmark memo for every indexed dataset; returns rows.
+
+        The serving plane's startup hook: landmark extraction is the
+        most expensive warm query (reassemble the dataset, run
+        :func:`~repro.core.regions.detect_regions`), so a production
+        server pays it once before accepting traffic instead of on the
+        first client's request.  Deliberately does not touch the query
+        counters — precompute is provisioning, not serving — and is
+        idempotent: memoized rows are served, not recomputed.
+        """
+        keys = self.dataset_keys()
+        for key in keys:
+            self._landmarks_for(key)
+        return len(keys)
 
     def guardband(self, benchmark: str | None = None, variant: str | None = None) -> list[dict]:
         """Per-board guardband maps, one entry per (benchmark, variant).

@@ -1,9 +1,11 @@
-"""HTTP serving layer for the characterization database.
+"""Async production serving plane for the characterization database.
 
-``repro-undervolt serve`` wraps one
-:class:`~repro.runtime.query.CharacterizationIndex` in a stdlib
-``ThreadingHTTPServer`` (no web framework, no new dependencies) and
-exposes the characterization queries as JSON-over-GET endpoints:
+``repro-undervolt serve`` exposes one
+:class:`~repro.runtime.query.CharacterizationIndex` over HTTP.  The
+server is a pure-stdlib :mod:`asyncio` service (no web framework, no new
+dependencies) built so that the *server* — not the ~50 µs warm index —
+is never the bottleneck, and so that overload degrades predictably
+instead of queueing unboundedly:
 
 ========================  =====================================================
 endpoint                  answers
@@ -11,6 +13,8 @@ endpoint                  answers
 ``/healthz``              liveness + library version + indexed-point count
 ``/stats``                the index's full counter set (LRU, coalescing,
                           ``served_from_cache``, journal summary)
+``/metrics``              the *server's* counters, gauges and latency
+                          histogram (see :data:`METRIC_COUNTER_NAMES`)
 ``/points``               one dataset's measured points
                           (``?benchmark=&board=&variant=&f_mhz=&temp=``), or —
                           with ``&v_mv=`` — one operating point
@@ -20,28 +24,129 @@ endpoint                  answers
 ``/guardband``            per-board guardband maps (+ fleet worst case)
 ========================  =====================================================
 
-Responses are rendered through :func:`repro.runtime.query.to_json`
-(sorted keys, fixed separators), so two concurrent identical queries
-return byte-identical bodies — the property the concurrency tests pin.
+Every request runs the pipeline **admission → coalesce → compute →
+conditional response**:
+
+1. **Admission control.**  Connections beyond ``max_connections`` and
+   requests beyond ``max_inflight`` are shed immediately with ``503`` +
+   ``Retry-After`` — overload never grows an unbounded queue.
+   ``/healthz`` and ``/metrics`` are exempt, so probes stay live while
+   the data plane sheds.
+2. **Coalescing.**  Identical concurrent queries collapse through an
+   :class:`AsyncDedupeMap` (the asyncio generalization of
+   :class:`~repro.runtime.query.RequestCoalescer`): one leader computes,
+   every concurrent duplicate awaits the same future and receives the
+   same bytes.  With a ``coalesce_window_s`` hold, completed results
+   additionally serve identical requests for a short window — classic
+   request collapsing, safe because data-plane responses are pure
+   functions of the index state (``/stats`` is never held).
+3. **Compute off the loop.**  Handlers run on a bounded worker-thread
+   pool sized from ``max_inflight``; the event loop only parses, routes,
+   and writes.  At startup the index's landmark rows are precomputed
+   (:meth:`~repro.runtime.query.CharacterizationIndex.precompute_landmarks`),
+   so the hot queries never pay a cold memo in production.
+4. **Conditional responses.**  Bodies are canonical JSON
+   (:func:`repro.runtime.query.to_json`) — byte-identical for identical
+   queries — which makes strong ``ETag`` s trivial: revalidation via
+   ``If-None-Match`` answers ``304`` with an empty body.
+
+Operational surface: structured JSON access logs (one canonical-JSON
+object per line), a ``/metrics`` endpoint whose counter names are pinned
+by :data:`METRIC_COUNTER_NAMES` (asserted by the tests so the CI bench
+gates can never silently diverge from the server), and graceful
+shutdown — SIGTERM/SIGINT stop accepting, drain in-flight requests under
+a deadline, flush the access log, and exit 0.
 
 Misses are 404s by default: a serving instance must never silently turn
 a read into a multi-minute sweep.  Start the server with
 ``compute=True`` (CLI: ``--compute``) to allow clients to opt in per
-request via ``&compute=1``; coalescing in the index guarantees N
-concurrent requests for one missing sweep trigger exactly one
-computation.
+request via ``&compute=1``; coalescing — here *and* in the index —
+guarantees N concurrent requests for one missing sweep trigger exactly
+one computation.
 """
 
 from __future__ import annotations
 
+import asyncio
+import functools
+import hashlib
+import signal
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import time
+from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.experiment import ExperimentConfig
 from repro.errors import CampaignError
 from repro.runtime.query import CharacterizationIndex, to_json
 from repro.version import __version__
+
+#: Default bound on simultaneously open client connections.
+DEFAULT_MAX_CONNECTIONS = 128
+
+#: Default bound on simultaneously in-flight data-plane requests.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Default hold (seconds) a completed response stays in the dedupe map.
+#: ``0`` = pure single-flight (only concurrent duplicates collapse).
+DEFAULT_COALESCE_WINDOW_S = 0.0
+
+#: Default deadline (seconds) for draining in-flight requests on shutdown.
+DEFAULT_DRAIN_TIMEOUT_S = 5.0
+
+#: Idle keep-alive connections are closed after this many seconds.
+DEFAULT_KEEPALIVE_TIMEOUT_S = 30.0
+
+#: Upper bounds of the ``/metrics`` latency histogram buckets (ms,
+#: cumulative ``le`` semantics; an implicit ``inf`` bucket ends the list).
+LATENCY_BUCKETS_MS = (0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+#: The ``/metrics`` counter names, pinned: the CI bench gates key off
+#: these, and ``tests/test_serve.py`` asserts the endpoint serves exactly
+#: this set, so server and gates cannot silently diverge.
+METRIC_COUNTER_NAMES = (
+    "coalesced_total",
+    "computations_total",
+    "connections_rejected_total",
+    "connections_total",
+    "dedupe_requests_total",
+    "errors_total",
+    "not_modified_total",
+    "requests_total",
+    "shed_total",
+    "window_hits_total",
+)
+
+#: The ``/metrics`` gauge names (see :data:`METRIC_COUNTER_NAMES`).
+METRIC_GAUGE_NAMES = (
+    "connections_active",
+    "in_flight",
+    "in_flight_peak",
+    "precomputed_landmarks",
+)
+
+#: Paths served inline on the event loop and exempt from admission
+#: control: liveness and observability must answer while the data plane
+#: sheds.  (``/healthz`` still computes off-loop; it is only *admission*
+#: exempt.)
+ADMISSION_EXEMPT_PATHS = frozenset({"/healthz", "/metrics"})
+
+#: Data-plane paths whose completed responses may be held in the dedupe
+#: window.  ``/stats`` is deliberately absent: its body embeds live
+#: counters, and a held copy would serve stale observability.
+WINDOW_CACHEABLE_PATHS = frozenset({"/points", "/landmarks", "/guardband"})
+
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
 
 
 def _first(params: dict, name: str) -> str | None:
@@ -71,140 +176,345 @@ def _as_bool(value: str | None) -> bool:
     return value is not None and value.lower() not in ("", "0", "false", "no")
 
 
-class CharacterizationRequestHandler(BaseHTTPRequestHandler):
-    """Routes one GET request to the server's index (see module docstring)."""
+def strong_etag(body: bytes) -> str:
+    """The strong ETag for one response body.
 
-    server_version = f"repro-serve/{__version__}"
-    protocol_version = "HTTP/1.1"
+    Bodies are canonical JSON — identical queries yield byte-identical
+    bodies — so a content hash is a *strong* validator for free.
+    """
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
 
-    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler's contract
-        """Dispatch the request path; errors map to 4xx/5xx JSON bodies."""
-        url = urlparse(self.path)
-        params = parse_qs(url.query)
-        try:
-            handler = {
-                "/healthz": self._handle_healthz,
-                "/stats": self._handle_stats,
-                "/points": self._handle_points,
-                "/landmarks": self._handle_landmarks,
-                "/guardband": self._handle_guardband,
-            }.get(url.path)
-            if handler is None:
-                self._reply(404, {"error": f"unknown endpoint {url.path!r}"})
-                return
-            self._reply(200, handler(params))
-        except PermissionError as exc:
-            self._reply(403, {"error": str(exc)})
-        except (KeyError, FileNotFoundError) as exc:
-            self._reply(404, {"error": str(exc)})
-        except (ValueError, CampaignError) as exc:
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive 500
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    # ------------------------------------------------------------------
-    # Endpoint handlers
-    # ------------------------------------------------------------------
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates ``etag``."""
+    if if_none_match is None:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    candidates = [c.strip() for c in if_none_match.split(",")]
+    # Weak-comparison tolerance: a W/ prefix still names the same bytes.
+    return any(c == etag or c == f"W/{etag}" for c in candidates)
 
-    @property
-    def index(self) -> CharacterizationIndex:
-        """The characterization index this server serves."""
-        return self.server.index  # type: ignore[attr-defined]
 
-    def _compute_allowed(self, params: dict) -> bool:
-        """Whether this request may schedule computation on a miss."""
-        wants = _as_bool(_first(params, "compute"))
-        if wants and not self.server.allow_compute:  # type: ignore[attr-defined]
-            raise PermissionError(
-                "read-through compute is disabled; start the server with --compute"
-            )
-        return wants
+# ----------------------------------------------------------------------
+# Endpoint handlers (run on worker threads, never on the event loop)
+# ----------------------------------------------------------------------
 
-    def _handle_healthz(self, params: dict) -> dict:
-        """Liveness probe: version + how many points are indexed."""
-        stats = self.index.stats()
-        return {
-            "status": "ok",
-            "version": stats["version"],
-            "points_indexed": stats["points"]["indexed"],
-            "datasets": stats["datasets"],
-        }
 
-    def _handle_stats(self, params: dict) -> dict:
-        """The index's full stats payload."""
-        return self.index.stats()
+def _compute_allowed(allow_compute: bool, params: dict) -> bool:
+    """Whether this request may schedule computation on a miss."""
+    wants = _as_bool(_first(params, "compute"))
+    if wants and not allow_compute:
+        raise PermissionError("read-through compute is disabled; start the server with --compute")
+    return wants
 
-    def _handle_points(self, params: dict) -> dict:
-        """Dataset dump, or single-point lookup when ``v_mv`` is given."""
-        benchmark = _first(params, "benchmark")
-        if benchmark is None:
-            raise ValueError("query parameter 'benchmark' is required")
-        common = dict(
+
+def _ep_healthz(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
+    """Liveness probe: version + how many points are indexed."""
+    stats = index.stats()
+    return {
+        "status": "ok",
+        "version": stats["version"],
+        "points_indexed": stats["points"]["indexed"],
+        "datasets": stats["datasets"],
+    }
+
+
+def _ep_stats(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
+    """The index's full stats payload."""
+    return index.stats()
+
+
+def _ep_points(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
+    """Dataset dump, or single-point lookup when ``v_mv`` is given."""
+    benchmark = _first(params, "benchmark")
+    if benchmark is None:
+        raise ValueError("query parameter 'benchmark' is required")
+    common = dict(
+        variant=_first(params, "variant"),
+        board=_as_int(_first(params, "board"), "board") or 0,
+        f_mhz=_as_float(_first(params, "f_mhz"), "f_mhz"),
+        t_setpoint_c=_as_float(_first(params, "temp"), "temp"),
+    )
+    v_mv = _as_float(_first(params, "v_mv"), "v_mv")
+    if v_mv is None:
+        return index.points(benchmark, **common)
+    return index.point(
+        benchmark,
+        v_mv,
+        mode=_first(params, "mode") or "exact",
+        compute=_compute_allowed(allow_compute, params),
+        **common,
+    )
+
+
+def _ep_landmarks(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
+    """Landmark rows for every dataset matching the filters."""
+    return {
+        "landmarks": index.landmarks(
+            benchmark=_first(params, "benchmark"),
             variant=_first(params, "variant"),
-            board=_as_int(_first(params, "board"), "board") or 0,
-            f_mhz=_as_float(_first(params, "f_mhz"), "f_mhz"),
-            t_setpoint_c=_as_float(_first(params, "temp"), "temp"),
+            board=_as_int(_first(params, "board"), "board"),
+            compute=_compute_allowed(allow_compute, params),
         )
-        v_mv = _as_float(_first(params, "v_mv"), "v_mv")
-        if v_mv is None:
-            return self.index.points(benchmark, **common)
-        return self.index.point(
-            benchmark,
-            v_mv,
-            mode=_first(params, "mode") or "exact",
-            compute=self._compute_allowed(params),
-            **common,
+    }
+
+
+def _ep_guardband(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
+    """Per-board guardband maps for the matching datasets."""
+    return {
+        "guardband": index.guardband(
+            benchmark=_first(params, "benchmark"),
+            variant=_first(params, "variant"),
         )
-
-    def _handle_landmarks(self, params: dict) -> dict:
-        """Landmark rows for every dataset matching the filters."""
-        return {
-            "landmarks": self.index.landmarks(
-                benchmark=_first(params, "benchmark"),
-                variant=_first(params, "variant"),
-                board=_as_int(_first(params, "board"), "board"),
-                compute=self._compute_allowed(params),
-            )
-        }
-
-    def _handle_guardband(self, params: dict) -> dict:
-        """Per-board guardband maps for the matching datasets."""
-        return {
-            "guardband": self.index.guardband(
-                benchmark=_first(params, "benchmark"),
-                variant=_first(params, "variant"),
-            )
-        }
-
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-
-    def _reply(self, status: int, payload: dict) -> None:
-        body = to_json(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        """Access logging, silenced when the server runs quiet (tests)."""
-        if not getattr(self.server, "quiet", False):
-            super().log_message(format, *args)
+    }
 
 
-class CharacterizationServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` bound to one characterization index.
+_ROUTES = {
+    "/healthz": _ep_healthz,
+    "/stats": _ep_stats,
+    "/points": _ep_points,
+    "/landmarks": _ep_landmarks,
+    "/guardband": _ep_guardband,
+}
 
-    Threading matters: landmark extraction and LRU refills take real
-    time, and the paper's "database for downstream users" is read-heavy —
-    one slow query must not head-of-line-block the health checks.  The
-    shared :class:`~repro.runtime.query.CharacterizationIndex` is
-    thread-safe and coalesces duplicate read-through computations.
+
+def render_response(
+    index: CharacterizationIndex, allow_compute: bool, path: str, params: dict
+) -> tuple[int, bytes]:
+    """Route one parsed request to the index; returns ``(status, body)``.
+
+    Runs on a worker thread.  Expected errors are rendered here — as the
+    same canonical-JSON error bodies the old threading server produced —
+    so a coalesced failure is shared byte-identically by every waiter
+    instead of escaping as an exception.
+    """
+    handler = _ROUTES.get(path)
+    if handler is None:
+        return 404, to_json({"error": f"unknown endpoint {path!r}"}).encode("utf-8")
+    try:
+        payload = handler(index, allow_compute, params)
+        return 200, to_json(payload).encode("utf-8")
+    except PermissionError as exc:
+        return 403, to_json({"error": str(exc)}).encode("utf-8")
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        return 404, to_json({"error": str(message)}).encode("utf-8")
+    except (ValueError, CampaignError) as exc:
+        return 400, to_json({"error": str(exc)}).encode("utf-8")
+    except Exception as exc:  # pragma: no cover - defensive 500
+        return 500, to_json({"error": f"{type(exc).__name__}: {exc}"}).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Async request coalescing
+# ----------------------------------------------------------------------
+
+
+class AsyncDedupeMap:
+    """Collapse identical concurrent requests into one computation.
+
+    The asyncio generalization of
+    :class:`~repro.runtime.query.RequestCoalescer`: the first caller for
+    a key becomes the *leader* and schedules the computation on the
+    worker pool; every concurrent caller for the same key awaits the
+    same future and receives the same result (or the same exception).
+    The computation is chained to the shared future — never to the
+    leader's request task — so a client disconnect can orphan a request
+    without orphaning its waiters.
+
+    With ``hold_s > 0`` a *completed* entry stays in the map for that
+    long, serving identical requests the finished bytes (a window hit)
+    before eviction — bounded-staleness request collapsing for the
+    read-mostly data plane.
     """
 
-    daemon_threads = True
+    def __init__(self):
+        self._entries: dict[object, asyncio.Future] = {}
+        self.computations = 0
+        self.coalesced = 0
+        self.window_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _evict(self, key: object, future: asyncio.Future) -> None:
+        if self._entries.get(key) is future:
+            del self._entries[key]
+
+    async def run(self, key, call, executor, hold_s: float = 0.0) -> tuple[object, str]:
+        """Run (or join) the computation for ``key``.
+
+        Returns ``(value, source)`` where ``source`` is ``"computed"``
+        for the leader, ``"coalesced"`` for a waiter that joined a live
+        computation, and ``"window"`` for a hit on a held result.
+        """
+        loop = asyncio.get_running_loop()
+        future = self._entries.get(key)
+        if future is not None:
+            if future.done():
+                self.window_hits += 1
+                source = "window"
+            else:
+                self.coalesced += 1
+                source = "coalesced"
+            return await asyncio.shield(future), source
+        future = loop.create_future()
+        self._entries[key] = future
+        self.computations += 1
+        work = loop.run_in_executor(executor, call)
+
+        def _transfer(done: asyncio.Future) -> None:
+            if not future.done():
+                if done.cancelled():
+                    future.cancel()
+                elif done.exception() is not None:
+                    future.set_exception(done.exception())
+                else:
+                    future.set_result(done.result())
+            if hold_s > 0:
+                loop.call_later(hold_s, self._evict, key, future)
+            else:
+                self._evict(key, future)
+
+        work.add_done_callback(_transfer)
+        return await asyncio.shield(future), "computed"
+
+
+# ----------------------------------------------------------------------
+# Observability: latency histogram, metrics, access log
+# ----------------------------------------------------------------------
+
+
+class LatencyHistogram:
+    """Fixed-bucket request-latency histogram (cumulative ``le`` counts).
+
+    Mutated only from the event loop, so it needs no lock; the bucket
+    bounds are :data:`LATENCY_BUCKETS_MS` plus an implicit ``inf``.
+    """
+
+    def __init__(self, bounds_ms: tuple[float, ...] = LATENCY_BUCKETS_MS):
+        self.bounds_ms = bounds_ms
+        self._counts = [0] * (len(bounds_ms) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+
+    def observe(self, duration_ms: float) -> None:
+        """Record one request's wall-clock duration."""
+        self.count += 1
+        self.sum_ms += duration_ms
+        for i, bound in enumerate(self.bounds_ms):
+            if duration_ms <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def as_dict(self) -> dict:
+        """JSON-able payload: cumulative ``le`` buckets, count, sum."""
+        buckets = {}
+        running = 0
+        for bound, count in zip(self.bounds_ms, self._counts):
+            running += count
+            buckets[f"{bound:g}"] = running
+        buckets["inf"] = running + self._counts[-1]
+        return {
+            "buckets_le_ms": buckets,
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+        }
+
+
+class AccessLog:
+    """Structured access log: one canonical-JSON object per line.
+
+    ``target`` is a path, ``"-"`` (stdout), or an open text stream; the
+    log owns (and closes) only streams it opened itself.  Lines are
+    flushed as written — an operator tailing the file sees requests
+    live, and a killed process loses nothing that was logged.
+    """
+
+    def __init__(self, target):
+        import sys
+
+        self._owns = False
+        if target is None:
+            self._stream = None
+        elif target == "-":
+            self._stream = sys.stdout
+        elif isinstance(target, str):
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = target
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are being written anywhere."""
+        return self._stream is not None
+
+    def log(self, record: dict) -> None:
+        """Write one request record (no-op when disabled)."""
+        if self._stream is None:
+            return
+        self._stream.write(to_json(record) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this log opened it."""
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+            self._stream = None
+
+
+class _Connection:
+    """Book-keeping for one client connection (event-loop only)."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+
+
+class _Request:
+    """One parsed HTTP request (request line + headers, no body)."""
+
+    __slots__ = ("method", "target", "version", "headers")
+
+    def __init__(self, method: str, target: str, version: str, headers: dict):
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to keep-alive; ``Connection`` overrides."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+
+class AsyncCharacterizationServer:
+    """Asyncio HTTP/1.1 server over one characterization index.
+
+    One instance owns the index, the bounded compute pool, the dedupe
+    map, the metrics, and the access log.  It can run three ways: the
+    blocking CLI entry (:func:`serve`), embedded on a background thread
+    (:func:`serve_in_thread` — the tests' pattern, with the
+    ``shutdown()`` / ``server_close()`` / ``server_address`` surface the
+    old threading server had), or directly via :meth:`run_async` inside
+    an existing event loop.
+    """
 
     def __init__(
         self,
@@ -212,11 +522,367 @@ class CharacterizationServer(ThreadingHTTPServer):
         index: CharacterizationIndex,
         allow_compute: bool = False,
         quiet: bool = False,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        coalesce_window_s: float = DEFAULT_COALESCE_WINDOW_S,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+        keepalive_timeout_s: float = DEFAULT_KEEPALIVE_TIMEOUT_S,
+        access_log=None,
+        precompute: bool = True,
     ):
-        super().__init__(address, CharacterizationRequestHandler)
         self.index = index
         self.allow_compute = allow_compute
         self.quiet = quiet
+        self.host, self.port = address
+        self.max_connections = int(max_connections)
+        self.max_inflight = int(max_inflight)
+        self.coalesce_window_s = float(coalesce_window_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.keepalive_timeout_s = float(keepalive_timeout_s)
+        self.precompute = precompute
+        if not isinstance(access_log, AccessLog):
+            access_log = AccessLog(access_log)
+        self.access_log = access_log
+        self.server_address: tuple[str, int] = address
+        self.dedupe = AsyncDedupeMap()
+        self.latency = LatencyHistogram()
+        self._counters = {name: 0 for name in METRIC_COUNTER_NAMES}
+        self._inflight = 0
+        self._inflight_peak = 0
+        self._precomputed = 0
+        self._conns: set[_Connection] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _compute_workers(self) -> int:
+        """Size of the bounded compute pool.
+
+        Admission bounds concurrent data-plane requests at
+        ``max_inflight``; the pool adds headroom so the admission-exempt
+        endpoints always find a worker, and caps total threads — beyond
+        the cap, admitted requests queue (bounded by admission, never by
+        client count).
+        """
+        return max(4, min(self.max_inflight, 32)) + 2
+
+    async def run_async(self, install_signal_handlers: bool = False) -> None:
+        """Bind, precompute, and serve until :meth:`shutdown` (or signal).
+
+        The graceful-shutdown path: stop accepting, close idle
+        keep-alive connections, drain in-flight requests under
+        ``drain_timeout_s``, force-close stragglers, flush the access
+        log.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._compute_workers(), thread_name_prefix="serve-compute"
+        )
+        try:
+            self._server = await asyncio.start_server(self._on_connect, self.host, self.port)
+            self.server_address = self._server.sockets[0].getsockname()[:2]
+            if self.precompute:
+                self._precomputed = await loop.run_in_executor(
+                    self._executor, self.index.precompute_landmarks
+                )
+            if not self.quiet:
+                stats = self.index.stats()
+                host, port = self.server_address
+                print(
+                    f"serving characterization index of {self.index.cache_dir} "
+                    f"({stats['points']['indexed']} points, {stats['datasets']} datasets) "
+                    f"on http://{host}:{port} "
+                    f"(compute={'on' if self.allow_compute else 'off'}, "
+                    f"max-inflight={self.max_inflight}, "
+                    f"precomputed {self._precomputed} landmark rows)",
+                    flush=True,  # operators tail piped logs; don't sit in the buffer
+                )
+            self._ready.set()
+            await self._stop.wait()
+            await self._drain()
+            if not self.quiet:
+                print("shutting down: drained in-flight requests, access log flushed", flush=True)
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+            self.access_log.close()
+            self._ready.set()
+            self._done.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, drain in-flight requests, close every connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._conns):
+            if not conn.busy:
+                conn.writer.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout_s
+        while any(c.busy for c in self._conns) and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for conn in list(self._conns):
+            conn.writer.close()
+        # Give connection handlers one tick to observe their closed
+        # transports and unwind before the loop is torn down.
+        await asyncio.sleep(0)
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Request a graceful stop from any thread; waits for the drain."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:  # loop already closed
+            return
+        self._done.wait(timeout if timeout is not None else self.drain_timeout_s + 10.0)
+
+    def server_close(self) -> None:
+        """Release the index's resources (idempotent; after shutdown)."""
+        self.index.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._counters["connections_total"] += 1
+        if len(self._conns) >= self.max_connections:
+            self._counters["connections_rejected_total"] += 1
+            await self._write_response(
+                writer,
+                status=503,
+                body=to_json({"error": "connection limit reached"}).encode("utf-8"),
+                extra_headers={"Retry-After": "1"},
+                keep_alive=False,
+            )
+            writer.close()
+            return
+        conn = _Connection(writer)
+        self._conns.add(conn)
+        try:
+            while not (self._stop is not None and self._stop.is_set()):
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                conn.busy = True
+                try:
+                    keep = await self._dispatch(request, writer)
+                finally:
+                    conn.busy = False
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._conns.discard(conn)
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop tear-down race
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
+        """Parse one request head; ``None`` on EOF/idle-timeout/garbage."""
+        try:
+            line = await asyncio.wait_for(reader.readline(), self.keepalive_timeout_s)
+        except (asyncio.TimeoutError, ConnectionError):
+            return None
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        for _ in range(100):
+            try:
+                raw = await asyncio.wait_for(reader.readline(), self.keepalive_timeout_s)
+            except (asyncio.TimeoutError, ConnectionError):
+                return None
+            if not raw or raw in (b"\r\n", b"\n"):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length and length.isdigit() and int(length) > 0:
+            # GET/HEAD bodies are tolerated (drained) so keep-alive
+            # framing survives a confused client, but never interpreted.
+            try:
+                await reader.readexactly(min(int(length), 1 << 20))
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return None
+        return _Request(method, target, version, headers)
+
+    # ------------------------------------------------------------------
+    # Request pipeline: admission -> coalesce -> compute -> conditional
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        """Run one request through the pipeline; returns keep-alive."""
+        start = time.perf_counter()
+        self._counters["requests_total"] += 1
+        keep_alive = request.keep_alive and not (self._stop is not None and self._stop.is_set())
+        url = urlparse(request.target)
+        path = url.path
+        send_body = request.method != "HEAD"
+        source = "computed"
+        if request.method not in ("GET", "HEAD"):
+            status, body = (
+                405,
+                to_json({"error": f"method {request.method} not allowed"}).encode("utf-8"),
+            )
+            extra = {"Allow": "GET, HEAD"}
+        elif path not in ADMISSION_EXEMPT_PATHS and self._inflight >= self.max_inflight:
+            self._counters["shed_total"] += 1
+            status, body = (
+                503,
+                to_json({"error": "server at max in-flight requests; retry"}).encode("utf-8"),
+            )
+            extra = {"Retry-After": "1"}
+            source = "shed"
+        else:
+            exempt = path in ADMISSION_EXEMPT_PATHS
+            if not exempt:
+                self._inflight += 1
+                self._inflight_peak = max(self._inflight_peak, self._inflight)
+            try:
+                status, body, source = await self._respond(path, url.query)
+            except Exception as exc:  # the dedupe future carried an escape
+                status, body = (
+                    500,
+                    to_json({"error": f"{type(exc).__name__}: {exc}"}).encode("utf-8"),
+                )
+                source = "error"
+            finally:
+                if not exempt:
+                    self._inflight -= 1
+            extra = {}
+        if status >= 500:
+            self._counters["errors_total"] += 1
+        if status == 200:
+            etag = strong_etag(body)
+            extra["ETag"] = etag
+            extra["Cache-Control"] = "no-cache"
+            if etag_matches(request.headers.get("if-none-match"), etag):
+                self._counters["not_modified_total"] += 1
+                status, body = 304, b""
+        try:
+            await self._write_response(
+                writer,
+                status=status,
+                body=body,
+                extra_headers=extra,
+                keep_alive=keep_alive,
+                send_body=send_body,
+            )
+        except (ConnectionError, BrokenPipeError):
+            keep_alive = False
+        duration_ms = (time.perf_counter() - start) * 1000.0
+        self.latency.observe(duration_ms)
+        if self.access_log.enabled:
+            peer = writer.get_extra_info("peername")
+            self.access_log.log(
+                {
+                    "ts": round(time.time(), 6),
+                    "client": f"{peer[0]}:{peer[1]}" if peer else "?",
+                    "method": request.method,
+                    "path": request.target,
+                    "status": status,
+                    "bytes": len(body),
+                    "dur_ms": round(duration_ms, 3),
+                    "source": source,
+                }
+            )
+        return keep_alive
+
+    async def _respond(self, path: str, query: str) -> tuple[int, bytes, str]:
+        """Produce ``(status, body, source)`` for one admitted request."""
+        if path == "/metrics":
+            return 200, to_json(self.metrics()).encode("utf-8"), "inline"
+        params = parse_qs(query)
+        call = functools.partial(render_response, self.index, self.allow_compute, path, params)
+        if path in ADMISSION_EXEMPT_PATHS:
+            # Liveness must never collapse onto (or wait behind) a held
+            # data-plane entry; it still computes off-loop.
+            loop = asyncio.get_running_loop()
+            status, body = await loop.run_in_executor(self._executor, call)
+            return status, body, "inline"
+        key = (path, tuple(sorted((k, tuple(v)) for k, v in params.items())))
+        hold_s = self.coalesce_window_s if path in WINDOW_CACHEABLE_PATHS else 0.0
+        self._counters["dedupe_requests_total"] += 1
+        (status, body), source = await self.dedupe.run(key, call, self._executor, hold_s=hold_s)
+        self._counters["computations_total"] = self.dedupe.computations
+        self._counters["coalesced_total"] = self.dedupe.coalesced
+        self._counters["window_hits_total"] = self.dedupe.window_hits
+        return status, body, source
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        extra_headers: dict | None = None,
+        keep_alive: bool = True,
+        send_body: bool = True,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Server: repro-serve/{__version__}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        if send_body:
+            payload += body
+        writer.write(payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload: counters, gauges, latency histogram.
+
+        Counter names are exactly :data:`METRIC_COUNTER_NAMES` and gauge
+        names exactly :data:`METRIC_GAUGE_NAMES` — pinned by the tests,
+        keyed on by the CI bench gates.
+        """
+        return {
+            "counters": {name: self._counters[name] for name in METRIC_COUNTER_NAMES},
+            "gauges": {
+                "connections_active": len(self._conns),
+                "in_flight": self._inflight,
+                "in_flight_peak": self._inflight_peak,
+                "precomputed_landmarks": self._precomputed,
+            },
+            "latency_ms": self.latency.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
 
 
 def make_server(
@@ -228,28 +894,36 @@ def make_server(
     lru_capacity: int | None = None,
     jobs: int = 1,
     quiet: bool = False,
-) -> CharacterizationServer:
-    """Build a ready-to-run server over one cache directory.
+    **server_kwargs,
+) -> AsyncCharacterizationServer:
+    """Build a ready-to-run async server over one cache directory.
 
     ``port=0`` binds an ephemeral port (the tests' pattern); read the
-    bound address back from ``server.server_address``.
+    bound address back from ``server.server_address`` once the server is
+    running.  Extra keyword arguments (``max_inflight``,
+    ``max_connections``, ``coalesce_window_s``, ``access_log``,
+    ``drain_timeout_s``, ``precompute``) pass through to
+    :class:`AsyncCharacterizationServer`.
     """
     kwargs: dict = {"config": config, "jobs": jobs}
     if lru_capacity is not None:
         kwargs["lru_capacity"] = lru_capacity
     index = CharacterizationIndex(cache_dir, **kwargs)
-    return CharacterizationServer(
-        (host, port), index, allow_compute=allow_compute, quiet=quiet
+    return AsyncCharacterizationServer(
+        (host, port), index, allow_compute=allow_compute, quiet=quiet, **server_kwargs
     )
 
 
-def serve_in_thread(server: CharacterizationServer) -> threading.Thread:
-    """Run ``server.serve_forever`` on a daemon thread (tests/embedding).
+def serve_in_thread(server: AsyncCharacterizationServer) -> threading.Thread:
+    """Run the server's event loop on a daemon thread (tests/embedding).
 
-    Call ``server.shutdown()`` then ``server.server_close()`` to stop.
+    Blocks until the server is bound (so ``server.server_address`` is
+    final).  Call ``server.shutdown()`` (graceful drain) then
+    ``server.server_close()`` to stop.
     """
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread = threading.Thread(target=lambda: asyncio.run(server.run_async()), daemon=True)
     thread.start()
+    server._ready.wait()
     return thread
 
 
@@ -261,24 +935,27 @@ def serve(
     allow_compute: bool = False,
     lru_capacity: int | None = None,
     jobs: int = 1,
+    **server_kwargs,
 ) -> int:
-    """Blocking entry point behind ``repro-undervolt serve``."""
+    """Blocking entry point behind ``repro-undervolt serve``.
+
+    Installs SIGTERM/SIGINT handlers: either signal stops accepting,
+    drains in-flight requests under the drain deadline, flushes the
+    access log, and returns 0.
+    """
     server = make_server(
-        cache_dir, host=host, port=port, config=config,
-        allow_compute=allow_compute, lru_capacity=lru_capacity, jobs=jobs,
-    )
-    bound_host, bound_port = server.server_address[:2]
-    stats = server.index.stats()
-    print(
-        f"serving characterization index of {cache_dir} "
-        f"({stats['points']['indexed']} points, {stats['datasets']} datasets) "
-        f"on http://{bound_host}:{bound_port} "
-        f"(compute={'on' if allow_compute else 'off'})",
-        flush=True,  # operators tail piped logs; don't sit in the buffer
+        cache_dir,
+        host=host,
+        port=port,
+        config=config,
+        allow_compute=allow_compute,
+        lru_capacity=lru_capacity,
+        jobs=jobs,
+        **server_kwargs,
     )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        asyncio.run(server.run_async(install_signal_handlers=True))
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
         print("shutting down")
     finally:
         server.server_close()
@@ -286,9 +963,23 @@ def serve(
 
 
 __all__ = [
-    "CharacterizationRequestHandler",
-    "CharacterizationServer",
+    "ADMISSION_EXEMPT_PATHS",
+    "AccessLog",
+    "AsyncCharacterizationServer",
+    "AsyncDedupeMap",
+    "DEFAULT_COALESCE_WINDOW_S",
+    "DEFAULT_DRAIN_TIMEOUT_S",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_MAX_INFLIGHT",
+    "LATENCY_BUCKETS_MS",
+    "LatencyHistogram",
+    "METRIC_COUNTER_NAMES",
+    "METRIC_GAUGE_NAMES",
+    "WINDOW_CACHEABLE_PATHS",
+    "etag_matches",
     "make_server",
+    "render_response",
     "serve",
     "serve_in_thread",
+    "strong_etag",
 ]

@@ -1,6 +1,26 @@
-"""HTTP serving layer: endpoints, byte-identity, and the no-recompute gate."""
+"""The async serving plane: endpoints, byte-identity, admission, coalescing.
 
+Covers the production-plane contract on top of the original endpoint
+behavior: N simultaneous identical cold queries cost exactly one index
+computation and return byte-identical bodies with matching ETags;
+admission control sheds request N+1 with 503 + ``Retry-After`` while N
+are parked; ``/healthz`` and ``/metrics`` stay live while the data plane
+sheds; ETag revalidation answers 304; the ``/metrics`` counter names are
+pinned to :data:`repro.serve.METRIC_COUNTER_NAMES` (the CI bench gates
+key off them); and graceful shutdown drains in-flight requests and
+flushes the structured access log — including the real-process
+SIGTERM path the CI smoke step relies on.
+"""
+
+import http.client
 import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -11,7 +31,15 @@ import repro.runtime.campaign as campaign_mod
 from repro.core.experiment import ExperimentConfig
 from repro.runtime.cache import ResultCache
 from repro.runtime.campaign import run_sweep_campaign
-from repro.serve import make_server, serve_in_thread
+from repro.serve import (
+    LATENCY_BUCKETS_MS,
+    METRIC_COUNTER_NAMES,
+    METRIC_GAUGE_NAMES,
+    etag_matches,
+    make_server,
+    serve_in_thread,
+    strong_etag,
+)
 
 CONFIG = ExperimentConfig(repeats=1, samples=8)
 
@@ -165,3 +193,294 @@ class TestComputeEnabled:
         finally:
             server.shutdown()
             server.server_close()
+
+
+def get_with_headers(server, path: str, headers: dict | None = None):
+    """GET returning ``(status, body, response_headers)``."""
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers=headers or {}
+    )
+    with urllib.request.urlopen(request, timeout=30) as r:
+        return r.status, r.read(), dict(r.headers)
+
+
+class _BlockingLandmarks:
+    """Wrap ``index.landmarks`` so calls park on an event (and are counted)."""
+
+    def __init__(self, index):
+        self.calls = 0
+        self.release = threading.Event()
+        self._real = index.landmarks
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        assert self.release.wait(timeout=30), "test never released the landmark gate"
+        return self._real(*args, **kwargs)
+
+
+def _spawn_gets(server, paths):
+    """Fire one GET per path on its own thread; results land in a list."""
+    results = [None] * len(paths)
+
+    def fetch(i, path):
+        try:
+            results[i] = get_with_headers(server, path)
+        except urllib.error.HTTPError as exc:
+            results[i] = (exc.code, exc.read(), dict(exc.headers))
+
+    threads = [
+        threading.Thread(target=fetch, args=(i, path), daemon=True)
+        for i, path in enumerate(paths)
+    ]
+    for t in threads:
+        t.start()
+    return threads, results
+
+
+def _wait_for(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition not reached in time"
+        time.sleep(0.005)
+
+
+class TestCoalescing:
+    def test_n_identical_cold_queries_cost_one_computation(self, server, monkeypatch):
+        """The tentpole gate: N concurrent duplicates -> one computation,
+
+        byte-identical bodies, matching strong ETags."""
+        blocker = _BlockingLandmarks(server.index)
+        monkeypatch.setattr(server.index, "landmarks", blocker)
+        n = 6
+        path = "/landmarks?benchmark=vggnet&board=0"
+        threads, results = _spawn_gets(server, [path] * n)
+        # All N admitted and parked on the single shared future.
+        _wait_for(lambda: server.metrics()["counters"]["dedupe_requests_total"] == n)
+        assert blocker.calls == 1
+        blocker.release.set()
+        for t in threads:
+            t.join(timeout=30)
+        statuses = {r[0] for r in results}
+        bodies = {r[1] for r in results}
+        etags = {r[2]["ETag"] for r in results}
+        assert statuses == {200}
+        assert len(bodies) == 1 and len(etags) == 1
+        counters = server.metrics()["counters"]
+        assert blocker.calls == 1
+        assert counters["computations_total"] == 1
+        assert counters["coalesced_total"] == n - 1
+
+    def test_coalesce_window_serves_held_bytes(self, warm_cache):
+        server = make_server(
+            warm_cache, port=0, config=CONFIG, quiet=True, coalesce_window_s=5.0
+        )
+        serve_in_thread(server)
+        try:
+            path = "/landmarks?benchmark=vggnet"
+            _, first, _ = get_with_headers(server, path)
+            _, second, _ = get_with_headers(server, path)
+            assert first == second
+            counters = server.metrics()["counters"]
+            assert counters["computations_total"] == 1
+            assert counters["window_hits_total"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestAdmission:
+    def test_sheds_request_n_plus_1_while_n_parked(self, warm_cache, monkeypatch):
+        """With max_inflight=2 and both slots parked, request 3 gets
+
+        503 + Retry-After while /healthz and /metrics stay live."""
+        server = make_server(
+            warm_cache, port=0, config=CONFIG, quiet=True, max_inflight=2
+        )
+        serve_in_thread(server)
+        blocker = _BlockingLandmarks(server.index)
+        monkeypatch.setattr(server.index, "landmarks", blocker)
+        try:
+            parked = [
+                "/landmarks?benchmark=vggnet&board=0",
+                "/landmarks?benchmark=vggnet",  # distinct key: second slot
+            ]
+            threads, results = _spawn_gets(server, parked)
+            _wait_for(lambda: server.metrics()["gauges"]["in_flight"] == 2)
+            try:
+                get_with_headers(server, "/guardband?benchmark=vggnet")
+                raise AssertionError("request N+1 was not shed")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert exc.headers["Retry-After"] == "1"
+                assert "in-flight" in json.loads(exc.read())["error"]
+            status, _, _ = get_with_headers(server, "/healthz")
+            assert status == 200
+            status, metrics_body, _ = get_with_headers(server, "/metrics")
+            assert status == 200
+            assert json.loads(metrics_body)["counters"]["shed_total"] >= 1
+            blocker.release.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert {r[0] for r in results} == {200}
+            # Capacity freed: the same query now succeeds.
+            status, _, _ = get_with_headers(server, "/guardband?benchmark=vggnet")
+            assert status == 200
+        finally:
+            blocker.release.set()
+            server.shutdown()
+            server.server_close()
+
+    def test_max_inflight_zero_sheds_data_plane_only(self, warm_cache):
+        server = make_server(
+            warm_cache, port=0, config=CONFIG, quiet=True, max_inflight=0
+        )
+        serve_in_thread(server)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_with_headers(server, "/landmarks?benchmark=vggnet")
+            assert excinfo.value.code == 503
+            status, _, _ = get_with_headers(server, "/healthz")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestConditionalAndKeepAlive:
+    def test_keepalive_etag_304_roundtrip_on_one_connection(self, server):
+        host, port = server.server_address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/landmarks?benchmark=vggnet")
+            resp = conn.getresponse()
+            body = resp.read()
+            etag = resp.headers["ETag"]
+            assert resp.status == 200
+            assert resp.headers["Connection"] == "keep-alive"
+            assert etag == strong_etag(body)
+            conn.request(
+                "GET", "/landmarks?benchmark=vggnet", headers={"If-None-Match": etag}
+            )
+            revalidated = conn.getresponse()
+            assert revalidated.status == 304
+            assert revalidated.read() == b""
+            assert revalidated.headers["ETag"] == etag
+            conn.request("GET", "/metrics")
+            metrics = json.loads(conn.getresponse().read())
+            assert metrics["counters"]["connections_total"] == 1
+            assert metrics["counters"]["not_modified_total"] == 1
+        finally:
+            conn.close()
+
+    def test_etag_matches_semantics(self):
+        etag = strong_etag(b"{}")
+        assert etag_matches(etag, etag)
+        assert etag_matches("*", etag)
+        assert etag_matches(f'"nope", {etag}', etag)
+        assert etag_matches(f"W/{etag}", etag)
+        assert not etag_matches(None, etag)
+        assert not etag_matches('"nope"', etag)
+
+    def test_method_not_allowed_405(self, server):
+        host, port = server.server_address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("POST", "/landmarks?benchmark=vggnet", body=b"{}")
+            resp = conn.getresponse()
+            assert resp.status == 405
+            assert resp.headers["Allow"] == "GET, HEAD"
+            resp.read()
+        finally:
+            conn.close()
+
+
+class TestMetrics:
+    def test_counter_and_gauge_names_are_pinned(self, server):
+        """The CI bench gates key off these names; they must not drift."""
+        _, body, _ = get_with_headers(server, "/metrics")
+        payload = json.loads(body)
+        assert tuple(sorted(payload["counters"])) == METRIC_COUNTER_NAMES
+        assert tuple(sorted(payload["gauges"])) == METRIC_GAUGE_NAMES
+        buckets = payload["latency_ms"]["buckets_le_ms"]
+        assert len(buckets) == len(LATENCY_BUCKETS_MS) + 1
+        assert "inf" in buckets
+        assert payload["gauges"]["precomputed_landmarks"] >= 1
+
+    def test_latency_histogram_counts_requests(self, server):
+        for _ in range(3):
+            get(server, "/healthz")
+        _, body, _ = get_with_headers(server, "/metrics")
+        latency = json.loads(body)["latency_ms"]
+        assert latency["count"] >= 3
+        assert latency["buckets_le_ms"]["inf"] == latency["count"]
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_inflight_and_flushes_access_log(
+        self, warm_cache, tmp_path, monkeypatch
+    ):
+        log_path = tmp_path / "access.jsonl"
+        server = make_server(
+            warm_cache, port=0, config=CONFIG, quiet=True, access_log=str(log_path)
+        )
+        serve_in_thread(server)
+        blocker = _BlockingLandmarks(server.index)
+        monkeypatch.setattr(server.index, "landmarks", blocker)
+        try:
+            threads, results = _spawn_gets(server, ["/landmarks?benchmark=vggnet"])
+            _wait_for(lambda: server.metrics()["gauges"]["in_flight"] == 1)
+            threading.Timer(0.3, blocker.release.set).start()
+            server.shutdown()  # blocks through the drain
+            for t in threads:
+                t.join(timeout=30)
+            status, body, _ = results[0]
+            assert status == 200
+            assert json.loads(body)["landmarks"]
+            records = [
+                json.loads(line) for line in log_path.read_text().splitlines()
+            ]
+            (record,) = [r for r in records if r["path"].startswith("/landmarks")]
+            assert record["status"] == 200
+            assert record["source"] == "computed"
+            assert set(record) >= {
+                "ts", "client", "method", "path", "status", "bytes", "dur_ms", "source"
+            }
+        finally:
+            blocker.release.set()
+            server.server_close()
+
+    def test_sigterm_drains_and_exits_zero(self, warm_cache):
+        """The CI smoke contract: SIGTERM -> graceful drain -> exit 0."""
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(repo_root, "src"), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--cache-dir", str(warm_cache), "--port", "0",
+                "--repeats", "1", "--samples", "8",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            port = int(match.group(1))
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=30
+            ) as r:
+                assert r.status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "shutting down" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
