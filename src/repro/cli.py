@@ -99,6 +99,18 @@ def _cache_from_args(args):
     return ResultCache(args.cache_dir)
 
 
+def _plan_from_args(args):
+    """The one ExecutionPlan a CLI invocation threads everywhere.
+
+    Collapses the scattered execution flags (``--jobs``, ``--dispatch``)
+    into the frozen plan the campaign runtime — and, for ``coordinate``,
+    every remote worker — executes under.
+    """
+    from repro.runtime.plan import ExecutionPlan
+
+    return ExecutionPlan(jobs=args.jobs, dispatch=getattr(args, "dispatch", "unit"))
+
+
 def _fabric_from_args(args, cache):
     """One leased worker fabric per CLI invocation (no-op when serial).
 
@@ -208,7 +220,7 @@ def _cmd_run(args) -> int:
     config = _config_from_args(args)
     cache = _cache_from_args(args)
     with _fabric_from_args(args, cache):
-        outcome = run_campaign([args.experiment], config, jobs=args.jobs, cache=cache)
+        outcome = run_campaign([args.experiment], config, _plan_from_args(args), cache=cache)
     entry = outcome.entries[0]
     result = entry.result
     print(result.render())
@@ -234,7 +246,7 @@ def _cmd_sweep(args) -> int:
     cache = _cache_from_args(args)
     with _fabric_from_args(args, cache):
         outcome = run_sweep_campaign(
-            args.benchmark, boards, config, jobs=args.jobs, cache=cache
+            args.benchmark, boards, config, _plan_from_args(args), cache=cache
         )
     for board, entry in zip(boards, outcome.entries):
         print(
@@ -256,7 +268,7 @@ def _cmd_report(args) -> int:
     cache = _cache_from_args(args)
     with _fabric_from_args(args, cache):
         report = generate_report(
-            config, jobs=args.jobs, cache=cache,
+            config, plan=_plan_from_args(args), cache=cache,
             journal=_journal_from_args(args, cache),
         )
     with open(args.out, "w") as f:
@@ -287,7 +299,7 @@ def _cmd_campaign(args) -> int:
         return 2
     with _fabric_from_args(args, cache):
         outcome = run_campaign(
-            ids, config, jobs=args.jobs, cache=cache,
+            ids, config, _plan_from_args(args), cache=cache,
             journal=_journal_from_args(args, cache), resume=args.resume,
         )
     rows = [
@@ -380,6 +392,59 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_coordinate(args) -> int:
+    from repro.runtime.coordinator import coordinator_in_thread, make_coordinator
+
+    coordinator = make_coordinator(
+        args.targets,
+        args.cache_dir,
+        config=_config_from_args(args),
+        plan=_plan_from_args(args),
+        host=args.host,
+        port=args.port,
+        resume=args.resume,
+        lease_ttl_s=args.lease_ttl,
+        linger_s=args.linger,
+        access_log=args.access_log,
+        quiet=False,
+    )
+    thread = coordinator_in_thread(coordinator)
+    if args.port_file:
+        # The bound address (--port 0 binds ephemerally), for scripts
+        # that need to point workers at this coordinator.
+        host, port = coordinator.server_address
+        with open(args.port_file, "w") as f:
+            f.write(f"{host} {port}\n")
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        coordinator.shutdown()
+        thread.join(timeout=5.0)
+    return 0 if coordinator.drained else 1
+
+
+def _cmd_worker(args) -> int:
+    import json
+
+    from repro.runtime.remote_worker import WorkerError, run_worker
+
+    try:
+        stats = run_worker(
+            args.connect,
+            args.cache_dir,
+            jobs=args.jobs if args.jobs > 1 else None,
+            poll_s=args.poll,
+            worker_id=args.id,
+            max_units=args.max_units,
+            quiet=False,
+        )
+    except WorkerError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(json.dumps(stats.as_dict(), sort_keys=True))
+    return 0 if stats.stopped in ("drained", "max-units") else 1
+
+
 def _cmd_serve(args) -> int:
     from repro.serve import serve
 
@@ -429,6 +494,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--board", type=_board_arg, default=0,
         help="board sample index, or 'all' for the whole fleet",
+    )
+    p_sweep.add_argument(
+        "--dispatch", choices=["unit", "point"], default="unit",
+        help="parallel work granularity: 'unit' ships whole board sweeps "
+             "to the pool, 'point' drives strategies on parent threads "
+             "and ships each sweep round as one fabric task; results are "
+             "bit-identical (default unit)",
     )
     _add_config_flags(p_sweep, repeats=3, samples=96)
     _add_runtime_flags(p_sweep)
@@ -499,6 +571,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_flags(p_query, repeats=3, samples=96)
     p_query.set_defaults(func=_cmd_query)
+
+    p_coord = sub.add_parser(
+        "coordinate",
+        help="serve a campaign's unfinished units as time-leased HTTP "
+             "work items for remote workers, merging their results",
+    )
+    p_coord.add_argument(
+        "targets", nargs="+",
+        help="campaign names, experiment ids, or sweep specs "
+             "(sweep:<benchmark>[:board<N>])",
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port (default)"
+    )
+    p_coord.add_argument(
+        "--lease-ttl", dest="lease_ttl", type=float, default=60.0,
+        help="seconds a leased unit stays exclusive before it is "
+             "re-leased to another worker (default 60)",
+    )
+    p_coord.add_argument(
+        "--linger", type=float, default=2.0,
+        help="seconds to keep answering 'done' after the campaign "
+             "drains, so every worker polls its way to a clean exit "
+             "(default 2)",
+    )
+    p_coord.add_argument(
+        "--port-file", dest="port_file", default=None,
+        help="write the bound 'host port' here once accepting",
+    )
+    p_coord.add_argument(
+        "--resume", action="store_true",
+        help="keep the journal's completed units (served from the cache) "
+             "and distribute only the frontier",
+    )
+    p_coord.add_argument(
+        "--access-log", dest="access_log", default=None,
+        help="structured JSON access log: a file path, or '-' for stdout",
+    )
+    p_coord.add_argument(
+        "--dispatch", choices=["unit", "point"], default="unit",
+        help="execution-plan dispatch mode shipped to every worker "
+             "(default unit)",
+    )
+    _add_config_flags(p_coord, repeats=3, samples=64)
+    _add_runtime_flags(p_coord)
+    p_coord.set_defaults(func=_cmd_coordinate)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="lease work units from a coordinator, execute them on the "
+             "local fabric, and post results back",
+    )
+    p_worker.add_argument(
+        "--connect", required=True,
+        help="coordinator base URL, e.g. http://127.0.0.1:8400",
+    )
+    p_worker.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"local cache directory (default {DEFAULT_CACHE_DIR}); "
+             "missing model-plane blobs sync from the coordinator",
+    )
+    p_worker.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="override the shipped plan's worker count for this host "
+             "(default 1 = honor the plan)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between polls while all units are leased out",
+    )
+    p_worker.add_argument(
+        "--max-units", dest="max_units", type=int, default=None,
+        help="exit after completing this many units (default: drain)",
+    )
+    p_worker.add_argument(
+        "--id", default=None,
+        help="worker id reported to the coordinator (default host-pid)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_serve = sub.add_parser(
         "serve",

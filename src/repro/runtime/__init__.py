@@ -32,6 +32,18 @@ embarrassingly parallel, cache-friendly workload:
   land).
 * :mod:`repro.runtime.campaign` — the orchestrator gluing the above
   together, plus the named campaign sets the CLI exposes.
+* :mod:`repro.runtime.plan` — :class:`ExecutionPlan`, the one frozen,
+  wire-serializable description of *how* a campaign executes (jobs,
+  dispatch, batching budgets, cache dir); execution knobs never move
+  fingerprints.
+* :mod:`repro.runtime.wire` — the shared HTTP dialect (canonical-JSON
+  bodies, strong ETags, structured access logs, request framing) both
+  asyncio services speak.
+* :mod:`repro.runtime.coordinator` / :mod:`repro.runtime.remote_worker`
+  — the distributed campaign fabric: an HTTP work-lease coordinator
+  serving unfinished units to blob-syncing remote workers, with lease
+  expiry and re-lease so dead workers degrade to "that unit runs
+  elsewhere"; merged stores are byte-identical to a single-host run.
 * :mod:`repro.runtime.query` — the serving side: a read-through
   characterization index over the point store (exact/nearest/interpolated
   point lookup, Vmin/Vcrash landmarks, guardband maps) with an in-process
@@ -59,6 +71,7 @@ from repro.runtime.executor import TaskOutcome, run_tasks
 from repro.runtime.fabric import WorkerFabric, active_fabric, fabric_scope, resolve_jobs
 from repro.runtime.hashing import config_fingerprint, point_fingerprint
 from repro.runtime.journal import CampaignJournal, campaign_fingerprint
+from repro.runtime.plan import ExecutionPlan, coerce_execution_plan
 from repro.runtime.points import PointCache, PointEntry, PointStats, point_scope
 from repro.runtime.query import (
     CharacterizationIndex,
@@ -81,6 +94,7 @@ __all__ = [
     "CampaignOutcome",
     "CharacterizationIndex",
     "DatasetKey",
+    "ExecutionPlan",
     "MeasurementLRU",
     "PointCache",
     "PointEntry",
@@ -93,6 +107,7 @@ __all__ = [
     "active_fabric",
     "blob_plane",
     "campaign_fingerprint",
+    "coerce_execution_plan",
     "config_fingerprint",
     "fabric_scope",
     "maybe_blob_plane",

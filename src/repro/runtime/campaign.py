@@ -45,6 +45,7 @@ from repro.runtime.executor import TaskOutcome, run_tasks, run_tasks_threaded
 from repro.runtime.fabric import WorkerFabric, active_fabric
 from repro.runtime.hashing import config_fingerprint
 from repro.runtime.journal import CampaignJournal, campaign_fingerprint
+from repro.runtime.plan import ExecutionPlan, coerce_execution_plan
 from repro.runtime.shards import merge_unit_results, plan_units
 
 #: Canonical report order: tables first, then figures in paper order, then
@@ -319,14 +320,22 @@ def _leased_fabric(
 def run_campaign(
     experiment_ids: Iterable[str],
     config: ExperimentConfig | None = None,
-    jobs: int = 1,
+    plan: ExecutionPlan | int | str | None = None,
     cache: ResultCache | None = None,
     shard: bool = True,
     journal: CampaignJournal | None = None,
     resume: bool = False,
     fabric: WorkerFabric | None = None,
+    *,
+    jobs: int | str | None = None,
 ) -> CampaignOutcome:
     """Run a set of experiments, reusing cached results where possible.
+
+    ``plan`` is the one description of *how* to execute
+    (:class:`~repro.runtime.plan.ExecutionPlan`: worker count, batching
+    budgets, cache directory; its ``dispatch`` field is sweep-only and
+    ignored here).  The legacy ``jobs=`` kwarg still works through
+    :func:`~repro.runtime.plan.coerce_execution_plan` but is deprecated.
 
     With a ``journal``, the campaign's plan and per-unit completions are
     written through to disk; ``resume=True`` keeps the journal's prior
@@ -342,8 +351,11 @@ def run_campaign(
     threaded to the workers, which load spilled models memory-mapped
     instead of rebuilding them.
     """
-    config = config or ExperimentConfig()
-    jobs = max(1, int(jobs))
+    exec_plan = coerce_execution_plan(plan, jobs=jobs)
+    config = exec_plan.apply_to(config or ExperimentConfig())
+    jobs = exec_plan.resolved_jobs()
+    if cache is None and exec_plan.cache_dir is not None:
+        cache = ResultCache(exec_plan.cache_dir)
     ids: list[str] = []
     for exp_id in experiment_ids:
         if exp_id not in ids:
@@ -509,9 +521,7 @@ def measure_round_task(
         session = make_session(board, benchmark, config)
         with maybe_point_scope(point_root, scope):
             execute = cached_round_measure(session, config, f_mhz)
-            outcomes = execute(
-                [PlannedPoint(index, v_mv, mode) for index, v_mv, mode in points]
-            )
+            outcomes = execute([PlannedPoint(index, v_mv, mode) for index, v_mv, mode in points])
     return [(index, kind, m) for index, (kind, m) in outcomes.items()]
 
 
@@ -608,20 +618,27 @@ def run_sweep_campaign(
     benchmark: str,
     boards: Sequence[int],
     config: ExperimentConfig | None = None,
-    jobs: int = 1,
+    plan: ExecutionPlan | int | str | None = None,
     cache: ResultCache | None = None,
     fabric: WorkerFabric | None = None,
-    dispatch: str = "unit",
     journal: CampaignJournal | None = None,
     resume: bool = False,
+    *,
+    jobs: int | str | None = None,
+    dispatch: str | None = None,
 ) -> CampaignOutcome:
     """Sweep one benchmark on several boards, cached and fanned out.
 
-    ``dispatch`` selects the work granularity: ``"unit"`` (default) ships
-    whole board sweeps to the pool — best when boards outnumber workers —
-    while ``"point"`` runs each board's strategy on a parent thread and
-    dispatches every sweep *round* as one task to the fabric's warm
-    workers — the adaptive strategy's bisection rounds then reuse one
+    ``plan`` (:class:`~repro.runtime.plan.ExecutionPlan`) is the one
+    description of *how* to execute; the legacy ``jobs=``/``dispatch=``
+    kwargs still work through
+    :func:`~repro.runtime.plan.coerce_execution_plan` but are deprecated.
+
+    ``plan.dispatch`` selects the work granularity: ``"unit"`` (default)
+    ships whole board sweeps to the pool — best when boards outnumber
+    workers — while ``"point"`` runs each board's strategy on a parent
+    thread and dispatches every sweep *round* as one task to the fabric's
+    warm workers — the adaptive strategy's bisection rounds then reuse one
     leased pool (and its warm model/clean-pass state) end to end instead
     of paying per-round setup, and the per-board driver threads keep the
     pool busy across boards.  Both modes produce bit-identical results
@@ -631,10 +648,12 @@ def run_sweep_campaign(
     the sweep plan and per-board completions are written through, and a
     resumed campaign counts previously completed boards as resumed work.
     """
-    config = config or ExperimentConfig()
-    jobs = max(1, int(jobs))
-    if dispatch not in ("unit", "point"):
-        raise ValueError(f"dispatch must be 'unit' or 'point', got {dispatch!r}")
+    exec_plan = coerce_execution_plan(plan, jobs=jobs, dispatch=dispatch)
+    dispatch = exec_plan.dispatch
+    config = exec_plan.apply_to(config or ExperimentConfig())
+    jobs = exec_plan.resolved_jobs()
+    if cache is None and exec_plan.cache_dir is not None:
+        cache = ResultCache(exec_plan.cache_dir)
     point_root = str(cache.point_root) if cache is not None else None
     blob_root = str(cache.blob_root) if cache is not None else None
     fabric, owned = _leased_fabric(fabric, jobs, cache)

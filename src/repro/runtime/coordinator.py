@@ -1,0 +1,699 @@
+"""Campaign coordinator: HTTP work-lease distribution of one campaign.
+
+The single-host campaign runtime already decomposes every campaign into
+independent, content-addressed work units (board sweeps, experiment
+shards) whose results are pure functions of ``(unit_id, config,
+version)``.  The coordinator stretches that decomposition across hosts:
+it owns one campaign's unit list, serves unfinished units to remote
+workers as **time-leased work items** over plain HTTP, and merges what
+the workers post back into the very stores — result cache, point store,
+campaign journal — a single-host run would have written.
+
+The protocol is deliberately small and pull-based (workers poll, the
+coordinator never connects out):
+
+``POST /lease``
+    A worker asks for work.  The answer is one of ``lease`` (a unit,
+    its lease id and TTL, the campaign's :class:`ExperimentConfig` and
+    :class:`~repro.runtime.plan.ExecutionPlan` on the wire, and the
+    coordinator's library version), ``wait`` (everything is leased out;
+    retry after a delay), or ``done`` (the campaign drained).
+
+``POST /complete``
+    A worker posts one finished unit: the result payload, its wall
+    time, and the raw text of every point-store entry the unit wrote
+    locally.  The coordinator validates and writes the point entries
+    **verbatim** (byte-identity with a single-host run holds by
+    construction: entries are deterministic, and the first writer's
+    bytes are kept), normalizes and stores the result, and journals the
+    completion.  Duplicate completions — two workers racing one unit,
+    or a lease that expired and was re-leased before the original
+    worker finished — are answered ``duplicate`` and change nothing.
+
+``GET /blobs`` / ``GET /blobs/<name>``
+    The coordinator's model plane, served read-only so a cold worker
+    can sync spilled model blobs into its local store instead of
+    rebuilding them.
+
+Leases expire: a worker that leases a unit and dies silently simply
+lets the TTL lapse, after which :class:`LeaseBoard` hands the unit to
+the next ``/lease`` — a dead worker degrades to "that unit runs
+elsewhere", never to a stuck campaign.  Results are deterministic, so a
+late completion from a worker presumed dead is either a duplicate
+(discarded) or indistinguishable from the re-lease's answer.
+
+All mutating handlers run inline on the event loop — the coordinator is
+a control plane, not a data plane, and single-threaded merge order is
+the simplest correctness argument for the journal and cache writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import threading
+import time
+
+from repro.core.experiment import ExperimentConfig
+from repro.runtime.cache import (
+    ResultCache,
+    atomic_write_text,
+    normalize_result,
+    result_from_payload,
+)
+from repro.runtime.hashing import config_fingerprint, current_version
+from repro.runtime.journal import CampaignJournal, campaign_fingerprint
+from repro.runtime.plan import ExecutionPlan, config_to_wire
+from repro.runtime.wire import (
+    AccessLog,
+    Request,
+    error_bytes,
+    json_bytes,
+    read_request,
+    write_response,
+)
+
+#: Default seconds a lease stays exclusive before the unit is re-leased.
+DEFAULT_LEASE_TTL_S = 60.0
+
+#: Default seconds the coordinator keeps answering ``done`` after the
+#: campaign drains, so every worker polls its way to a clean exit.
+DEFAULT_LINGER_S = 2.0
+
+#: Seconds a worker should wait before re-polling when all units are out.
+DEFAULT_RETRY_AFTER_S = 0.5
+
+#: ``/complete`` bodies carry a full unit result plus its point-store
+#: entries, so the coordinator accepts far larger bodies than the
+#: serving plane's default.
+COORDINATOR_MAX_BODY = 64 << 20
+
+#: Blob names the coordinator will serve: flat store filenames only
+#: (``<key>.npy`` arrays, ``m-<name>.json`` manifests) — no separators,
+#: no traversal.
+_BLOB_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def resolve_work_units(targets, config: ExperimentConfig) -> list[dict]:
+    """Expand CLI targets into the coordinator's ordered unit list.
+
+    Each target is either a sweep spec — ``sweep:<benchmark>`` (board
+    0) or ``sweep:<benchmark>:board<N>`` — or anything
+    :func:`~repro.runtime.campaign.resolve_campaign` accepts (campaign
+    set names, ``all``, explicit experiment ids).  Every unit is a wire
+    dict carrying its kind, unit id, and fingerprint under ``config``;
+    duplicates collapse, order is preserved.  Unknown experiment ids
+    fail here, before any worker connects.
+    """
+    from repro.experiments.registry import get_spec
+    from repro.runtime.campaign import resolve_campaign, sweep_unit_id
+
+    units: list[dict] = []
+    seen: set[str] = set()
+
+    def add(unit: dict) -> None:
+        if unit["unit_id"] not in seen:
+            seen.add(unit["unit_id"])
+            units.append(unit)
+
+    for target in targets:
+        if target.startswith("sweep:"):
+            parts = target.split(":")
+            benchmark = parts[1]
+            if len(parts) == 2:
+                board = 0
+            elif len(parts) == 3 and parts[2].startswith("board"):
+                board = int(parts[2][len("board") :])
+            else:
+                raise ValueError(
+                    f"sweep target must be 'sweep:<benchmark>' or "
+                    f"'sweep:<benchmark>:board<N>', got {target!r}"
+                )
+            unit_id = sweep_unit_id(benchmark, board)
+            add(
+                {
+                    "kind": "sweep",
+                    "unit_id": unit_id,
+                    "benchmark": benchmark,
+                    "board": board,
+                    "fingerprint": config_fingerprint(unit_id, config),
+                }
+            )
+        else:
+            for exp_id in resolve_campaign((target,)):
+                get_spec(exp_id)  # fail fast on unknown ids
+                add(
+                    {
+                        "kind": "experiment",
+                        "unit_id": exp_id,
+                        "experiment_id": exp_id,
+                        "fingerprint": config_fingerprint(exp_id, config),
+                    }
+                )
+    return units
+
+
+class LeaseBoard:
+    """Pure lease state machine over one campaign's unit list.
+
+    No I/O, no clock of its own (``clock`` is injected so tests drive
+    expiry deterministically): units move ``pending -> leased ->
+    completed``, a lease past its TTL silently reverts to ``pending`` on
+    the next :meth:`lease` call (lazy expiry — nothing ticks), and a
+    completion is accepted exactly once per unit regardless of how many
+    workers raced it.
+    """
+
+    def __init__(self, units, ttl_s: float = DEFAULT_LEASE_TTL_S, clock=time.monotonic):
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._order = [unit["unit_id"] for unit in units]
+        self._units = {
+            unit["unit_id"]: {
+                "unit": unit,
+                "status": "pending",
+                "lease_id": None,
+                "worker": None,
+                "expires": 0.0,
+            }
+            for unit in units
+        }
+        self._lease_seq = 0
+        #: Lifetime counters, surfaced on ``/status``.
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.completions = 0
+        self.duplicates = 0
+        self.late_completions = 0
+
+    def _expire_stale(self) -> None:
+        now = self._clock()
+        for state in self._units.values():
+            if state["status"] == "leased" and now >= state["expires"]:
+                state["status"] = "pending"
+                state["lease_id"] = None
+                state["worker"] = None
+                self.leases_expired += 1
+
+    def lease(self, worker: str) -> tuple[dict, str] | None:
+        """Lease the first available unit to ``worker``; None = all out.
+
+        Expired leases are reclaimed first, so a dead worker's unit is
+        handed to the next caller the moment its TTL lapses.
+        """
+        self._expire_stale()
+        for unit_id in self._order:
+            state = self._units[unit_id]
+            if state["status"] != "pending":
+                continue
+            self._lease_seq += 1
+            lease_id = f"L{self._lease_seq}"
+            state["status"] = "leased"
+            state["lease_id"] = lease_id
+            state["worker"] = worker
+            state["expires"] = self._clock() + self.ttl_s
+            self.leases_granted += 1
+            return state["unit"], lease_id
+        return None
+
+    def complete(self, unit_id: str, lease_id: str | None) -> str:
+        """Record one completion: ``accepted`` / ``duplicate`` / ``unknown``.
+
+        First completion wins; anything after is a ``duplicate`` and
+        must change no state.  A completion under a *stale* lease (the
+        unit expired and was re-leased, but the original worker finished
+        anyway) is still accepted when the unit is open — results are
+        deterministic, so whoever lands first lands the same bytes —
+        and counted in ``late_completions``.
+        """
+        state = self._units.get(unit_id)
+        if state is None:
+            return "unknown"
+        if state["status"] == "completed":
+            self.duplicates += 1
+            return "duplicate"
+        if state["status"] == "leased" and lease_id != state["lease_id"]:
+            self.late_completions += 1
+        state["status"] = "completed"
+        state["lease_id"] = None
+        state["worker"] = None
+        self.completions += 1
+        return "accepted"
+
+    def mark_completed(self, unit_id: str) -> None:
+        """Pre-complete one unit (boot-time cache hits lease nothing)."""
+        state = self._units[unit_id]
+        if state["status"] != "completed":
+            state["status"] = "completed"
+            self.completions += 1
+
+    def done(self) -> bool:
+        """Whether every unit has completed."""
+        return all(state["status"] == "completed" for state in self._units.values())
+
+    def counts(self) -> dict:
+        """Unit counts by status (stale leases counted as leased)."""
+        counts = {"pending": 0, "leased": 0, "completed": 0}
+        for state in self._units.values():
+            counts[state["status"]] += 1
+        return counts
+
+    def snapshot(self) -> dict:
+        """Status-endpoint view: per-status counts plus lease counters."""
+        return {
+            "units": self.counts(),
+            "leases_granted": self.leases_granted,
+            "leases_expired": self.leases_expired,
+            "completions": self.completions,
+            "duplicates": self.duplicates,
+            "late_completions": self.late_completions,
+        }
+
+
+class CampaignCoordinator:
+    """Asyncio HTTP server distributing one campaign as leased work.
+
+    One instance owns the campaign's :class:`LeaseBoard`, the cache it
+    merges results into, and (optionally) the journal recording
+    completions.  Boot consults the cache first — already-cached units
+    never reach a worker — then serves ``/lease`` / ``/complete`` until
+    the board drains, lingers ``linger_s`` so late pollers see
+    ``done``, and stops.  Same embedding surface as the serving plane:
+    :meth:`run_async` inside a loop, or :func:`coordinator_in_thread`
+    for tests and the distributed smoke.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        units,
+        config: ExperimentConfig,
+        plan: ExecutionPlan | None = None,
+        cache: ResultCache | None = None,
+        journal: CampaignJournal | None = None,
+        resume: bool = False,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        linger_s: float = DEFAULT_LINGER_S,
+        access_log=None,
+        quiet: bool = True,
+        clock=time.monotonic,
+    ):
+        if cache is None:
+            raise ValueError("the coordinator requires a result cache to merge into")
+        self.host, self.port = address
+        self.server_address: tuple[str, int] = address
+        self.config = config
+        self.plan = plan or ExecutionPlan()
+        self.cache = cache
+        self.journal = journal
+        self.resume = bool(resume)
+        self.linger_s = float(linger_s)
+        self.quiet = quiet
+        if not isinstance(access_log, AccessLog):
+            access_log = AccessLog(access_log)
+        self.access_log = access_log
+        self.units = list(units)
+        self.board = LeaseBoard(self.units, ttl_s=lease_ttl_s, clock=clock)
+        self.campaign_id = campaign_fingerprint([unit["unit_id"] for unit in self.units], config)
+        self._prior_completed: set[str] = set()
+        self._fingerprints = {unit["unit_id"]: unit["fingerprint"] for unit in self.units}
+        self._results_merged = 0
+        self._points_written = 0
+        self._points_skipped = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._linger_armed = False
+        self._ready = threading.Event()
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Boot: journal the plan, pre-complete cache hits
+    # ------------------------------------------------------------------
+
+    def _boot(self) -> None:
+        """Journal the unit plan and pre-complete every cache hit.
+
+        Runs once before the listener accepts: cached units are
+        journaled (``resumed`` when the journal saw them complete
+        before, ``cached`` otherwise) and marked completed on the
+        board, so workers only ever see genuinely unfinished work.
+        """
+        if self.journal is not None:
+            self._prior_completed = self.journal.begin(
+                self.campaign_id,
+                [(unit["unit_id"], unit["fingerprint"]) for unit in self.units],
+                resume=self.resume,
+            )
+        for unit in self.units:
+            hit = self.cache.load(unit["fingerprint"], unit["unit_id"])
+            if hit is None:
+                continue
+            self.board.mark_completed(unit["unit_id"])
+            if self.journal is not None:
+                outcome = (
+                    "resumed" if unit["fingerprint"] in self._prior_completed else "cached"
+                )
+                self.journal.record_unit(
+                    self.campaign_id, unit["fingerprint"], outcome, wall_s=hit.wall_s
+                )
+        self._arm_linger_if_done()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        """Whether every unit completed (the CLI's exit-code signal)."""
+        return self.board.done()
+
+    async def run_async(self, install_signal_handlers: bool = False) -> None:
+        """Boot, bind, and serve until the campaign drains (or shutdown)."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        try:
+            self._boot()
+            self._server = await asyncio.start_server(self._on_connect, self.host, self.port)
+            self.server_address = self._server.sockets[0].getsockname()[:2]
+            if not self.quiet:
+                host, port = self.server_address
+                counts = self.board.counts()
+                print(
+                    f"coordinating {len(self.units)} units "
+                    f"({counts['completed']} already cached) "
+                    f"on http://{host}:{port} (campaign {self.campaign_id})",
+                    flush=True,
+                )
+            self._ready.set()
+            await self._stop.wait()
+            self._server.close()
+            await self._server.wait_closed()
+            if not self.quiet:
+                state = "drained" if self.drained else "stopped early"
+                print(f"coordinator {state}: {self.board.snapshot()}", flush=True)
+        finally:
+            self.access_log.close()
+            self._ready.set()
+            self._done.set()
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Request a stop from any thread; waits until the loop unwinds."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            return
+        self._done.wait(timeout if timeout is not None else 10.0)
+
+    def _arm_linger_if_done(self) -> None:
+        """Schedule the post-drain stop exactly once."""
+        if not self.board.done() or self._linger_armed:
+            return
+        self._linger_armed = True
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_later(self.linger_s, self._stop.set)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while not (self._stop is not None and self._stop.is_set()):
+                request = await read_request(reader, 10.0, max_body=COORDINATOR_MAX_BODY)
+                if request is None:
+                    break
+                if not await self._dispatch(request, writer):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, BrokenPipeError):
+            pass  # worker went away mid-request; the lease TTL covers it
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop tear-down race
+                pass
+
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> bool:
+        start = time.perf_counter()
+        keep_alive = request.keep_alive and not (
+            self._stop is not None and self._stop.is_set()
+        )
+        content_type = "application/json"
+        try:
+            status, body, content_type = self._respond(request)
+        except ValueError as exc:
+            status, body = 400, error_bytes(str(exc))
+        except Exception as exc:  # pragma: no cover - handler escape hatch
+            status, body = 500, error_bytes(f"{type(exc).__name__}: {exc}")
+        try:
+            await write_response(
+                writer,
+                status=status,
+                body=body,
+                server="repro-coordinator",
+                content_type=content_type,
+                keep_alive=keep_alive,
+            )
+        except (ConnectionError, BrokenPipeError):
+            keep_alive = False
+        if self.access_log.enabled:
+            self.access_log.log(
+                {
+                    "method": request.method,
+                    "path": request.target,
+                    "status": status,
+                    "duration_ms": round((time.perf_counter() - start) * 1000.0, 3),
+                }
+            )
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _respond(self, request: Request) -> tuple[int, bytes, str]:
+        path = request.target.split("?", 1)[0]
+        if path == "/healthz" and request.method == "GET":
+            counts = self.board.counts()
+            return (
+                200,
+                json_bytes({"status": "ok", "done": self.board.done(), "units": counts}),
+                "application/json",
+            )
+        if path == "/status" and request.method == "GET":
+            return 200, json_bytes(self._status_payload()), "application/json"
+        if path == "/blobs" and request.method == "GET":
+            return 200, json_bytes({"blobs": self._blob_names()}), "application/json"
+        if path.startswith("/blobs/") and request.method == "GET":
+            return self._serve_blob(path[len("/blobs/") :])
+        if path == "/lease" and request.method == "POST":
+            return 200, json_bytes(self._lease(request)), "application/json"
+        if path == "/complete" and request.method == "POST":
+            status, payload = self._complete(request)
+            return status, json_bytes(payload), "application/json"
+        if path in ("/healthz", "/status", "/blobs", "/lease", "/complete"):
+            return 405, error_bytes(f"method {request.method} not allowed"), "application/json"
+        return 404, error_bytes(f"unknown path {path}"), "application/json"
+
+    def _status_payload(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "version": current_version(),
+            "board": self.board.snapshot(),
+            "results_merged": self._results_merged,
+            "points_written": self._points_written,
+            "points_skipped": self._points_skipped,
+        }
+
+    def _blob_names(self) -> list[str]:
+        root = self.cache.blob_root
+        if not root.is_dir():
+            return []
+        return sorted(p.name for p in root.iterdir() if p.is_file() and _BLOB_NAME.match(p.name))
+
+    def _serve_blob(self, name: str) -> tuple[int, bytes, str]:
+        if not _BLOB_NAME.match(name):
+            return 400, error_bytes(f"invalid blob name {name!r}"), "application/json"
+        path = self.cache.blob_root / name
+        if not path.is_file():
+            return 404, error_bytes(f"no blob {name!r}"), "application/json"
+        return 200, path.read_bytes(), "application/octet-stream"
+
+    def _lease(self, request: Request) -> dict:
+        payload = _json_body(request)
+        worker = str(payload.get("worker", "anonymous"))
+        if self.board.done():
+            self._arm_linger_if_done()
+            return {"status": "done", "campaign_id": self.campaign_id}
+        leased = self.board.lease(worker)
+        if leased is None:
+            return {"status": "wait", "retry_after_s": DEFAULT_RETRY_AFTER_S}
+        unit, lease_id = leased
+        return {
+            "status": "lease",
+            "lease_id": lease_id,
+            "ttl_s": self.board.ttl_s,
+            "unit": unit,
+            "config": config_to_wire(self.config),
+            "plan": self.plan.to_wire(),
+            "version": current_version(),
+            "campaign_id": self.campaign_id,
+        }
+
+    def _complete(self, request: Request) -> tuple[int, dict]:
+        payload = _json_body(request)
+        unit_id = payload.get("unit_id")
+        fingerprint = payload.get("fingerprint")
+        expected = self._fingerprints.get(unit_id)
+        if expected is None:
+            return 409, {"status": "unknown", "error": f"unknown unit {unit_id!r}"}
+        if fingerprint != expected:
+            # Version or config skew: the worker computed a different
+            # cache key than this campaign's.  Reject rather than merge
+            # bytes that belong to another fingerprint.
+            return 409, {
+                "status": "rejected",
+                "error": f"fingerprint mismatch for {unit_id!r}: "
+                f"got {fingerprint!r}, expected {expected!r}",
+            }
+        verdict = self.board.complete(unit_id, payload.get("lease_id"))
+        if verdict == "accepted":
+            self._merge(unit_id, fingerprint, payload)
+            self._arm_linger_if_done()
+        return 200, {"status": verdict, "done": self.board.done()}
+
+    def _merge(self, unit_id: str, fingerprint: str, payload: dict) -> None:
+        """Write one accepted completion through to the local stores.
+
+        Point entries ship as raw file text and are written verbatim
+        (if absent) after validation, so the merged store is
+        byte-identical to one a single-host run would produce; the
+        result goes through the same normalize/store path
+        ``_execute_cached`` uses, and the journal classifies the unit
+        exactly as a local recompute would (``recomputed`` when a prior
+        run had completed it, ``fresh`` otherwise).
+        """
+        for point_fp, text in (payload.get("points") or {}).items():
+            if self._write_point(unit_id, point_fp, text):
+                self._points_written += 1
+            else:
+                self._points_skipped += 1
+        result = normalize_result(result_from_payload(payload["result"]))
+        wall_s = float(payload.get("wall_s", 0.0))
+        self.cache.store(fingerprint, unit_id, self.config, result, wall_s)
+        self._results_merged += 1
+        if self.journal is not None:
+            outcome = "recomputed" if fingerprint in self._prior_completed else "fresh"
+            self.journal.record_unit(self.campaign_id, fingerprint, outcome, wall_s=wall_s)
+
+    def _write_point(self, unit_id: str, point_fp: str, text: str) -> bool:
+        """Validate one shipped point entry and write it verbatim if new."""
+        if not _BLOB_NAME.match(point_fp):
+            raise ValueError(f"invalid point fingerprint {point_fp!r}")
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            raise ValueError(f"point entry {point_fp} is not valid JSON") from None
+        if not isinstance(entry, dict) or entry.get("fingerprint") != point_fp:
+            raise ValueError(f"point entry {point_fp} carries the wrong fingerprint")
+        if entry.get("scope") != unit_id:
+            raise ValueError(
+                f"point entry {point_fp} belongs to scope {entry.get('scope')!r}, "
+                f"not {unit_id!r}"
+            )
+        path = self.cache.point_root / f"{point_fp}.json"
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, text)
+        return True
+
+
+def _json_body(request: Request) -> dict:
+    """Parse a POST body as a JSON object (400 via ValueError otherwise)."""
+    if not request.body:
+        return {}
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise ValueError("request body is not valid JSON") from None
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    return payload
+
+
+def make_coordinator(
+    targets,
+    cache_dir,
+    config: ExperimentConfig | None = None,
+    plan: ExecutionPlan | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    journal: bool = True,
+    resume: bool = False,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    linger_s: float = DEFAULT_LINGER_S,
+    access_log=None,
+    quiet: bool = True,
+) -> CampaignCoordinator:
+    """Build an unstarted coordinator for CLI targets over one cache dir."""
+    from repro.runtime.journal import JOURNAL_NAME
+
+    config = config or ExperimentConfig()
+    cache = ResultCache(cache_dir)
+    units = resolve_work_units(targets, config)
+    return CampaignCoordinator(
+        (host, port),
+        units,
+        config,
+        plan=plan,
+        cache=cache,
+        journal=CampaignJournal(cache.root / JOURNAL_NAME) if journal else None,
+        resume=resume,
+        lease_ttl_s=lease_ttl_s,
+        linger_s=linger_s,
+        access_log=access_log,
+        quiet=quiet,
+    )
+
+
+def coordinator_in_thread(coordinator: CampaignCoordinator) -> threading.Thread:
+    """Run a coordinator on a daemon thread; returns once it is accepting.
+
+    The embedding surface tests and the distributed smoke use:
+    ``coordinator.server_address`` holds the bound address after this
+    returns, and ``coordinator.shutdown()`` stops it from any thread.
+    """
+
+    def _serve() -> None:
+        asyncio.run(coordinator.run_async())
+
+    thread = threading.Thread(target=_serve, daemon=True, name="repro-coordinator")
+    thread.start()
+    coordinator._ready.wait()
+    return thread
+
+
+__all__ = [
+    "COORDINATOR_MAX_BODY",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_LINGER_S",
+    "DEFAULT_RETRY_AFTER_S",
+    "CampaignCoordinator",
+    "LeaseBoard",
+    "coordinator_in_thread",
+    "make_coordinator",
+    "resolve_work_units",
+]

@@ -51,7 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.runtime.fabric import WorkerFabric, active_fabric
+from repro.runtime.fabric import WorkerFabric, active_fabric, resolve_jobs
 
 Task = tuple[Callable[..., Any], tuple]
 
@@ -225,7 +225,7 @@ def run_tasks_threaded(
 
 def run_tasks(
     tasks: Sequence[Task],
-    jobs: int = 1,
+    jobs: int | str = 1,
     on_complete: CompletionHook | None = None,
     fabric: WorkerFabric | None = None,
     chunksize: int | None = None,
@@ -235,10 +235,13 @@ def run_tasks(
     ``fabric`` selects the leased-pool path explicitly (any task count —
     even a single dispatched probe reaches the warm workers); with
     ``jobs > 1`` and no explicit fabric, the active lease is adopted.
+    ``jobs`` accepts everything :func:`~repro.runtime.fabric.resolve_jobs`
+    does (including ``"auto"``, e.g. from an
+    :class:`~repro.runtime.plan.ExecutionPlan` shipped to this host).
     ``chunksize`` overrides :func:`auto_chunksize` on pool paths.
     """
     tasks = list(tasks)
-    jobs = max(1, int(jobs))
+    jobs = resolve_jobs(jobs)
     if not tasks:
         return []
     if fabric is None and jobs > 1:

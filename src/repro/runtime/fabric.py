@@ -64,9 +64,19 @@ def _bind_worker_plane(blob_root: str | None) -> None:
 
 
 def resolve_jobs(jobs) -> int:
-    """Normalize a jobs request: ``"auto"`` means one worker per CPU."""
+    """Normalize a jobs request: ``"auto"`` means one worker per CPU.
+
+    "Per CPU" respects the container's allowance: under a CPU-limited
+    cgroup/affinity mask ``os.cpu_count()`` still reports the whole
+    machine, so ``"auto"`` prefers the *schedulable* CPU set
+    (``os.sched_getaffinity``) and only falls back to the raw count on
+    platforms without affinity support.
+    """
     if jobs == "auto":
-        return os.cpu_count() or 1
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
     return max(1, int(jobs))
 
 

@@ -1,0 +1,211 @@
+"""ExecutionPlan: one frozen, serializable description of *how* to execute.
+
+Historically every campaign entry point grew its own execution knobs —
+``jobs=`` here, ``dispatch=`` there, ``point_batch=`` on the config,
+``cache_dir`` on the CLI — and nothing could ship "run it exactly like
+this" across a process boundary.  Distribution forces the issue: a
+remote worker must receive a single self-contained description of the
+execution discipline, byte-for-byte the one the coordinator's operator
+chose.  :class:`ExecutionPlan` is that description.
+
+The plan is deliberately **not** part of any cache key.  Every field it
+carries is an execution knob — worker count, dispatch granularity, the
+batching budgets (:data:`repro.core.experiment.EXECUTION_FIELDS`), and
+where the cache lives — and the runtime's determinism contract says
+execution knobs never move results.  Applying a plan to a config
+(:meth:`ExecutionPlan.apply_to`) therefore never changes a fingerprint,
+which is exactly why a coordinator can ship one plan to N workers and
+still merge their point stores byte-identically.
+
+Alongside the plan live the config wire helpers
+(:func:`config_to_wire` / :func:`config_from_wire`): the coordinator
+ships its :class:`~repro.core.experiment.ExperimentConfig` — including
+the nested :class:`~repro.fpga.calibration.Calibration` — as plain
+JSON, and a worker reconstructs an *equal* config whose fingerprints
+match the coordinator's exactly.
+
+Migration: the loose ``jobs=`` / ``dispatch=`` / ``point_batch=``
+kwargs on :func:`~repro.runtime.campaign.run_sweep_campaign` and
+friends still work through :func:`coerce_execution_plan`, but emit a
+:class:`DeprecationWarning`; pass ``plan=ExecutionPlan(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.core.experiment import ExperimentConfig
+from repro.fpga.calibration import Calibration
+
+#: Valid values of :attr:`ExecutionPlan.dispatch` (see
+#: :func:`repro.runtime.campaign.run_sweep_campaign`).
+DISPATCH_MODES = ("unit", "point")
+
+#: Calibration fields stored as flat tuples (JSON lists on the wire).
+_CAL_TUPLE_FIELDS = ("board_vmin", "board_vcrash", "f_grid_mhz")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a campaign executes — never *what* it computes.
+
+    One frozen value threaded from the CLI through
+    :mod:`repro.runtime.campaign` to the executor, and shipped verbatim
+    to remote workers by the coordinator.  Every field is an execution
+    acceleration: two runs of one campaign under different plans produce
+    bit-identical results and share every cache entry.
+    """
+
+    #: Worker processes, or ``"auto"`` for one per *available* CPU
+    #: (container-affinity aware; see
+    #: :func:`repro.runtime.fabric.resolve_jobs`).
+    jobs: int | str = 1
+    #: Sweep work granularity: ``"unit"`` ships whole board sweeps to the
+    #: pool, ``"point"`` drives strategies on parent threads and ships
+    #: each round as one fabric task.
+    dispatch: str = "unit"
+    #: Max planned voltage points per sweep round; ``None`` keeps the
+    #: config's value (an :data:`~repro.core.experiment.EXECUTION_FIELDS`
+    #: knob, excluded from every fingerprint).
+    point_batch: int | None = None
+    #: Max stacked inferences per batched forward pass; ``None`` keeps
+    #: the config's value (execution-only, like ``point_batch``).
+    batch_budget: int | None = None
+    #: Cache directory this plan expects to execute against; ``None``
+    #: means "whatever cache the caller attaches".  Workers substitute
+    #: their own local store (the coordinator's path is host-local).
+    cache_dir: str | None = None
+
+    def __post_init__(self):
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}")
+        if self.jobs != "auto":
+            try:
+                jobs = int(self.jobs)
+            except (TypeError, ValueError):
+                raise ValueError(f"jobs must be an int or 'auto', got {self.jobs!r}") from None
+            if jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {jobs}")
+            object.__setattr__(self, "jobs", jobs)
+        if self.point_batch is not None and self.point_batch < 1:
+            raise ValueError(f"point_batch must be >= 1, got {self.point_batch}")
+        if self.batch_budget is not None and self.batch_budget < 1:
+            raise ValueError(f"batch_budget must be >= 1, got {self.batch_budget}")
+
+    def resolved_jobs(self) -> int:
+        """The concrete worker count (``"auto"`` resolved on this host)."""
+        from repro.runtime.fabric import resolve_jobs
+
+        return resolve_jobs(self.jobs)
+
+    def apply_to(self, config: ExperimentConfig) -> ExperimentConfig:
+        """Overlay this plan's execution-field overrides onto a config.
+
+        Only :data:`~repro.core.experiment.EXECUTION_FIELDS` members are
+        touched, so the returned config fingerprints identically to the
+        input — a plan can never move a cache key.
+        """
+        overrides = {}
+        if self.point_batch is not None:
+            overrides["point_batch"] = self.point_batch
+        if self.batch_budget is not None:
+            overrides["batch_budget"] = self.batch_budget
+        return config.with_overrides(**overrides) if overrides else config
+
+    def with_overrides(self, **kwargs) -> "ExecutionPlan":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **kwargs)
+
+    def to_wire(self) -> dict:
+        """JSON-able snapshot, shipped verbatim to remote workers."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ExecutionPlan":
+        """Rebuild a plan from :meth:`to_wire` output (strict keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ExecutionPlan wire fields: {unknown}")
+        return cls(**payload)
+
+
+def coerce_execution_plan(
+    plan: ExecutionPlan | int | str | None = None,
+    *,
+    jobs: int | str | None = None,
+    dispatch: str | None = None,
+    point_batch: int | None = None,
+    batch_budget: int | None = None,
+) -> ExecutionPlan:
+    """Resolve a ``plan=`` argument plus legacy kwargs into one plan.
+
+    The compatibility shim behind every campaign entry point: explicit
+    legacy kwargs (``jobs=``, ``dispatch=``, ``point_batch=``,
+    ``batch_budget=``) — or a bare int/``"auto"`` passed positionally
+    where ``plan`` now sits — keep working but emit a
+    :class:`DeprecationWarning` and are merged over ``plan`` (legacy
+    wins, matching the historical call sites).  ``None`` everywhere
+    yields the default plan.
+    """
+    if isinstance(plan, (int, str)):
+        # Historical positional jobs argument landing in the plan slot.
+        jobs = plan if jobs is None else jobs
+        plan = None
+    legacy = {
+        name: value
+        for name, value in (
+            ("jobs", jobs),
+            ("dispatch", dispatch),
+            ("point_batch", point_batch),
+            ("batch_budget", batch_budget),
+        )
+        if value is not None
+    }
+    if legacy:
+        warnings.warn(
+            f"the {sorted(legacy)} execution kwargs are deprecated; pass "
+            f"plan=ExecutionPlan({', '.join(f'{k}={v!r}' for k, v in legacy.items())}) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return (plan or ExecutionPlan()).with_overrides(**legacy)
+    return plan or ExecutionPlan()
+
+
+def config_to_wire(config: ExperimentConfig) -> dict:
+    """JSON-able snapshot of a config (nested calibration included)."""
+    return config.as_dict()
+
+
+def config_from_wire(payload: dict) -> ExperimentConfig:
+    """Rebuild an :class:`~repro.core.experiment.ExperimentConfig` from wire.
+
+    The inverse of :func:`config_to_wire` across a JSON round-trip:
+    calibration tuples come back as lists and are re-tupled so the
+    reconstructed config is *equal* to the original — and therefore
+    fingerprints identically, the property the distributed fabric's
+    byte-identity contract rests on.
+    """
+    payload = dict(payload)
+    cal = payload.pop("cal", None)
+    if cal is not None:
+        cal = dict(cal)
+        for name in _CAL_TUPLE_FIELDS:
+            if name in cal:
+                cal[name] = tuple(cal[name])
+        if "fsafe_anchors_mhz" in cal:
+            cal["fsafe_anchors_mhz"] = tuple(tuple(anchor) for anchor in cal["fsafe_anchors_mhz"])
+        payload["cal"] = Calibration(**cal)
+    return ExperimentConfig(**payload)
+
+
+__all__ = [
+    "DISPATCH_MODES",
+    "ExecutionPlan",
+    "coerce_execution_plan",
+    "config_from_wire",
+    "config_to_wire",
+]

@@ -801,6 +801,7 @@ class CharacterizationIndex:
         coalesce into one computation.
         """
         from repro.runtime.campaign import run_sweep_campaign
+        from repro.runtime.plan import ExecutionPlan
 
         key = ("sweep", benchmark, int(board))
 
@@ -809,7 +810,7 @@ class CharacterizationIndex:
                 benchmark,
                 [int(board)],
                 self.config,
-                jobs=self.jobs,
+                ExecutionPlan(jobs=self.jobs),
                 cache=self._cache,
                 fabric=self._compute_fabric(),
             )

@@ -1,0 +1,324 @@
+"""Remote campaign worker: lease, sync, execute locally, post back.
+
+The worker half of the distributed campaign fabric
+(:mod:`repro.runtime.coordinator`).  A worker process is deliberately
+dumb and stateless: it knows a coordinator URL and a local cache
+directory, nothing about the campaign.  Each cycle it
+
+1. **leases** one work unit from ``POST /lease`` — the response carries
+   the unit, the campaign's :class:`~repro.core.experiment.ExperimentConfig`
+   and :class:`~repro.runtime.plan.ExecutionPlan` on the wire, and the
+   coordinator's library version (a mismatch aborts: fingerprints embed
+   the version, so skewed workers could only produce rejected results);
+2. **syncs** any model-plane blobs it is missing from ``GET /blobs``
+   into its local store, so cold workers load spilled models instead of
+   rebuilding them;
+3. **executes** the unit on its local runtime — the same
+   :func:`~repro.runtime.campaign.run_sweep_unit` /
+   ``registry.run_unit`` paths a single-host campaign drives, writing
+   the same local point store and result cache; and
+4. **posts** the result plus the raw text of every point entry the unit
+   produced to ``POST /complete`` for the coordinator to merge.
+
+Determinism does the heavy lifting: because every unit is a pure
+function of ``(unit_id, config, version)``, the coordinator can re-lease
+a unit whose worker died, accept whichever completion lands first, and
+still end up with stores byte-identical to a single-host serial run.
+
+A worker exits cleanly when the coordinator answers ``done``, when it
+reaches ``max_units`` (the tests' stand-in for a worker dying between
+units), or when the coordinator stays unreachable past its retry
+budget (a drained coordinator shuts down, so "connection refused" after
+completed work usually *is* the success path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime.cache import ResultCache, normalize_result, result_to_payload
+from repro.runtime.hashing import current_version
+from repro.runtime.plan import ExecutionPlan, config_from_wire
+
+#: Consecutive connection failures tolerated before the worker gives up.
+DEFAULT_MAX_FAILURES = 5
+
+
+class WorkerError(RuntimeError):
+    """A worker-fatal protocol problem (version skew, malformed lease)."""
+
+
+class CoordinatorClient:
+    """Tiny blocking HTTP client for the coordinator's JSON protocol."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> bytes:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx still carry a JSON body the caller wants to see.
+            return exc.read()
+
+    def _json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        return json.loads(self._request(method, path, payload).decode("utf-8"))
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def lease(self, worker: str) -> dict:
+        """``POST /lease`` for one unit of work."""
+        return self._json("POST", "/lease", {"worker": worker})
+
+    def complete(self, payload: dict) -> dict:
+        """``POST /complete`` with one finished unit."""
+        return self._json("POST", "/complete", payload)
+
+    def list_blobs(self) -> list[str]:
+        """Names in the coordinator's model plane."""
+        return list(self._json("GET", "/blobs").get("blobs", []))
+
+    def fetch_blob(self, name: str) -> bytes:
+        """One blob's raw bytes."""
+        return self._request("GET", "/blobs/" + name)
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` invocation did, for logs and tests."""
+
+    worker_id: str
+    units_completed: int = 0
+    units_duplicate: int = 0
+    blobs_synced: int = 0
+    wall_s: float = 0.0
+    #: ``drained`` | ``max-units`` | ``unreachable``
+    stopped: str = "drained"
+    unit_ids: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (the CLI prints this)."""
+        return {
+            "worker_id": self.worker_id,
+            "units_completed": self.units_completed,
+            "units_duplicate": self.units_duplicate,
+            "blobs_synced": self.blobs_synced,
+            "wall_s": round(self.wall_s, 6),
+            "stopped": self.stopped,
+            "unit_ids": list(self.unit_ids),
+        }
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Crash-safe byte write (same temp+rename discipline as the cache)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def sync_blobs(client: CoordinatorClient, blob_root: Path) -> int:
+    """Pull every coordinator blob this store is missing; returns count.
+
+    Pull-only and name-addressed: blobs are content-addressed upstream,
+    so an existing local file is always already correct and never
+    re-fetched.
+    """
+    synced = 0
+    for name in client.list_blobs():
+        target = Path(blob_root) / name
+        if target.exists():
+            continue
+        _atomic_write_bytes(target, client.fetch_blob(name))
+        synced += 1
+    return synced
+
+
+def _execute_unit(
+    unit: dict,
+    config,
+    plan: ExecutionPlan,
+    cache: ResultCache,
+    jobs: int,
+    fabric,
+):
+    """Run one leased unit on the local runtime; returns its result.
+
+    Sweep units honor the shipped plan's ``dispatch`` — ``point`` mode
+    drives the strategy here and ships rounds to the local fabric,
+    exactly as a single-host point-dispatch campaign would.
+    """
+    from repro.experiments.registry import run_unit
+    from repro.runtime.campaign import run_sweep_unit, run_sweep_unit_remote
+
+    point_root = str(cache.point_root)
+    blob_root = str(cache.blob_root)
+    if unit["kind"] == "sweep":
+        if plan.dispatch == "point" and fabric is not None:
+            return run_sweep_unit_remote(
+                unit["benchmark"],
+                unit["board"],
+                config,
+                point_root,
+                blob_root,
+                fabric,
+                jobs=jobs,
+            )
+        return run_sweep_unit(unit["benchmark"], unit["board"], config, point_root, blob_root)
+    if unit["kind"] == "experiment":
+        return run_unit(unit["experiment_id"], None, config, point_root, blob_root)
+    raise WorkerError(f"unknown unit kind {unit.get('kind')!r}")
+
+
+def _collect_points(cache: ResultCache, unit_id: str) -> dict[str, str]:
+    """Raw text of every local point entry the unit's scope owns.
+
+    Shipped verbatim so the coordinator can merge files byte-identical
+    to the worker's (and, by determinism, to a single-host run's).
+    """
+    from repro.runtime.points import PointCache, read_point_entry
+
+    points: dict[str, str] = {}
+    for path in PointCache(cache.point_root).entries():
+        entry = read_point_entry(path)
+        if entry is not None and entry.scope == unit_id:
+            points[entry.fingerprint] = path.read_text()
+    return points
+
+
+def run_worker(
+    connect: str,
+    cache_dir,
+    jobs: int | str | None = None,
+    poll_s: float = 0.5,
+    worker_id: str | None = None,
+    max_units: int | None = None,
+    max_failures: int = DEFAULT_MAX_FAILURES,
+    client: CoordinatorClient | None = None,
+    quiet: bool = True,
+) -> WorkerStats:
+    """Drain work from a coordinator until it says ``done``.
+
+    ``jobs`` overrides the shipped plan's worker count (``None`` = use
+    the plan's, resolved on *this* host — ``"auto"`` then means this
+    host's CPUs); everything else about execution comes from the
+    coordinator.  ``max_units`` stops after N completions — the tests'
+    deterministic stand-in for a worker that dies mid-campaign.
+    Transient connection failures are retried ``max_failures`` times;
+    a coordinator that stays gone ends the worker with ``stopped =
+    "unreachable"`` rather than an exception (a drained coordinator
+    exits first, so late workers routinely see this).
+    """
+    from repro.runtime.fabric import WorkerFabric
+
+    client = client or CoordinatorClient(connect)
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    cache = ResultCache(cache_dir)
+    stats = WorkerStats(worker_id=worker_id)
+    started = time.perf_counter()
+    failures = 0
+    fabric: WorkerFabric | None = None
+    try:
+        while max_units is None or stats.units_completed < max_units:
+            try:
+                response = client.lease(worker_id)
+                failures = 0
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
+                failures += 1
+                if failures >= max_failures:
+                    stats.stopped = "unreachable"
+                    break
+                time.sleep(poll_s)
+                continue
+            status = response.get("status")
+            if status == "done":
+                stats.stopped = "drained"
+                break
+            if status == "wait":
+                time.sleep(float(response.get("retry_after_s", poll_s)))
+                continue
+            if status != "lease":
+                raise WorkerError(f"unexpected lease response: {response!r}")
+            if response.get("version") != current_version():
+                raise WorkerError(
+                    f"version skew: coordinator runs {response.get('version')!r}, "
+                    f"worker runs {current_version()!r}; results would be rejected"
+                )
+            unit = response["unit"]
+            config = config_from_wire(response["config"])
+            plan = ExecutionPlan.from_wire(response["plan"])
+            effective_jobs = (
+                plan.resolved_jobs() if jobs is None else ExecutionPlan(jobs=jobs).resolved_jobs()
+            )
+            config = plan.apply_to(config)
+            stats.blobs_synced += sync_blobs(client, cache.blob_root)
+            if effective_jobs > 1 and fabric is None:
+                fabric = WorkerFabric(effective_jobs, blob_root=str(cache.blob_root))
+            unit_started = time.perf_counter()
+            result = normalize_result(
+                _execute_unit(unit, config, plan, cache, effective_jobs, fabric)
+            )
+            wall_s = time.perf_counter() - unit_started
+            # Warm the local cache too: a re-leased or re-run unit on
+            # this host becomes a pure cache hit.
+            cache.store(unit["fingerprint"], unit["unit_id"], config, result, wall_s)
+            verdict = client.complete(
+                {
+                    "lease_id": response["lease_id"],
+                    "unit_id": unit["unit_id"],
+                    "fingerprint": unit["fingerprint"],
+                    "wall_s": wall_s,
+                    "result": result_to_payload(result),
+                    "points": _collect_points(cache, unit["unit_id"]),
+                }
+            )
+            if verdict.get("status") == "accepted":
+                stats.units_completed += 1
+                stats.unit_ids.append(unit["unit_id"])
+            elif verdict.get("status") == "duplicate":
+                stats.units_duplicate += 1
+                stats.units_completed += 1
+                stats.unit_ids.append(unit["unit_id"])
+            else:
+                raise WorkerError(f"coordinator rejected {unit['unit_id']!r}: {verdict!r}")
+            if not quiet:
+                print(
+                    f"[{worker_id}] {unit['unit_id']}: {verdict.get('status')} "
+                    f"({wall_s:.2f}s)",
+                    flush=True,
+                )
+        else:
+            stats.stopped = "max-units"
+    finally:
+        if fabric is not None:
+            fabric.close()
+        stats.wall_s = time.perf_counter() - started
+    return stats
+
+
+__all__ = [
+    "DEFAULT_MAX_FAILURES",
+    "CoordinatorClient",
+    "WorkerError",
+    "WorkerStats",
+    "run_worker",
+    "sync_blobs",
+]

@@ -1,0 +1,265 @@
+"""Shared HTTP wire discipline for the serving plane and the coordinator.
+
+Both stdlib-asyncio HTTP services in this repository — the
+characterization server (:mod:`repro.serve`) and the campaign
+coordinator (:mod:`repro.runtime.coordinator`) — speak the same
+dialect: canonical-JSON bodies (:func:`repro.runtime.query.to_json`,
+sorted keys, fixed separators, byte-identical for identical payloads),
+strong content-hash ETags, structured one-object-per-line JSON access
+logs, and plain HTTP/1.1 keep-alive framing.  This module is that
+dialect, factored out of ``serve.py`` so the coordinator could reuse it
+without behavior change on the serving side.
+
+The split of labor: :func:`read_request` / :func:`write_response` own
+the byte-level framing (request line, headers, bounded body,
+``Content-Length`` responses), :class:`Request` carries one parsed
+request, and the small helpers (:func:`json_bytes`, :func:`strong_etag`,
+:func:`etag_matches`, the query-parameter coercers) keep every endpoint
+handler's edge handling identical across services.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+
+from repro.runtime.query import to_json
+
+#: Reason phrases for every status either service emits.
+REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Default cap on request bodies read into memory (bytes).
+DEFAULT_MAX_BODY = 1 << 20
+
+
+def json_bytes(payload) -> bytes:
+    """Canonical-JSON response body: one encoder for every endpoint.
+
+    Identical payloads yield byte-identical bodies (sorted keys, fixed
+    separators), which is what makes coalesced responses shareable and
+    strong ETags trivial.
+    """
+    return to_json(payload).encode("utf-8")
+
+
+def error_bytes(message: str) -> bytes:
+    """The canonical error body both services answer failures with."""
+    return json_bytes({"error": str(message)})
+
+
+def strong_etag(body: bytes) -> str:
+    """The strong ETag for one response body.
+
+    Bodies are canonical JSON — identical queries yield byte-identical
+    bodies — so a content hash is a *strong* validator for free.
+    """
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates ``etag``."""
+    if if_none_match is None:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    candidates = [c.strip() for c in if_none_match.split(",")]
+    # Weak-comparison tolerance: a W/ prefix still names the same bytes.
+    return any(c == etag or c == f"W/{etag}" for c in candidates)
+
+
+def first_param(params: dict, name: str) -> str | None:
+    """The first value of one ``parse_qs`` query parameter, if any."""
+    values = params.get(name)
+    return values[0] if values else None
+
+
+def as_int(value: str | None, name: str) -> int | None:
+    """Coerce an optional query parameter to int (ValueError names it)."""
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer") from None
+
+
+def as_float(value: str | None, name: str) -> float | None:
+    """Coerce an optional query parameter to float (ValueError names it)."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be a number") from None
+
+
+def as_bool(value: str | None) -> bool:
+    """Truthiness of a query parameter (absent/empty/0/false/no = False)."""
+    return value is not None and value.lower() not in ("", "0", "false", "no")
+
+
+class AccessLog:
+    """Structured access log: one canonical-JSON object per line.
+
+    ``target`` is a path, ``"-"`` (stdout), or an open text stream; the
+    log owns (and closes) only streams it opened itself.  Lines are
+    flushed as written — an operator tailing the file sees requests
+    live, and a killed process loses nothing that was logged.
+    """
+
+    def __init__(self, target):
+        import sys
+
+        self._owns = False
+        if target is None:
+            self._stream = None
+        elif target == "-":
+            self._stream = sys.stdout
+        elif isinstance(target, str):
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = target
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are being written anywhere."""
+        return self._stream is not None
+
+    def log(self, record: dict) -> None:
+        """Write one request record (no-op when disabled)."""
+        if self._stream is None:
+            return
+        self._stream.write(to_json(record) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this log opened it."""
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+            self._stream = None
+
+
+class Request:
+    """One parsed HTTP request: request line, headers, bounded body."""
+
+    __slots__ = ("method", "target", "version", "headers", "body")
+
+    def __init__(self, method: str, target: str, version: str, headers: dict, body: bytes = b""):
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to keep-alive; ``Connection`` overrides."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    timeout_s: float,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> Request | None:
+    """Parse one request; ``None`` on EOF/idle-timeout/garbage.
+
+    At most ``max_body`` body bytes are read (and kept on the returned
+    :class:`Request`); a longer body deliberately breaks the keep-alive
+    framing so the connection closes rather than misparse the remainder
+    as a new request.  Services that never interpret bodies simply
+    ignore ``request.body`` — draining it here is what keeps keep-alive
+    framing alive under a confused client.
+    """
+    try:
+        line = await asyncio.wait_for(reader.readline(), timeout_s)
+    except (asyncio.TimeoutError, ConnectionError):
+        return None
+    if not line or not line.strip():
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        return None
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for _ in range(100):
+        try:
+            raw = await asyncio.wait_for(reader.readline(), timeout_s)
+        except (asyncio.TimeoutError, ConnectionError):
+            return None
+        if not raw or raw in (b"\r\n", b"\n"):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length and length.isdigit() and int(length) > 0:
+        try:
+            body = await reader.readexactly(min(int(length), max_body))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return Request(method, target, version, headers, body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    server: str,
+    content_type: str = "application/json",
+    extra_headers: dict | None = None,
+    keep_alive: bool = True,
+    send_body: bool = True,
+) -> None:
+    """Write one framed HTTP/1.1 response (``send_body=False`` for HEAD)."""
+    reason = REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Server: {server}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    if send_body:
+        payload += body
+    writer.write(payload)
+    await writer.drain()
+
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "REASONS",
+    "AccessLog",
+    "Request",
+    "as_bool",
+    "as_float",
+    "as_int",
+    "error_bytes",
+    "etag_matches",
+    "first_param",
+    "json_bytes",
+    "read_request",
+    "strong_etag",
+    "write_response",
+]

@@ -69,7 +69,6 @@ from __future__ import annotations
 
 import asyncio
 import functools
-import hashlib
 import signal
 import threading
 import time
@@ -79,6 +78,18 @@ from urllib.parse import parse_qs, urlparse
 from repro.core.experiment import ExperimentConfig
 from repro.errors import CampaignError
 from repro.runtime.query import CharacterizationIndex, to_json
+from repro.runtime.wire import (
+    AccessLog,
+    Request,
+    as_bool,
+    as_float,
+    as_int,
+    etag_matches,
+    first_param,
+    read_request,
+    strong_etag,
+    write_response,
+)
 from repro.version import __version__
 
 #: Default bound on simultaneously open client connections.
@@ -136,66 +147,6 @@ ADMISSION_EXEMPT_PATHS = frozenset({"/healthz", "/metrics"})
 #: counters, and a held copy would serve stale observability.
 WINDOW_CACHEABLE_PATHS = frozenset({"/points", "/landmarks", "/guardband"})
 
-_REASONS = {
-    200: "OK",
-    304: "Not Modified",
-    400: "Bad Request",
-    403: "Forbidden",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    408: "Request Timeout",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-def _first(params: dict, name: str) -> str | None:
-    values = params.get(name)
-    return values[0] if values else None
-
-
-def _as_int(value: str | None, name: str) -> int | None:
-    if value is None:
-        return None
-    try:
-        return int(value)
-    except ValueError:
-        raise ValueError(f"query parameter {name!r} must be an integer") from None
-
-
-def _as_float(value: str | None, name: str) -> float | None:
-    if value is None:
-        return None
-    try:
-        return float(value)
-    except ValueError:
-        raise ValueError(f"query parameter {name!r} must be a number") from None
-
-
-def _as_bool(value: str | None) -> bool:
-    return value is not None and value.lower() not in ("", "0", "false", "no")
-
-
-def strong_etag(body: bytes) -> str:
-    """The strong ETag for one response body.
-
-    Bodies are canonical JSON — identical queries yield byte-identical
-    bodies — so a content hash is a *strong* validator for free.
-    """
-    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
-
-
-def etag_matches(if_none_match: str | None, etag: str) -> bool:
-    """Whether an ``If-None-Match`` header revalidates ``etag``."""
-    if if_none_match is None:
-        return False
-    if if_none_match.strip() == "*":
-        return True
-    candidates = [c.strip() for c in if_none_match.split(",")]
-    # Weak-comparison tolerance: a W/ prefix still names the same bytes.
-    return any(c == etag or c == f"W/{etag}" for c in candidates)
-
-
 # ----------------------------------------------------------------------
 # Endpoint handlers (run on worker threads, never on the event loop)
 # ----------------------------------------------------------------------
@@ -203,7 +154,7 @@ def etag_matches(if_none_match: str | None, etag: str) -> bool:
 
 def _compute_allowed(allow_compute: bool, params: dict) -> bool:
     """Whether this request may schedule computation on a miss."""
-    wants = _as_bool(_first(params, "compute"))
+    wants = as_bool(first_param(params, "compute"))
     if wants and not allow_compute:
         raise PermissionError("read-through compute is disabled; start the server with --compute")
     return wants
@@ -227,22 +178,22 @@ def _ep_stats(index: CharacterizationIndex, allow_compute: bool, params: dict) -
 
 def _ep_points(index: CharacterizationIndex, allow_compute: bool, params: dict) -> dict:
     """Dataset dump, or single-point lookup when ``v_mv`` is given."""
-    benchmark = _first(params, "benchmark")
+    benchmark = first_param(params, "benchmark")
     if benchmark is None:
         raise ValueError("query parameter 'benchmark' is required")
     common = dict(
-        variant=_first(params, "variant"),
-        board=_as_int(_first(params, "board"), "board") or 0,
-        f_mhz=_as_float(_first(params, "f_mhz"), "f_mhz"),
-        t_setpoint_c=_as_float(_first(params, "temp"), "temp"),
+        variant=first_param(params, "variant"),
+        board=as_int(first_param(params, "board"), "board") or 0,
+        f_mhz=as_float(first_param(params, "f_mhz"), "f_mhz"),
+        t_setpoint_c=as_float(first_param(params, "temp"), "temp"),
     )
-    v_mv = _as_float(_first(params, "v_mv"), "v_mv")
+    v_mv = as_float(first_param(params, "v_mv"), "v_mv")
     if v_mv is None:
         return index.points(benchmark, **common)
     return index.point(
         benchmark,
         v_mv,
-        mode=_first(params, "mode") or "exact",
+        mode=first_param(params, "mode") or "exact",
         compute=_compute_allowed(allow_compute, params),
         **common,
     )
@@ -252,9 +203,9 @@ def _ep_landmarks(index: CharacterizationIndex, allow_compute: bool, params: dic
     """Landmark rows for every dataset matching the filters."""
     return {
         "landmarks": index.landmarks(
-            benchmark=_first(params, "benchmark"),
-            variant=_first(params, "variant"),
-            board=_as_int(_first(params, "board"), "board"),
+            benchmark=first_param(params, "benchmark"),
+            variant=first_param(params, "variant"),
+            board=as_int(first_param(params, "board"), "board"),
             compute=_compute_allowed(allow_compute, params),
         )
     }
@@ -264,8 +215,8 @@ def _ep_guardband(index: CharacterizationIndex, allow_compute: bool, params: dic
     """Per-board guardband maps for the matching datasets."""
     return {
         "guardband": index.guardband(
-            benchmark=_first(params, "benchmark"),
-            variant=_first(params, "variant"),
+            benchmark=first_param(params, "benchmark"),
+            variant=first_param(params, "variant"),
         )
     }
 
@@ -424,51 +375,6 @@ class LatencyHistogram:
         }
 
 
-class AccessLog:
-    """Structured access log: one canonical-JSON object per line.
-
-    ``target`` is a path, ``"-"`` (stdout), or an open text stream; the
-    log owns (and closes) only streams it opened itself.  Lines are
-    flushed as written — an operator tailing the file sees requests
-    live, and a killed process loses nothing that was logged.
-    """
-
-    def __init__(self, target):
-        import sys
-
-        self._owns = False
-        if target is None:
-            self._stream = None
-        elif target == "-":
-            self._stream = sys.stdout
-        elif isinstance(target, str):
-            self._stream = open(target, "a", encoding="utf-8")
-            self._owns = True
-        else:
-            self._stream = target
-
-    @property
-    def enabled(self) -> bool:
-        """Whether records are being written anywhere."""
-        return self._stream is not None
-
-    def log(self, record: dict) -> None:
-        """Write one request record (no-op when disabled)."""
-        if self._stream is None:
-            return
-        self._stream.write(to_json(record) + "\n")
-        self._stream.flush()
-
-    def close(self) -> None:
-        """Flush, and close the stream if this log opened it."""
-        if self._stream is None:
-            return
-        self._stream.flush()
-        if self._owns:
-            self._stream.close()
-            self._stream = None
-
-
 class _Connection:
     """Book-keeping for one client connection (event-loop only)."""
 
@@ -477,26 +383,6 @@ class _Connection:
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
         self.busy = False
-
-
-class _Request:
-    """One parsed HTTP request (request line + headers, no body)."""
-
-    __slots__ = ("method", "target", "version", "headers")
-
-    def __init__(self, method: str, target: str, version: str, headers: dict):
-        self.method = method
-        self.target = target
-        self.version = version
-        self.headers = headers
-
-    @property
-    def keep_alive(self) -> bool:
-        """HTTP/1.1 defaults to keep-alive; ``Connection`` overrides."""
-        connection = self.headers.get("connection", "").lower()
-        if self.version == "HTTP/1.0":
-            return connection == "keep-alive"
-        return connection != "close"
 
 
 # ----------------------------------------------------------------------
@@ -678,7 +564,10 @@ class AsyncCharacterizationServer:
         self._conns.add(conn)
         try:
             while not (self._stop is not None and self._stop.is_set()):
-                request = await self._read_request(reader)
+                # Bodies are tolerated (drained by the reader) so
+                # keep-alive framing survives a confused client, but this
+                # service never interprets them.
+                request = await read_request(reader, self.keepalive_timeout_s)
                 if request is None:
                     break
                 conn.busy = True
@@ -697,43 +586,11 @@ class AsyncCharacterizationServer:
             except RuntimeError:  # pragma: no cover - loop tear-down race
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
-        """Parse one request head; ``None`` on EOF/idle-timeout/garbage."""
-        try:
-            line = await asyncio.wait_for(reader.readline(), self.keepalive_timeout_s)
-        except (asyncio.TimeoutError, ConnectionError):
-            return None
-        if not line or not line.strip():
-            return None
-        parts = line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            return None
-        method, target, version = parts
-        headers: dict[str, str] = {}
-        for _ in range(100):
-            try:
-                raw = await asyncio.wait_for(reader.readline(), self.keepalive_timeout_s)
-            except (asyncio.TimeoutError, ConnectionError):
-                return None
-            if not raw or raw in (b"\r\n", b"\n"):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = headers.get("content-length")
-        if length and length.isdigit() and int(length) > 0:
-            # GET/HEAD bodies are tolerated (drained) so keep-alive
-            # framing survives a confused client, but never interpreted.
-            try:
-                await reader.readexactly(min(int(length), 1 << 20))
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return None
-        return _Request(method, target, version, headers)
-
     # ------------------------------------------------------------------
     # Request pipeline: admission -> coalesce -> compute -> conditional
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> bool:
         """Run one request through the pipeline; returns keep-alive."""
         start = time.perf_counter()
         self._counters["requests_total"] += 1
@@ -841,21 +698,15 @@ class AsyncCharacterizationServer:
         keep_alive: bool = True,
         send_body: bool = True,
     ) -> None:
-        reason = _REASONS.get(status, "Unknown")
-        head = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Server: repro-serve/{__version__}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            head.append(f"{name}: {value}")
-        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
-        if send_body:
-            payload += body
-        writer.write(payload)
-        await writer.drain()
+        await write_response(
+            writer,
+            status,
+            body,
+            server=f"repro-serve/{__version__}",
+            extra_headers=extra_headers,
+            keep_alive=keep_alive,
+            send_body=send_body,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

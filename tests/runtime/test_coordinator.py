@@ -1,0 +1,369 @@
+"""Distributed campaign fabric tests: leases, merges, byte-identity.
+
+Three layers, cheapest first:
+
+1. :class:`LeaseBoard` as a pure state machine under an injected clock —
+   expiry, re-lease, duplicate and late completions, no wall-clock
+   sleeps;
+2. journal-merge races through a real coordinator's HTTP surface, with
+   scripted workers standing in for processes that die at awkward
+   moments;
+3. the acceptance drain: two concurrent workers against one coordinator
+   must leave a point store byte-identical to a single-host serial cold
+   run, and rendering from the merged cache must be byte-identical too.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.runtime.cache import ResultCache, normalize_result, result_to_payload
+from repro.runtime.campaign import run_sweep_campaign, run_sweep_unit, sweep_unit_id
+from repro.runtime.coordinator import (
+    LeaseBoard,
+    coordinator_in_thread,
+    make_coordinator,
+    resolve_work_units,
+)
+from repro.runtime.plan import config_from_wire
+from repro.runtime.remote_worker import (
+    CoordinatorClient,
+    run_worker,
+    sync_blobs,
+)
+
+CFG = ExperimentConfig(repeats=1, samples=8, v_step=0.02)
+
+
+def _units(n=2):
+    return [
+        {"kind": "sweep", "unit_id": f"u{i}", "benchmark": "b", "board": i, "fingerprint": f"f{i}"}
+        for i in range(n)
+    ]
+
+
+class FakeClock:
+    """A monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestLeaseBoard:
+    def test_leases_in_order_and_drains(self):
+        board = LeaseBoard(_units(2), ttl_s=10.0, clock=FakeClock())
+        unit_a, lease_a = board.lease("w1")
+        unit_b, lease_b = board.lease("w2")
+        assert (unit_a["unit_id"], unit_b["unit_id"]) == ("u0", "u1")
+        assert lease_a != lease_b
+        assert board.lease("w3") is None  # everything is out
+        assert board.complete("u0", lease_a) == "accepted"
+        assert board.complete("u1", lease_b) == "accepted"
+        assert board.done()
+        assert board.counts() == {"pending": 0, "leased": 0, "completed": 2}
+
+    def test_expired_lease_is_handed_to_the_next_worker(self):
+        """A dead worker degrades to 'that unit runs elsewhere'."""
+        clock = FakeClock()
+        board = LeaseBoard(_units(1), ttl_s=5.0, clock=clock)
+        _, first = board.lease("doomed")
+        assert board.lease("other") is None  # still exclusive
+        clock.advance(5.1)
+        leased = board.lease("other")
+        assert leased is not None and leased[1] != first
+        assert board.leases_expired == 1
+
+    def test_duplicate_completion_changes_nothing(self):
+        board = LeaseBoard(_units(1), ttl_s=10.0, clock=FakeClock())
+        _, lease_id = board.lease("w1")
+        assert board.complete("u0", lease_id) == "accepted"
+        assert board.complete("u0", lease_id) == "duplicate"
+        assert board.completions == 1 and board.duplicates == 1
+
+    def test_late_completion_under_stale_lease_still_lands(self):
+        """Expired-but-alive worker: its unit is open again, and results
+        are deterministic, so first-to-post wins either way."""
+        clock = FakeClock()
+        board = LeaseBoard(_units(1), ttl_s=1.0, clock=clock)
+        _, stale = board.lease("slow")
+        clock.advance(1.5)
+        _, fresh = board.lease("fast")
+        # The slow worker posts first under its expired lease: accepted.
+        assert board.complete("u0", stale) == "accepted"
+        assert board.late_completions == 1
+        # The re-leased worker posts second: pure duplicate.
+        assert board.complete("u0", fresh) == "duplicate"
+        assert board.completions == 1
+
+    def test_unknown_unit_is_rejected(self):
+        board = LeaseBoard(_units(1), ttl_s=1.0, clock=FakeClock())
+        assert board.complete("nope", "L1") == "unknown"
+
+    def test_mark_completed_precompletes_cache_hits(self):
+        board = LeaseBoard(_units(2), ttl_s=1.0, clock=FakeClock())
+        board.mark_completed("u0")
+        leased = board.lease("w")
+        assert leased is not None and leased[0]["unit_id"] == "u1"
+
+
+class TestResolveWorkUnits:
+    def test_sweep_specs_and_experiments_mix(self):
+        units = resolve_work_units(["sweep:vggnet:board1", "table1", "sweep:vggnet"], CFG)
+        assert [u["unit_id"] for u in units] == [
+            "sweep:vggnet:board1",
+            "table1",
+            "sweep:vggnet:board0",
+        ]
+        assert units[0]["kind"] == "sweep" and units[0]["board"] == 1
+        assert units[1]["kind"] == "experiment"
+        assert all(u["fingerprint"] for u in units)
+
+    def test_duplicates_collapse(self):
+        units = resolve_work_units(["table1", "table1", "sweep:vggnet", "sweep:vggnet:board0"], CFG)
+        assert [u["unit_id"] for u in units] == ["table1", "sweep:vggnet:board0"]
+
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(KeyError):
+            resolve_work_units(["not-an-experiment"], CFG)
+
+    def test_malformed_sweep_spec_fails_fast(self):
+        with pytest.raises(ValueError):
+            resolve_work_units(["sweep:vggnet:b0rd0"], CFG)
+
+
+def _start_coordinator(tmp_path, targets, **kwargs):
+    kwargs.setdefault("linger_s", 0.4)
+    coordinator = make_coordinator(targets, tmp_path / "coord-cache", config=CFG, **kwargs)
+    thread = coordinator_in_thread(coordinator)
+    url = "http://%s:%s" % coordinator.server_address
+    return coordinator, thread, url
+
+
+def _scripted_complete(client: CoordinatorClient, response: dict, workdir: Path) -> dict:
+    """Act out one worker completion by hand (so tests control the timing)."""
+    unit = response["unit"]
+    config = config_from_wire(response["config"])
+    cache = ResultCache(workdir)
+    result = normalize_result(
+        run_sweep_unit(
+            unit["benchmark"],
+            unit["board"],
+            config,
+            str(cache.point_root),
+            str(cache.blob_root),
+        )
+    )
+    points = {
+        json.loads(p.read_text())["fingerprint"]: p.read_text()
+        for p in sorted(cache.point_root.glob("*.json"))
+    }
+    return client.complete(
+        {
+            "lease_id": response["lease_id"],
+            "unit_id": unit["unit_id"],
+            "fingerprint": unit["fingerprint"],
+            "wall_s": 0.1,
+            "result": result_to_payload(result),
+            "points": points,
+        }
+    )
+
+
+class TestCoordinatorHTTP:
+    def test_surface_and_single_worker_drain(self, tmp_path):
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        client = CoordinatorClient(url)
+        assert client.healthz()["status"] == "ok"
+        status = coordinator._status_payload()
+        assert status["campaign_id"] == coordinator.campaign_id
+        stats = run_worker(url, tmp_path / "w0", worker_id="w0")
+        thread.join(timeout=30)
+        assert stats.stopped == "drained" and stats.units_completed == 1
+        assert coordinator.drained
+        run = coordinator.journal.last_run(coordinator.campaign_id)
+        assert run["planned"] == 1 and run["fresh"] == 1 and run["recomputed"] == 0
+
+    def test_fingerprint_mismatch_is_rejected_not_merged(self, tmp_path):
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        client = CoordinatorClient(url)
+        response = client.lease("skewed")
+        verdict = client.complete(
+            {
+                "lease_id": response["lease_id"],
+                "unit_id": response["unit"]["unit_id"],
+                "fingerprint": "0" * 16,
+                "wall_s": 0.0,
+                "result": {},
+                "points": {},
+            }
+        )
+        assert verdict["status"] == "rejected"
+        assert not coordinator.drained
+        coordinator.shutdown()
+        thread.join(timeout=10)
+
+    def test_duplicate_completion_from_two_workers(self, tmp_path):
+        """Journal-race satellite: the second completion is discarded and
+        the journal counts the unit exactly once."""
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        client = CoordinatorClient(url)
+        response = client.lease("w1")
+        first = _scripted_complete(client, response, tmp_path / "w1")
+        second = _scripted_complete(client, {**response, "lease_id": "L999"}, tmp_path / "w2")
+        thread.join(timeout=30)
+        assert first["status"] == "accepted"
+        assert second["status"] == "duplicate"
+        run = coordinator.journal.last_run(coordinator.campaign_id)
+        assert run["completed"] == 1 and run["fresh"] == 1
+        assert coordinator.board.duplicates == 1
+
+    def test_dead_worker_lease_expires_and_unit_runs_elsewhere(self, tmp_path):
+        """Lease a unit and never complete it; after the TTL the next
+        worker drains the campaign, and nothing is double-journaled."""
+        coordinator, thread, url = _start_coordinator(
+            tmp_path,
+            ["sweep:vggnet:board0", "sweep:vggnet:board1"],
+            lease_ttl_s=0.3,
+        )
+        client = CoordinatorClient(url)
+        doomed = client.lease("doomed")
+        assert doomed["status"] == "lease"
+        time.sleep(0.35)  # let the doomed worker's lease lapse
+        stats = run_worker(url, tmp_path / "rescuer", worker_id="rescuer", poll_s=0.05)
+        thread.join(timeout=60)
+        assert coordinator.drained
+        assert stats.units_completed == 2
+        assert coordinator.board.leases_expired >= 1
+        run = coordinator.journal.last_run(coordinator.campaign_id)
+        assert run["completed"] == 2 and run["recomputed"] == 0
+
+    def test_late_completion_after_rellease_is_discarded(self, tmp_path):
+        """The presumed-dead worker finishes anyway, after its unit was
+        re-leased and completed: pure duplicate, stores unchanged."""
+        coordinator, thread, url = _start_coordinator(
+            tmp_path, ["sweep:vggnet:board0"], lease_ttl_s=0.2
+        )
+        client = CoordinatorClient(url)
+        stale = client.lease("slow")
+        time.sleep(0.25)
+        fresh = client.lease("fast")
+        assert fresh["status"] == "lease" and fresh["lease_id"] != stale["lease_id"]
+        assert _scripted_complete(client, fresh, tmp_path / "fast")["status"] == "accepted"
+        entry_bytes = {
+            p.name: p.read_bytes() for p in coordinator.cache.point_root.glob("*.json")
+        }
+        late = _scripted_complete(client, stale, tmp_path / "slow")
+        assert late["status"] == "duplicate"
+        after = {
+            p.name: p.read_bytes() for p in coordinator.cache.point_root.glob("*.json")
+        }
+        assert after == entry_bytes  # idempotent: first writer's bytes kept
+        thread.join(timeout=30)
+        run = coordinator.journal.last_run(coordinator.campaign_id)
+        assert run["completed"] == 1
+
+    def test_resume_serves_cached_units_without_recompute(self, tmp_path):
+        """Re-journaled units come back as resumed, never recomputed."""
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        run_worker(url, tmp_path / "w", worker_id="w")
+        thread.join(timeout=30)
+        second = make_coordinator(
+            ["sweep:vggnet:board0"],
+            tmp_path / "coord-cache",
+            config=CFG,
+            linger_s=0.2,
+            resume=True,
+        )
+        thread2 = coordinator_in_thread(second)
+        stats = run_worker("http://%s:%s" % second.server_address, tmp_path / "w2", worker_id="w2")
+        thread2.join(timeout=30)
+        assert stats.units_completed == 0 and stats.stopped == "drained"
+        run = second.journal.last_run(second.campaign_id)
+        assert run["resumed"] == 1 and run["recomputed"] == 0 and run["fresh"] == 0
+
+
+class TestBlobSync:
+    def test_missing_blobs_sync_byte_identical(self, tmp_path):
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        blob_root = coordinator.cache.blob_root
+        blob_root.mkdir(parents=True, exist_ok=True)
+        (blob_root / "aa11.npy").write_bytes(b"\x93NUMPY-fake-bytes")
+        (blob_root / "m-model.json").write_text('{"arrays": []}')
+        client = CoordinatorClient(url)
+        local = tmp_path / "worker-blobs"
+        assert sync_blobs(client, local) == 2
+        assert (local / "aa11.npy").read_bytes() == b"\x93NUMPY-fake-bytes"
+        assert sync_blobs(client, local) == 0  # already in sync: no refetch
+        coordinator.shutdown()
+        thread.join(timeout=10)
+
+    def test_blob_names_are_validated(self, tmp_path):
+        coordinator, thread, url = _start_coordinator(tmp_path, ["sweep:vggnet:board0"])
+        client = CoordinatorClient(url)
+        body = json.loads(client.fetch_blob("..%2Fjournal.json").decode("utf-8"))
+        assert "error" in body
+        coordinator.shutdown()
+        thread.join(timeout=10)
+
+
+class TestTwoWorkerByteIdentity:
+    def test_concurrent_drain_matches_serial_cold_run(self, tmp_path):
+        """The acceptance drain: 2 workers, one coordinator, byte-identical
+        point store and byte-identical rendered report vs a single-host
+        serial cold run."""
+        serial_cache = ResultCache(tmp_path / "serial-cache")
+        serial = run_sweep_campaign("vggnet", [0, 1], CFG, cache=serial_cache)
+
+        coordinator, thread, url = _start_coordinator(
+            tmp_path, ["sweep:vggnet:board0", "sweep:vggnet:board1"], linger_s=2.0
+        )
+        stats = [None, None]
+
+        def drain(i):
+            stats[i] = run_worker(url, tmp_path / f"worker{i}", worker_id=f"w{i}", poll_s=0.05)
+
+        threads = [threading.Thread(target=drain, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        thread.join(timeout=60)
+
+        assert coordinator.drained
+        # A worker idling on "wait" while its peer posts the last unit can
+        # outlive the coordinator's linger; "unreachable" after completed
+        # work is that worker's documented success path.
+        assert all(s is not None and s.stopped in ("drained", "unreachable") for s in stats)
+        completed = sorted(uid for s in stats for uid in s.unit_ids)
+        assert completed == [sweep_unit_id("vggnet", 0), sweep_unit_id("vggnet", 1)]
+
+        # Point store: same file names, same bytes.
+        serial_points = {
+            p.name: p.read_bytes() for p in serial_cache.point_root.glob("*.json")
+        }
+        merged_points = {
+            p.name: p.read_bytes() for p in coordinator.cache.point_root.glob("*.json")
+        }
+        assert serial_points and merged_points == serial_points
+
+        # Rendered results from the merged cache are byte-identical to
+        # the serial run's (wall times are provenance, not results).
+        merged = run_sweep_campaign("vggnet", [0, 1], CFG, cache=coordinator.cache)
+        assert all(e.cache_hit for e in merged.entries)
+        assert [e.result for e in merged.entries] == [e.result for e in serial.entries]
+        assert [e.fingerprint for e in merged.entries] == [
+            e.fingerprint for e in serial.entries
+        ]
+
+        run = coordinator.journal.last_run(coordinator.campaign_id)
+        assert run["completed"] == 2 and run["recomputed"] == 0

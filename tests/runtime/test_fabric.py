@@ -105,9 +105,19 @@ class TestLease:
                 fabric.__enter__()
 
     def test_resolve_jobs(self):
-        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+        assert resolve_jobs("auto") >= 1
         assert resolve_jobs(3) == 3
         assert resolve_jobs(0) == 1
+
+    def test_auto_respects_container_cpu_affinity(self, monkeypatch):
+        """Under a CPU-limited cgroup ``os.cpu_count()`` still reports the
+        whole machine; ``"auto"`` must size to the schedulable set."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False)
+        assert resolve_jobs("auto") == 3
+
+    def test_auto_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
 
 
 class TestChunking:

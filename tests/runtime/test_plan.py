@@ -1,0 +1,145 @@
+"""ExecutionPlan tests: validation, wire round-trips, the compat shim.
+
+The plan's contract: one frozen value describes *how* a campaign
+executes, it survives a JSON round-trip bit-exactly (the distributed
+fabric ships it verbatim), and applying it to a config never moves a
+fingerprint.  The legacy ``jobs=``/``dispatch=`` kwargs keep working
+through :func:`coerce_execution_plan` but are pinned to emit
+``DeprecationWarning``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.runtime.hashing import config_fingerprint
+from repro.runtime.plan import (
+    ExecutionPlan,
+    coerce_execution_plan,
+    config_from_wire,
+    config_to_wire,
+)
+
+CFG = ExperimentConfig(repeats=1, samples=8)
+
+
+class TestValidation:
+    def test_defaults(self):
+        plan = ExecutionPlan()
+        assert plan.jobs == 1
+        assert plan.dispatch == "unit"
+        assert plan.point_batch is None and plan.batch_budget is None
+
+    def test_bad_dispatch_is_value_error(self):
+        """The historical run_sweep_campaign contract: ValueError, not CampaignError."""
+        with pytest.raises(ValueError):
+            ExecutionPlan(dispatch="nope")
+
+    def test_jobs_normalized_and_auto_kept(self):
+        assert ExecutionPlan(jobs="3").jobs == 3
+        assert ExecutionPlan(jobs="auto").jobs == "auto"
+        assert ExecutionPlan(jobs="auto").resolved_jobs() >= 1
+        with pytest.raises(ValueError):
+            ExecutionPlan(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(jobs="many")
+
+    def test_batch_knobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(point_batch=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(batch_budget=-1)
+
+
+class TestApplyTo:
+    def test_overlays_execution_fields_only(self):
+        plan = ExecutionPlan(point_batch=3, batch_budget=512)
+        applied = plan.apply_to(CFG)
+        assert applied.point_batch == 3 and applied.batch_budget == 512
+
+    def test_never_moves_a_fingerprint(self):
+        """Execution knobs are excluded from cache keys by construction."""
+        applied = ExecutionPlan(point_batch=2, batch_budget=128, jobs=7).apply_to(CFG)
+        assert config_fingerprint("fig3", applied) == config_fingerprint("fig3", CFG)
+
+    def test_noop_without_overrides(self):
+        assert ExecutionPlan(jobs=4).apply_to(CFG) is CFG
+
+
+class TestWire:
+    def test_plan_round_trip_is_exact(self):
+        plan = ExecutionPlan(jobs=3, dispatch="point", point_batch=5, cache_dir="/tmp/c")
+        wired = json.loads(json.dumps(plan.to_wire()))
+        assert ExecutionPlan.from_wire(wired) == plan
+
+    def test_unknown_wire_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExecutionPlan wire fields"):
+            ExecutionPlan.from_wire({"jobs": 1, "gpus": 8})
+
+    def test_config_round_trip_preserves_fingerprints(self):
+        """The byte-identity contract: a worker's rebuilt config keys
+        the exact same cache entries as the coordinator's original."""
+        config = ExperimentConfig(repeats=2, samples=8, v_step=0.02, strategy="adaptive")
+        wired = json.loads(json.dumps(config_to_wire(config)))
+        rebuilt = config_from_wire(wired)
+        assert rebuilt == config
+        assert rebuilt.cal == config.cal
+        for unit_id in ("fig3", "sweep:vggnet:board0"):
+            assert config_fingerprint(unit_id, rebuilt) == config_fingerprint(unit_id, config)
+
+
+class TestCoerceShim:
+    def test_none_everywhere_is_default_plan(self):
+        assert coerce_execution_plan(None) == ExecutionPlan()
+
+    def test_plan_passes_through_untouched(self):
+        plan = ExecutionPlan(jobs=2, dispatch="point")
+        assert coerce_execution_plan(plan) is plan
+
+    def test_legacy_kwargs_warn_and_win(self):
+        base = ExecutionPlan(jobs=8)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            merged = coerce_execution_plan(base, jobs=2, dispatch="point")
+        assert merged.jobs == 2 and merged.dispatch == "point"
+
+    def test_bare_positional_jobs_still_works(self):
+        """Historical ``run_campaign(ids, config, 4)`` call shape."""
+        with pytest.warns(DeprecationWarning):
+            assert coerce_execution_plan(4).jobs == 4
+        with pytest.warns(DeprecationWarning):
+            assert coerce_execution_plan("auto").jobs == "auto"
+
+    def test_campaign_entry_points_pin_the_warning(self, tmp_path):
+        """The deprecation satellite: loose kwargs on the campaign API warn."""
+        from repro.runtime.campaign import run_campaign, run_sweep_campaign
+
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            run_campaign(["table1"], CFG, jobs=1)
+        with pytest.warns(DeprecationWarning, match="dispatch"):
+            run_sweep_campaign("vggnet", [0], CFG, dispatch="unit")
+
+    def test_plan_argument_does_not_warn(self):
+        import warnings
+
+        from repro.runtime.campaign import run_campaign
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_campaign(["table1"], CFG, ExecutionPlan(jobs=1))
+
+    def test_invalid_dispatch_via_legacy_kwarg_is_value_error(self):
+        """Pinned by tests/runtime/test_fabric.py as well: the shim must
+        surface the historical ValueError for a bad dispatch string."""
+        from repro.runtime.campaign import run_sweep_campaign
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                run_sweep_campaign("vggnet", [0], CFG, dispatch="nope")
+
+    def test_plan_cache_dir_attaches_a_cache(self, tmp_path):
+        from repro.runtime.campaign import run_campaign
+
+        plan = ExecutionPlan(cache_dir=str(tmp_path / "cache"))
+        run_campaign(["table1"], CFG, plan)
+        assert list((tmp_path / "cache").glob("*.json"))
