@@ -1,0 +1,156 @@
+"""Fleet-campaign benchmarks: sharded fan-out vs fine-grained dispatch.
+
+Warms one point store (vggnet sweeps for the three reference boards), then
+times the same 600-board, three-policy fleet campaign from a cold fleet
+cache three ways:
+
+* ``test_fleet_serial`` — ``jobs=1``: every board chunk simulated in the
+  driver process.
+* ``test_fleet_sharded_fabric`` — ``jobs=4``: 250-board chunks fan out
+  across the worker fabric exactly like sweep units.
+* ``test_fleet_per_board_dispatch`` — ``jobs=4`` with the chunk size
+  forced down to 25 boards: the degenerate fine-grained fan-out where
+  every unit repays the per-unit fixed costs (fleet minting, trace
+  splitting, dispatch, result normalization and store) for a sliver of
+  simulation.
+
+The acceptance contract, gated by ``benchmarks/baselines/ci.json`` via
+``scripts/check_bench_regression.py``:
+
+* chunked sharding must stay **>= 1.3x** faster than per-board-scale
+  dispatch (a within-run speedup ratio, so it holds on any hardware —
+  the fleet fan-out scales because chunking amortizes per-unit fixed
+  costs, the same story as the sweep's round batching);
+* all three runs produce byte-identical fleet payloads (asserted in the
+  bench bodies via canonical JSON), and per-run board throughput is
+  recorded as ``boards_per_second`` ``extra_info``.
+
+Run with ``pytest benchmarks/bench_fleet.py`` (same environment overrides
+as the other benches; see conftest).
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+import pytest
+
+import repro.runtime.campaign as campaign_module
+from repro.fleet.boards import FleetSpec
+from repro.fleet.report import fleet_payload
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import (
+    ExecutionPlan,
+    fleet_chunks,
+    fleet_policy_rows,
+    run_fleet_campaign,
+    run_sweep_campaign,
+)
+from repro.runtime.query import to_json
+
+#: The fleet simulator reads characterization curves, it does not measure:
+#: the store is warmed at a light config (same rationale as bench_query).
+REPEATS = 1
+SAMPLES = 16
+BOARDS = (0, 1, 2)
+
+SPEC = FleetSpec(benchmark="vggnet", n_boards=600, fleet_seed=7)
+POLICIES = ("nominal", "static-guardband", "per-board-vmin")
+
+#: The degenerate fine-grained chunk size for the dispatch-overhead gate.
+FINE_CHUNK_BOARDS = 25
+
+#: Cross-test record: canonical payload JSON (cross-mode identity).
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, config):
+    """One cache dir holding the reference sweeps, plus the fleet config."""
+    fleet_config = config.with_overrides(repeats=REPEATS, samples=SAMPLES)
+    root = tmp_path_factory.mktemp("bench-fleet-store")
+    run_sweep_campaign(
+        "vggnet", list(BOARDS), fleet_config, cache=ResultCache(root)
+    )
+    return root, fleet_config
+
+
+def _cold_campaign(warm_root, fleet_config, tmp_path, jobs: int, tag: str):
+    """Run the fleet campaign cold (fresh fleet cache, warm sweeps)."""
+    cache_dir = tmp_path / f"fleet-{tag}"
+    shutil.copytree(warm_root, cache_dir)
+    t0 = time.perf_counter()
+    outcome = run_fleet_campaign(
+        SPEC,
+        POLICIES,
+        fleet_config,
+        plan=ExecutionPlan(jobs=jobs),
+        cache=ResultCache(cache_dir),
+    )
+    elapsed = time.perf_counter() - t0
+    assert outcome.computed == len(outcome.entries)
+    rows = fleet_policy_rows(outcome, SPEC, POLICIES)
+    return to_json(fleet_payload(SPEC, rows)), elapsed, len(outcome.entries)
+
+
+def _record_throughput(benchmark, elapsed: float, units: int) -> None:
+    benchmark.extra_info["boards"] = SPEC.n_boards
+    benchmark.extra_info["policies"] = len(POLICIES)
+    benchmark.extra_info["units"] = units
+    benchmark.extra_info["boards_per_second"] = SPEC.n_boards / elapsed
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_serial(benchmark, warm_store, tmp_path):
+    warm_root, fleet_config = warm_store
+
+    payload, elapsed, units = benchmark.pedantic(
+        _cold_campaign,
+        args=(warm_root, fleet_config, tmp_path, 1, "serial"),
+        rounds=1,
+        iterations=1,
+    )
+    _RECORD["serial"] = payload
+    assert units == len(POLICIES) * len(fleet_chunks(SPEC.n_boards))
+    _record_throughput(benchmark, elapsed, units)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_sharded_fabric(benchmark, warm_store, tmp_path):
+    warm_root, fleet_config = warm_store
+
+    payload, elapsed, units = benchmark.pedantic(
+        _cold_campaign,
+        args=(warm_root, fleet_config, tmp_path, 4, "sharded"),
+        rounds=1,
+        iterations=1,
+    )
+    _RECORD["sharded"] = payload
+    if "serial" in _RECORD:  # running the full module: byte-identical fleets
+        assert payload == _RECORD["serial"]
+    _record_throughput(benchmark, elapsed, units)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_per_board_dispatch(benchmark, warm_store, tmp_path, monkeypatch):
+    """Degenerate fan-out: 25-board units, fixed costs paid 24x per policy."""
+    warm_root, fleet_config = warm_store
+    monkeypatch.setattr(
+        campaign_module, "FLEET_CHUNK_BOARDS", FINE_CHUNK_BOARDS
+    )
+
+    payload, elapsed, units = benchmark.pedantic(
+        _cold_campaign,
+        args=(warm_root, fleet_config, tmp_path, 4, "fine"),
+        rounds=1,
+        iterations=1,
+    )
+    # Chunking is simulation-invariant: the reassembled payload is
+    # byte-identical no matter the unit granularity.
+    for other in ("serial", "sharded"):
+        if other in _RECORD:
+            assert payload == _RECORD[other]
+    assert units == len(POLICIES) * len(fleet_chunks(SPEC.n_boards))
+    assert units > 3 * len(POLICIES)
+    _record_throughput(benchmark, elapsed, units)

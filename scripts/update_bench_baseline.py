@@ -34,6 +34,7 @@ BENCH_FILES = [
     "benchmarks/bench_query.py",
     "benchmarks/bench_executor.py",
     "benchmarks/bench_serve.py",
+    "benchmarks/bench_fleet.py",
 ]
 
 #: Gate configuration carried into the baseline file.  The speedup and
@@ -82,6 +83,19 @@ SPEEDUP_GATES = [
                "fabric-scope clean passes) than on a fresh pool per "
                "probe round; the bench body additionally asserts "
                "identical landmarks and probe counts",
+    },
+    {
+        "fast": "benchmarks/bench_fleet.py::test_fleet_sharded_fabric",
+        "slow": "benchmarks/bench_fleet.py::test_fleet_per_board_dispatch",
+        "min_ratio": 1.3,
+        "why": "fleet fan-out granularity: the chunked fabric-sharded "
+               "fleet campaign must stay >=1.3x faster than the same "
+               "campaign dispatched at per-board scale (25-board units) "
+               "— chunking amortizes the per-unit fixed costs (fleet "
+               "minting, trace splitting, dispatch, result store) that "
+               "otherwise swamp the simulation, the same story as the "
+               "sweep's round batching; the bench bodies additionally "
+               "assert all modes produce byte-identical fleet payloads",
     },
     {
         "fast": "benchmarks/bench_executor.py::test_workload_build_from_plane",

@@ -335,6 +335,64 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.fleet.boards import FleetSpec
+    from repro.fleet.policy import POLICY_NAMES
+    from repro.fleet.report import fleet_payload, render_fleet_markdown, to_json
+    from repro.runtime.campaign import fleet_policy_rows, run_fleet_campaign
+
+    config = _config_from_args(args)
+    cache = _cache_from_args(args)
+    if cache is None:
+        print("error: fleet simulations require the result cache (drop --no-cache)")
+        return 2
+    if args.policies == "all":
+        policies = POLICY_NAMES
+    else:
+        policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+        unknown = [p for p in policies if p not in POLICY_NAMES]
+        if unknown:
+            print(
+                f"error: unknown policies {unknown}; "
+                f"expected a subset of {list(POLICY_NAMES)}"
+            )
+            return 2
+    spec = FleetSpec(
+        benchmark=args.benchmark,
+        n_boards=args.boards,
+        fleet_seed=args.fleet_seed,
+        trace_kind=args.trace,
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        epoch_s=args.epoch,
+        deadline_s=args.deadline,
+    )
+    with _fabric_from_args(args, cache):
+        outcome = run_fleet_campaign(
+            spec, policies, config, _plan_from_args(args), cache=cache,
+            journal=_journal_from_args(args, cache), resume=args.resume,
+        )
+    rows = fleet_policy_rows(outcome, spec, policies)
+    payload = fleet_payload(spec, rows)
+    print(render_fleet_markdown(payload))
+    print(
+        f"campaign: {len(outcome.entries)} units, jobs={args.jobs}, "
+        f"{outcome.cache_hits} cached / {outcome.computed} computed"
+    )
+    if outcome.journal_stats is not None:
+        stats = outcome.journal_stats
+        print(
+            f"journal {outcome.campaign_id}: {stats['planned']} planned, "
+            f"{stats['resumed']} resumed, {stats['recomputed']} recomputed, "
+            f"{stats['fresh']} fresh, {stats['cached']} cached"
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(to_json(payload))
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def _cmd_query(args) -> int:
     import json
 
@@ -525,6 +583,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_flags(p_campaign, repeats=3, samples=64)
     _add_runtime_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="simulate a board fleet serving traffic under voltage policies",
+    )
+    p_fleet.add_argument(
+        "--benchmark", default="vggnet",
+        help="benchmark whose characterization drives the fleet "
+             "(default vggnet)",
+    )
+    p_fleet.add_argument(
+        "--boards", type=int, default=16,
+        help="number of virtual boards to mint (default 16)",
+    )
+    p_fleet.add_argument(
+        "--fleet-seed", dest="fleet_seed", type=int, default=7,
+        help="root seed of the fleet's named RNG streams (default 7)",
+    )
+    p_fleet.add_argument(
+        "--policies", default="all",
+        help="comma-separated policy names, or 'all' (default): "
+             "nominal, static-guardband, per-board-vmin, reactive-dvfs, "
+             "mitigated",
+    )
+    p_fleet.add_argument(
+        "--trace", choices=["steady", "poisson", "diurnal"], default="steady",
+        help="fleet-wide request trace shape (default steady)",
+    )
+    p_fleet.add_argument(
+        "--rate", type=float, default=64.0,
+        help="fleet-wide request rate in req/s (default 64)",
+    )
+    p_fleet.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated wall time in seconds (default 60)",
+    )
+    p_fleet.add_argument(
+        "--epoch", type=float, default=5.0,
+        help="policy decision interval in seconds (default 5)",
+    )
+    p_fleet.add_argument(
+        "--deadline", type=float, default=0.05,
+        help="per-request SLO deadline in seconds (default 0.05)",
+    )
+    p_fleet.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted fleet campaign from its journal",
+    )
+    p_fleet.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also write the canonical-JSON fleet payload to this path",
+    )
+    _add_config_flags(p_fleet, repeats=3, samples=96)
+    _add_runtime_flags(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     from repro.runtime.cache import DEFAULT_CACHE_DIR
 

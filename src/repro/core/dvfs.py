@@ -127,19 +127,41 @@ class DynamicVoltageController:
         return None
 
     def savings_summary(self) -> dict:
-        """Power saving of the held point vs nominal operation."""
+        """Power saving of the held point vs nominal operation.
+
+        Honesty contract: ``held_loss_free`` records whether the held
+        point actually meets the accuracy tolerance and
+        ``found_loss_free_point`` whether the search ever descended
+        through one.  A hold that is *not* loss-free (e.g. a backoff that
+        landed on a still-degraded point) reports a ``reason`` and omits
+        the savings figures entirely — a parked controller saving power by
+        corrupting inferences must not look like a result.
+        """
         held = self.held_point
         if held is None:
             raise RuntimeError("controller has not held a point yet")
-        nominal = self.session.run_at(self.session.board.cal.vnom * 1000.0)
-        return {
+        held_loss_free = (
+            self._reference_accuracy - held.accuracy
+        ) <= self.accuracy_tolerance
+        summary = {
             "held_mv": held.vccint_mv,
             "held_accuracy": round(held.accuracy, 4),
-            "power_saving_pct": round(
-                (1.0 - held.power_w / nominal.power_w) * 100.0, 1
-            ),
-            "gops_per_watt_gain": round(
-                (nominal.power_w / held.power_w), 2
+            "held_loss_free": held_loss_free,
+            "found_loss_free_point": any(
+                s.action == "descend" for s in self.history
             ),
             "steps_taken": len(self.history),
         }
+        if not held_loss_free:
+            summary["reason"] = (
+                f"held point {held.vccint_mv:.0f} mV is not loss-free "
+                f"(accuracy {held.accuracy:.4f} vs reference "
+                f"{self._reference_accuracy:.4f}); savings not reported"
+            )
+            return summary
+        nominal = self.session.run_at(self.session.board.cal.vnom * 1000.0)
+        summary["power_saving_pct"] = round(
+            (1.0 - held.power_w / nominal.power_w) * 100.0, 1
+        )
+        summary["gops_per_watt_gain"] = round(nominal.power_w / held.power_w, 2)
+        return summary

@@ -1,0 +1,34 @@
+"""Fleet-scale deployment simulation driven by the characterization DB.
+
+This package closes the loop from characterization to operation: it mints
+thousands of virtual boards from the calibrated process spread
+(:mod:`repro.fpga.variation`), assigns each a slice of a fleet-wide request
+trace, and advances a deterministic epoch loop in which per-policy voltage
+decisions — read from :class:`repro.runtime.query.CharacterizationIndex`
+landmarks with compute-through for unmeasured corners — meet thermal drift
+(:mod:`repro.fpga.thermal`), injected supply transients
+(:mod:`repro.fpga.transients`), and mitigation fallback
+(:mod:`repro.faults.mitigation`).  The output is the operator's question
+answered per policy: energy saved vs SLO violations vs accuracy loss.
+
+Modules
+-------
+``boards``
+    :class:`~repro.fleet.boards.FleetSpec` (the deterministic fleet
+    recipe) and :func:`~repro.fleet.boards.mint_fleet` (named-RNG-stream
+    board minting).
+``policy``
+    The voltage-policy interface and the five shipped policies (nominal,
+    static-guardband, per-board-vmin, reactive-dvfs, mitigated).
+``simulator``
+    Trace splitting, per-reference-board voltage curves, and the
+    discrete-event epoch loop.
+``report``
+    Canonical-JSON payloads and markdown tables per policy.
+
+Campaign integration lives in :mod:`repro.runtime.campaign`
+(``run_fleet_campaign``) so fleet shards are cached, journaled, resumable,
+and fabric-shardable exactly like sweep units.
+"""
+
+__all__ = ["boards", "policy", "report", "simulator"]

@@ -1,0 +1,247 @@
+"""Virtual-board minting for fleet simulations.
+
+A fleet is defined entirely by a :class:`FleetSpec` — every board parameter
+is drawn from a named RNG stream keyed by the fleet seed and the board id,
+so the same spec always mints the same fleet regardless of sharding, job
+count, or mint order.  Each :class:`FleetBoard` is anchored to one of the
+calibrated reference boards (the three physical ZCU102 samples) and carries
+its process landmarks as *shifts* relative to that reference, which lets
+policies translate measured reference landmarks from the characterization
+index into per-board predictions without sweeping every virtual board.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+
+from repro.fpga.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fpga.transients import DENSE_PROFILE, PRUNED_PROFILE
+from repro.fpga.variation import board_variation
+from repro.rng import child_rng
+
+__all__ = ["FleetBoard", "FleetSpec", "mint_fleet"]
+
+#: Trace shapes understood by the simulator.
+TRACE_KINDS = ("steady", "poisson", "diurnal")
+
+#: Stride between fleets in the synthetic board-sample space: distinct
+#: fleet seeds must never reuse a synthetic sample, so the per-sample
+#: variation stream (seeded by the sample index alone) stays independent
+#: across fleets.  Any stride larger than a plausible fleet size works; a
+#: prime keeps accidental collisions improbable even for weird seeds.
+_SAMPLE_STRIDE = 100_003
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Deterministic recipe for a simulated fleet.
+
+    The spec is the *only* input to minting, trace generation, and the
+    epoch loop — its :meth:`digest` scopes cache fingerprints so two specs
+    never share results.  Validation enforces the structural-safety
+    envelope the nominal-policy invariant relies on: per-board steady
+    utilisation at most 50% and a deadline at least twice the service
+    time, so a board serving at nominal voltage can never queue itself
+    into an SLO violation.
+    """
+
+    #: Benchmark whose characterization curves drive the fleet.
+    benchmark: str = "vggnet"
+    #: Number of virtual boards to mint.
+    n_boards: int = 16
+    #: Root seed for every named RNG stream in this fleet.
+    fleet_seed: int = 7
+    #: Calibrated reference boards the fleet anchors to (round-robin).
+    ref_boards: tuple[int, ...] = (0, 1, 2)
+    #: Trace shape: one of ``steady``, ``poisson``, ``diurnal``.
+    trace_kind: str = "steady"
+    #: Fleet-wide request rate (requests/s across all boards).
+    rate_hz: float = 64.0
+    #: Simulated wall time (s).
+    duration_s: float = 60.0
+    #: Per-request deadline (s) for SLO accounting.
+    deadline_s: float = 0.05
+    #: Nominal per-request service time (s) at full throughput.
+    service_time_s: float = 0.005
+    #: Policy decision interval (s).
+    epoch_s: float = 5.0
+    #: Idle power as a fraction of busy power (same as EdgeDeployment).
+    idle_power_fraction: float = 0.35
+    #: Guard margin (mV) policies keep above a predicted Vmin.
+    guard_mv: float = 15.0
+    #: How far (mV) below predicted Vmin the mitigated policy starts.
+    aggressive_mv: float = 10.0
+    #: Accuracy loss beyond which an epoch counts as degraded.
+    accuracy_tolerance: float = 0.01
+    #: Sigma (mV) of per-board operator-invisible Vmin noise.
+    vmin_noise_sigma_mv: float = 4.0
+    #: Mean ambient temperature (degC).
+    ambient_c: float = 26.0
+    #: Per-board uniform ambient offset half-range (degC).
+    ambient_jitter_c: float = 3.0
+    #: Diurnal ambient swing amplitude (degC).
+    ambient_amplitude_c: float = 6.0
+    #: Diurnal ambient swing period (s).
+    ambient_period_s: float = 240.0
+    #: Mean fan duty (%); per-board draw is clamped-uniform around this.
+    fan_duty_percent: float = 60.0
+    #: Inverse-thermal-dependence slope (mV of margin per degC above ref).
+    itd_mv_per_c: float = 0.25
+    #: Reference die temperature (degC) for the ITD term.
+    itd_ref_c: float = 34.0
+    #: Mean supply-transient events per board per epoch.
+    transient_rate_per_epoch: float = 0.25
+    #: Scale of the exponential droop-severity multiplier draw.
+    transient_severity: float = 1.0
+    #: Operations per inference (for fault-probability normalisation).
+    ops_per_inference: float = 1.0e9
+
+    def __post_init__(self):
+        if self.n_boards < 1:
+            raise ValueError(f"fleet needs at least one board, got {self.n_boards}")
+        if not self.ref_boards:
+            raise ValueError("ref_boards must be non-empty")
+        if self.trace_kind not in TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace kind {self.trace_kind!r}; expected one of "
+                f"{TRACE_KINDS}"
+            )
+        if self.rate_hz <= 0 or self.duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        if not 0 < self.epoch_s <= self.duration_s:
+            raise ValueError("epoch must be positive and at most the duration")
+        if self.service_time_s <= 0:
+            raise ValueError("service time must be positive")
+        if self.deadline_s < 2.0 * self.service_time_s:
+            raise ValueError(
+                "deadline must be at least twice the service time "
+                "(nominal-policy SLO invariant)"
+            )
+        per_board_rate = self.rate_hz / self.n_boards
+        if per_board_rate * self.service_time_s > 0.5:
+            raise ValueError(
+                "per-board steady utilisation above 50%; lower rate_hz or "
+                "add boards (nominal-policy SLO invariant)"
+            )
+        if not 0.0 <= self.idle_power_fraction <= 1.0:
+            raise ValueError("idle_power_fraction must be in [0, 1]")
+        if self.guard_mv < 0 or self.aggressive_mv < 0:
+            raise ValueError("voltage margins must be non-negative")
+        if self.accuracy_tolerance < 0:
+            raise ValueError("accuracy tolerance must be non-negative")
+        if self.vmin_noise_sigma_mv < 0:
+            raise ValueError("vmin noise sigma must be non-negative")
+        if self.transient_rate_per_epoch < 0 or self.transient_severity < 0:
+            raise ValueError("transient parameters must be non-negative")
+        if self.ops_per_inference <= 0:
+            raise ValueError("ops_per_inference must be positive")
+
+    def digest(self) -> str:
+        """Short stable hash of the spec (scopes cache fingerprints)."""
+        blob = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class FleetBoard:
+    """One minted virtual board.
+
+    Landmark fields are *shifts* (mV) relative to the board's calibrated
+    reference sample, so a policy predicts this board's Vmin as
+    ``reference_vmin_mv + vmin_shift_mv``.  ``vmin_noise_mv`` is the
+    operator-*invisible* part of the shift — real silicon drifts from its
+    characterization — which is what separates honest policies from lucky
+    ones in the simulation.
+    """
+
+    #: Index of this board within its fleet.
+    board_id: int
+    #: Synthetic sample index used for the process-variation draw.
+    sample: int
+    #: Calibrated reference board this one anchors to.
+    ref_board: int
+    #: Process shift of Vmin vs the reference board (mV), known to policies.
+    vmin_shift_mv: float
+    #: Operator-invisible Vmin drift (mV), unknown to policies.
+    vmin_noise_mv: float
+    #: Process shift of Vcrash vs the reference board (mV).
+    vcrash_shift_mv: float
+    #: This board's mean ambient temperature (degC).
+    ambient_c: float
+    #: Phase offset of this board's diurnal ambient swing (radians).
+    ambient_phase: float
+    #: This board's fan duty command (%).
+    fan_duty_percent: float
+    #: Current-step sharpness of this board's workload mix.
+    step_fraction: float
+
+
+def _stream(spec: FleetSpec, board_id: int, param: str):
+    """Named RNG stream for one parameter of one board."""
+    return child_rng(spec.fleet_seed, f"fleet/board{board_id}/{param}")
+
+
+def mint_fleet(
+    spec: FleetSpec, cal: Calibration = DEFAULT_CALIBRATION
+) -> tuple[FleetBoard, ...]:
+    """Mint the fleet described by ``spec``.
+
+    Every per-board parameter comes from its own named stream
+    (``fleet/board{i}/{param}``), so adding a parameter or reordering the
+    draws never perturbs the others, and minting board ``i`` alone yields
+    the same board as minting the whole fleet.
+    """
+    boards: list[FleetBoard] = []
+    for board_id in range(spec.n_boards):
+        # Always a synthetic (>= len(cal.board_vmin)) sample: distinct per
+        # fleet seed, so two fleets never share silicon.
+        sample = spec.fleet_seed * _SAMPLE_STRIDE + board_id + len(cal.board_vmin)
+        bv = board_variation(sample, cal)
+        ref_board = spec.ref_boards[board_id % len(spec.ref_boards)]
+        vmin_shift_mv = (bv.vmin_v - cal.board_vmin[ref_board]) * 1000.0
+        vcrash_shift_mv = (bv.vcrash_v - cal.board_vcrash[ref_board]) * 1000.0
+        # Clamped at 3 sigma: the noise models drift since characterization,
+        # not fresh silicon, and the bound is what keeps the nominal
+        # policy's no-loss invariant structural rather than probabilistic.
+        sigma = spec.vmin_noise_sigma_mv
+        raw_noise = float(
+            _stream(spec, board_id, "vmin-noise").normal(0.0, sigma)
+        )
+        vmin_noise_mv = min(max(raw_noise, -3.0 * sigma), 3.0 * sigma)
+        ambient_c = spec.ambient_c + float(
+            _stream(spec, board_id, "ambient").uniform(
+                -spec.ambient_jitter_c, spec.ambient_jitter_c
+            )
+        )
+        ambient_phase = float(
+            _stream(spec, board_id, "ambient-phase").uniform(0.0, 2.0 * math.pi)
+        )
+        duty = float(
+            _stream(spec, board_id, "fan-duty").uniform(
+                max(0.0, spec.fan_duty_percent - 10.0),
+                min(100.0, spec.fan_duty_percent + 10.0),
+            )
+        )
+        step_fraction = float(
+            _stream(spec, board_id, "step-fraction").uniform(
+                DENSE_PROFILE.step_fraction, PRUNED_PROFILE.step_fraction
+            )
+        )
+        boards.append(
+            FleetBoard(
+                board_id=board_id,
+                sample=sample,
+                ref_board=ref_board,
+                vmin_shift_mv=vmin_shift_mv,
+                vmin_noise_mv=vmin_noise_mv,
+                vcrash_shift_mv=vcrash_shift_mv,
+                ambient_c=ambient_c,
+                ambient_phase=ambient_phase,
+                fan_duty_percent=duty,
+                step_fraction=step_fraction,
+            )
+        )
+    return tuple(boards)

@@ -1,0 +1,354 @@
+"""Fleet voltage policies.
+
+A policy decides, per board and per epoch, the DC voltage set-point and any
+mitigation in force.  Policies only see what an operator sees: the
+characterization curves of the *reference* boards (from
+:class:`~repro.runtime.query.CharacterizationIndex`) plus each board's
+known process shift — never the operator-invisible Vmin drift or the
+transient stream.  Five policies ship:
+
+``nominal``
+    Always run at Vnom.  The invariant anchor: it never crashes, never
+    loses accuracy, never misses an SLO under a structurally-safe spec.
+``static-guardband``
+    One fleet-wide voltage: the worst predicted per-board Vmin plus the
+    guard margin.  Clamped to Vnom.
+``per-board-vmin``
+    Each board at its own predicted Vmin plus the guard margin.  Clamped
+    to the static-guardband voltage, which makes the energy ordering
+    nominal >= static-guardband >= per-board-vmin structural.
+``reactive-dvfs``
+    Starts from a real :class:`~repro.core.dvfs.DynamicVoltageController`
+    adaptation on a reference board (translated by the board's shift) and
+    reacts per epoch: back off on degradation, back off harder after a
+    crash, creep back down after clean epochs.
+``mitigated``
+    Starts *below* predicted Vmin (inside the fault region) and arms
+    :class:`~repro.faults.mitigation.EccMitigation` at the first degraded
+    epoch; a crash falls back to predicted Vmin plus guard with the
+    mitigation kept on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dvfs import DynamicVoltageController
+from repro.core.session import make_session
+from repro.faults.mitigation import EccMitigation, MitigationPolicy
+from repro.fleet.boards import FleetBoard, FleetSpec
+from repro.fpga.board import make_board
+
+__all__ = [
+    "POLICY_NAMES",
+    "FleetPolicy",
+    "PolicyPrep",
+    "RefCurve",
+    "build_policy",
+    "prepare_policies",
+]
+
+#: All shipped policy names, in canonical report order.
+POLICY_NAMES = (
+    "nominal",
+    "static-guardband",
+    "per-board-vmin",
+    "reactive-dvfs",
+    "mitigated",
+)
+
+
+@dataclass(frozen=True)
+class RefCurve:
+    """Measured voltage curve of one reference board.
+
+    Built from the characterization index (alive points only, ascending
+    voltage); the simulator shifts it by each virtual board's process
+    delta to evaluate accuracy, power, and fault exposure at an effective
+    voltage.
+    """
+
+    #: Benchmark the curve characterizes.
+    benchmark: str
+    #: Reference board sample the curve was measured on.
+    board: int
+    #: Fault-free accuracy of the workload.
+    clean_accuracy: float
+    #: Measured minimum safe voltage (mV).
+    vmin_mv: float
+    #: Measured crash voltage (mV).
+    vcrash_mv: float
+    #: Ascending alive voltages (mV).
+    v_mv: tuple[float, ...]
+    #: Accuracy at each voltage.
+    accuracy: tuple[float, ...]
+    #: Rail power (W) at each voltage.
+    power_w: tuple[float, ...]
+    #: Observed faults per inference at each voltage.
+    faults_per_run: tuple[float, ...]
+
+    @classmethod
+    def from_index(cls, index, benchmark: str, board: int) -> "RefCurve":
+        """Build the curve from an index, computing the sweep if absent."""
+        rows = index.landmarks(benchmark=benchmark, board=board, compute=True)
+        if not rows:
+            raise KeyError(f"no landmarks for {benchmark} board {board}")
+        lm = rows[0]
+        payload = index.points(benchmark, board=board)
+        alive = sorted(
+            (p for p in payload["points"] if not p["hang"]),
+            key=lambda p: p["vccint_mv"],
+        )
+        if not alive:
+            raise KeyError(f"no alive points for {benchmark} board {board}")
+        return cls(
+            benchmark=benchmark,
+            board=board,
+            clean_accuracy=float(alive[-1]["clean_accuracy"]),
+            vmin_mv=float(lm["vmin_mv"]),
+            vcrash_mv=float(lm["vcrash_mv"]),
+            v_mv=tuple(float(p["vccint_mv"]) for p in alive),
+            accuracy=tuple(float(p["accuracy"]) for p in alive),
+            power_w=tuple(float(p["power_w"]) for p in alive),
+            faults_per_run=tuple(float(p["faults_per_run"]) for p in alive),
+        )
+
+    def _interp(self, v_mv: float, values: tuple[float, ...]) -> float:
+        return float(np.interp(v_mv, self.v_mv, values))
+
+    def accuracy_at(self, v_mv: float) -> float:
+        """Interpolated accuracy at ``v_mv`` (edge-clamped)."""
+        return self._interp(v_mv, self.accuracy)
+
+    def power_at(self, v_mv: float) -> float:
+        """Interpolated rail power (W) at ``v_mv`` (edge-clamped)."""
+        return self._interp(v_mv, self.power_w)
+
+    def faults_at(self, v_mv: float) -> float:
+        """Interpolated faults per inference at ``v_mv`` (edge-clamped)."""
+        return self._interp(v_mv, self.faults_per_run)
+
+
+@dataclass(frozen=True)
+class PolicyPrep:
+    """Fleet-wide policy constants computed once before sharding.
+
+    Plain floats only: the prep crosses the process boundary to fabric
+    workers, so it must stay wire- and pickle-trivial.
+    """
+
+    #: Nominal rail voltage (mV).
+    vnom_mv: float
+    #: The static-guardband fleet voltage (mV).
+    static_fleet_mv: float
+    #: Held point (mV) of a reference DVFS adaptation, if reactive-dvfs
+    #: was requested; ``None`` otherwise.
+    reactive_held_mv: float | None = None
+
+
+def predicted_vmin_mv(board: FleetBoard, curve: RefCurve) -> float:
+    """The operator's Vmin estimate for ``board``: the measured reference
+    landmark translated by the board's known process shift."""
+    return curve.vmin_mv + board.vmin_shift_mv
+
+
+def prepare_policies(
+    spec: FleetSpec,
+    boards: tuple[FleetBoard, ...],
+    curves: dict[int, RefCurve],
+    policies: tuple[str, ...],
+    config,
+) -> PolicyPrep:
+    """Compute the fleet-wide :class:`PolicyPrep` for ``policies``.
+
+    Runs the (expensive) reference DVFS adaptation only when
+    ``reactive-dvfs`` is requested.
+    """
+    vnom_mv = config.cal.vnom * 1000.0
+    worst = max(
+        predicted_vmin_mv(b, curves[b.ref_board]) for b in boards
+    )
+    static_fleet_mv = min(vnom_mv, worst + spec.guard_mv)
+    reactive_held_mv: float | None = None
+    if "reactive-dvfs" in policies:
+        ref = spec.ref_boards[0]
+        session = make_session(make_board(sample=ref), spec.benchmark, config)
+        controller = DynamicVoltageController(
+            session, accuracy_tolerance=config.accuracy_tolerance
+        )
+        held = controller.adapt(vnom_mv)
+        reactive_held_mv = held.vccint_mv - curves[ref].vmin_mv
+    return PolicyPrep(
+        vnom_mv=vnom_mv,
+        static_fleet_mv=static_fleet_mv,
+        reactive_held_mv=reactive_held_mv,
+    )
+
+
+class FleetPolicy:
+    """Per-board voltage policy driven by the epoch loop.
+
+    The simulator calls :meth:`decide` at each epoch start and
+    :meth:`observe` with the epoch's outcome; mitigation scales apply to
+    the epoch that was just decided.
+    """
+
+    #: Canonical policy name.
+    name = "nominal"
+
+    def __init__(self, spec: FleetSpec, board: FleetBoard, curve: RefCurve, prep: PolicyPrep):
+        self.spec = spec
+        self.board = board
+        self.curve = curve
+        self.prep = prep
+
+    def decide(self) -> float:
+        """DC voltage set-point (mV) for the next epoch."""
+        return self.prep.vnom_mv
+
+    def observe(self, crashed: bool, degraded: bool) -> None:
+        """Feedback after an epoch (crash beats degradation)."""
+
+    @property
+    def mitigation(self) -> MitigationPolicy | None:
+        """The mitigation in force for the next epoch, if any."""
+        return None
+
+
+class NominalPolicy(FleetPolicy):
+    """Always Vnom — the paper's guardbanded baseline."""
+
+    name = "nominal"
+
+
+class StaticGuardbandPolicy(FleetPolicy):
+    """One fleet-wide voltage: worst predicted Vmin plus guard."""
+
+    name = "static-guardband"
+
+    def decide(self) -> float:
+        return self.prep.static_fleet_mv
+
+
+class PerBoardVminPolicy(FleetPolicy):
+    """Each board at its own predicted Vmin plus guard."""
+
+    name = "per-board-vmin"
+
+    def decide(self) -> float:
+        predicted = predicted_vmin_mv(self.board, self.curve) + self.spec.guard_mv
+        return min(self.prep.static_fleet_mv, predicted)
+
+
+class ReactiveDvfsPolicy(FleetPolicy):
+    """Epoch-granular DVFS seeded by a reference controller adaptation.
+
+    The starting point translates the reference board's held point by this
+    board's process shift.  Per epoch: a crash backs off by two steps of
+    ``backoff_mv``; a degraded epoch backs off by one; two consecutive
+    clean epochs step back down.  The voltage stays within
+    [predicted Vcrash + guard, static-guardband voltage].
+    """
+
+    name = "reactive-dvfs"
+    step_mv = 5.0
+    backoff_mv = 10.0
+
+    def __init__(self, spec: FleetSpec, board: FleetBoard, curve: RefCurve, prep: PolicyPrep):
+        super().__init__(spec, board, curve, prep)
+        if prep.reactive_held_mv is None:
+            raise ValueError("reactive-dvfs requires PolicyPrep.reactive_held_mv")
+        start = (
+            curve.vmin_mv
+            + prep.reactive_held_mv
+            + board.vmin_shift_mv
+            + spec.guard_mv
+        )
+        self._floor_mv = (
+            curve.vcrash_mv + board.vcrash_shift_mv + spec.guard_mv
+        )
+        self._v_mv = min(prep.static_fleet_mv, max(start, self._floor_mv))
+        self._clean_streak = 0
+
+    def decide(self) -> float:
+        return self._v_mv
+
+    def observe(self, crashed: bool, degraded: bool) -> None:
+        if crashed:
+            self._clean_streak = 0
+            self._v_mv = min(
+                self.prep.static_fleet_mv, self._v_mv + 2.0 * self.backoff_mv
+            )
+        elif degraded:
+            self._clean_streak = 0
+            self._v_mv = min(self.prep.static_fleet_mv, self._v_mv + self.backoff_mv)
+        else:
+            self._clean_streak += 1
+            if self._clean_streak >= 2:
+                self._clean_streak = 0
+                self._v_mv = max(self._floor_mv, self._v_mv - self.step_mv)
+
+
+class MitigatedPolicy(FleetPolicy):
+    """Aggressive undervolting with ECC fallback.
+
+    Starts inside the fault region (predicted Vmin minus
+    ``aggressive_mv``), unmitigated.  The first degraded epoch arms
+    :class:`EccMitigation` for the rest of the run; a crash retreats to
+    predicted Vmin plus guard, mitigation kept.
+    """
+
+    name = "mitigated"
+
+    def __init__(self, spec: FleetSpec, board: FleetBoard, curve: RefCurve, prep: PolicyPrep):
+        super().__init__(spec, board, curve, prep)
+        predicted = predicted_vmin_mv(board, curve)
+        self._v_mv = min(
+            prep.static_fleet_mv, predicted - spec.aggressive_mv
+        )
+        self._safe_mv = min(prep.static_fleet_mv, predicted + spec.guard_mv)
+        self._mitigation: MitigationPolicy | None = None
+
+    def decide(self) -> float:
+        return self._v_mv
+
+    def observe(self, crashed: bool, degraded: bool) -> None:
+        if degraded or crashed:
+            self._mitigation = self._mitigation or EccMitigation()
+        if crashed:
+            self._v_mv = self._safe_mv
+
+    @property
+    def mitigation(self) -> MitigationPolicy | None:
+        return self._mitigation
+
+
+_POLICY_CLASSES: dict[str, type[FleetPolicy]] = {
+    cls.name: cls
+    for cls in (
+        NominalPolicy,
+        StaticGuardbandPolicy,
+        PerBoardVminPolicy,
+        ReactiveDvfsPolicy,
+        MitigatedPolicy,
+    )
+}
+
+
+def build_policy(
+    name: str,
+    spec: FleetSpec,
+    board: FleetBoard,
+    curve: RefCurve,
+    prep: PolicyPrep,
+) -> FleetPolicy:
+    """Instantiate the named policy for one board."""
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {POLICY_NAMES}"
+        ) from None
+    return cls(spec, board, curve, prep)

@@ -1,0 +1,118 @@
+"""Fleet-simulation reporting: canonical JSON and markdown tables.
+
+The payload answers the operator's question per policy — energy saved vs
+SLO violations vs accuracy loss — from the per-board rows produced by
+:func:`repro.fleet.simulator.simulate_fleet`.  JSON rendering goes through
+the query service's canonical encoder (sorted keys, fixed separators), so
+two runs of the same spec compare byte-for-byte with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import asdict
+
+from repro.fleet.boards import FleetSpec
+from repro.runtime.query import to_json
+
+__all__ = [
+    "fleet_payload",
+    "render_fleet_markdown",
+    "summarize_policy",
+    "to_json",
+]
+
+
+def summarize_policy(rows: list[dict]) -> dict:
+    """Aggregate one policy's per-board rows into fleet totals."""
+    served = sum(r["served"] for r in rows)
+    acc_weighted = sum(r["served_accuracy"] * r["served"] for r in rows)
+    served_accuracy = acc_weighted / served if served else 0.0
+    loss_weighted = sum(r["accuracy_loss"] * r["served"] for r in rows)
+    return {
+        "boards": len(rows),
+        "energy_j": sum(r["energy_j"] for r in rows),
+        "requests": sum(r["requests"] for r in rows),
+        "served": served,
+        "dropped": sum(r["dropped"] for r in rows),
+        "deadline_misses": sum(r["deadline_misses"] for r in rows),
+        "slo_violations": sum(r["slo_violations"] for r in rows),
+        "crashes": sum(r["crashes"] for r in rows),
+        "degraded_epochs": sum(r["degraded_epochs"] for r in rows),
+        "served_accuracy": served_accuracy,
+        "accuracy_loss": loss_weighted / served if served else 0.0,
+    }
+
+
+def fleet_payload(
+    spec: FleetSpec,
+    policy_rows: dict[str, list[dict]],
+    include_boards: bool = True,
+) -> dict:
+    """The full fleet report payload.
+
+    ``policy_rows`` maps policy name to that policy's per-board rows in
+    board order.  Energy savings are reported against the ``nominal``
+    policy when it is present.
+    """
+    summaries = {name: summarize_policy(rows) for name, rows in policy_rows.items()}
+    nominal_j = summaries.get("nominal", {}).get("energy_j")
+    for summary in summaries.values():
+        if nominal_j:
+            saved = (1.0 - summary["energy_j"] / nominal_j) * 100.0
+            summary["energy_saved_pct"] = saved
+        else:
+            summary["energy_saved_pct"] = None
+    payload = {
+        "spec": asdict(spec),
+        "spec_digest": spec.digest(),
+        "policies": list(policy_rows),
+        "summary": summaries,
+    }
+    if include_boards:
+        payload["boards"] = {
+            name: rows for name, rows in policy_rows.items()
+        }
+    return payload
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_fleet_markdown(payload: dict) -> str:
+    """Markdown tables for a fleet payload (per-policy summary)."""
+    out = io.StringIO()
+    spec = payload["spec"]
+    out.write(
+        f"## Fleet simulation: {spec['benchmark']}, "
+        f"{spec['n_boards']} boards, seed {spec['fleet_seed']} "
+        f"(digest {payload['spec_digest']})\n\n"
+    )
+    out.write(
+        f"Trace: {spec['trace_kind']} at {spec['rate_hz']:g} req/s for "
+        f"{spec['duration_s']:g} s; epoch {spec['epoch_s']:g} s; "
+        f"deadline {spec['deadline_s'] * 1000:g} ms.\n\n"
+    )
+    columns = (
+        "policy",
+        "energy_j",
+        "energy_saved_pct",
+        "slo_violations",
+        "accuracy_loss",
+        "crashes",
+        "degraded_epochs",
+        "served",
+        "dropped",
+    )
+    out.write("| " + " | ".join(columns) + " |\n")
+    out.write("|" + "|".join("---" for _ in columns) + "|\n")
+    for name in payload["policies"]:
+        summary = payload["summary"][name]
+        cells = [name] + [_fmt(summary[c]) for c in columns[1:]]
+        out.write("| " + " | ".join(cells) + " |\n")
+    return out.getvalue()

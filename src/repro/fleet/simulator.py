@@ -1,0 +1,263 @@
+"""Discrete-event epoch loop for fleet simulations.
+
+Each virtual board serves its slice of a fleet-wide request trace in
+fixed-length epochs.  At every epoch boundary the board's policy decides a
+DC voltage set-point; the simulator then perturbs the board — diurnal
+ambient drift through :class:`~repro.fpga.thermal.ThermalPlant`, the
+operator-invisible process/noise shift, and supply transients drawn from a
+policy-independent named RNG stream and amplified through
+:class:`~repro.fpga.transients.TransientAnalyzer` — and either crashes the
+board (dropping the epoch's requests) or serves them through a deadline
+queue at the effective accuracy and power of the shifted characterization
+curve.
+
+Determinism contract: every random draw comes from a named stream keyed by
+``(fleet_seed, board_id, epoch)`` or ``(fleet_seed, board_id, param)``, so
+a board's trajectory is a pure function of the :class:`FleetSpec` and the
+reference curves — independent of which policies run alongside it, which
+chunk of the fleet it is simulated in, and how many jobs the campaign
+uses.  The transient droop multiplier is capped (:data:`DROOP_MULT_CAP`)
+so the instantaneous minimum voltage is strictly increasing in the
+set-point, which makes crashes monotone in voltage and the policy energy
+ordering structural.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.deployment import (
+    RequestTrace,
+    diurnal_trace,
+    poisson_trace,
+    steady_trace,
+)
+from repro.fleet.boards import FleetBoard, FleetSpec
+from repro.fleet.policy import FleetPolicy, PolicyPrep, RefCurve, build_policy
+from repro.fpga.thermal import ThermalPlant
+from repro.fpga.transients import TransientAnalyzer, WorkloadCurrentProfile
+from repro.rng import child_rng
+
+__all__ = [
+    "DROOP_MULT_CAP",
+    "fleet_trace",
+    "simulate_board",
+    "simulate_fleet",
+    "split_trace",
+]
+
+#: Hard cap on the transient droop-severity multiplier.  Keeps
+#: ``v - droop(v) * mult`` strictly increasing in ``v`` (the droop slope
+#: times ``1 + cap`` stays well under 1 for any physical power curve), so
+#: a higher-voltage policy can never crash where a lower one survives.
+DROOP_MULT_CAP = 10.0
+
+
+def fleet_trace(spec: FleetSpec) -> RequestTrace:
+    """The fleet-wide request trace described by ``spec``."""
+    if spec.trace_kind == "steady":
+        return steady_trace(spec.rate_hz, spec.duration_s, name="fleet")
+    if spec.trace_kind == "poisson":
+        return poisson_trace(
+            spec.rate_hz, spec.duration_s, seed=spec.fleet_seed, name="fleet"
+        )
+    return diurnal_trace(
+        spec.rate_hz, spec.duration_s, seed=spec.fleet_seed, name="fleet"
+    )
+
+
+def split_trace(trace: RequestTrace, n: int) -> tuple[RequestTrace, ...]:
+    """Round-robin the trace across ``n`` boards.
+
+    Board ``i`` receives arrivals ``i, i+n, i+2n, ...`` — each slice stays
+    sorted, shares the parent duration, and the union of slices is exactly
+    the parent trace.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one shard, got {n}")
+    return tuple(
+        RequestTrace(
+            name=f"{trace.name}[{i}/{n}]",
+            arrivals_s=trace.arrivals_s[i::n],
+            duration_s=trace.duration_s,
+        )
+        for i in range(n)
+    )
+
+
+def _epoch_droop_mult(spec: FleetSpec, board_id: int, epoch: int) -> float:
+    """Transient severity multiplier for one board-epoch.
+
+    Drawn from a policy-independent stream so every policy sees the same
+    physical disturbance, and capped at :data:`DROOP_MULT_CAP`.
+    """
+    rng = child_rng(
+        spec.fleet_seed, f"fleet/transient/board{board_id}/epoch{epoch}"
+    )
+    n_events = int(rng.poisson(spec.transient_rate_per_epoch))
+    if n_events == 0:
+        return 1.0
+    worst = float(np.max(rng.exponential(spec.transient_severity, n_events)))
+    return 1.0 + min(worst, DROOP_MULT_CAP)
+
+
+def simulate_board(
+    spec: FleetSpec,
+    board: FleetBoard,
+    curve: RefCurve,
+    policy: FleetPolicy,
+    trace: RequestTrace,
+) -> dict:
+    """Run one board's epoch loop over its trace slice.
+
+    Returns a plain JSON-stable dict of operational counters: energy,
+    served/dropped requests, deadline misses, SLO violations, crashes,
+    degraded epochs, and request-weighted served accuracy.
+    """
+    plant = ThermalPlant(ambient_c=board.ambient_c)
+    plant.set_fan_duty(board.fan_duty_percent)
+    analyzer = TransientAnalyzer()
+    profile = WorkloadCurrentProfile(
+        name=f"board{board.board_id}", step_fraction=board.step_fraction
+    )
+    vcrash_mv = curve.vcrash_mv + board.vcrash_shift_mv
+    clean = curve.clean_accuracy
+    arrivals = trace.arrivals_s
+    n_epochs = max(1, math.ceil(trace.duration_s / spec.epoch_s))
+
+    energy_j = 0.0
+    served = 0
+    dropped = 0
+    deadline_misses = 0
+    crashes = 0
+    degraded_epochs = 0
+    # Accumulated as *loss* rather than accuracy so clean epochs
+    # contribute an exact 0.0 and the nominal policy's zero-loss
+    # invariant holds bit-exactly, not just to rounding.
+    loss_sum = 0.0
+    queue_free_t = 0.0
+    next_arrival = 0
+    v_mv = 0.0
+
+    for epoch in range(n_epochs):
+        t0 = epoch * spec.epoch_s
+        t1 = min(t0 + spec.epoch_s, trace.duration_s)
+        epoch_len = t1 - t0
+        v_mv = policy.decide()
+        mitigation = policy.mitigation
+
+        # --- physical state for this epoch --------------------------------
+        ambient = board.ambient_c + spec.ambient_amplitude_c * math.sin(
+            2.0 * math.pi * t0 / spec.ambient_period_s + board.ambient_phase
+        )
+        plant.ambient_c = ambient
+        die_c = plant.settle(curve.power_at(v_mv))
+        delta_mv = (
+            board.vmin_shift_mv
+            + board.vmin_noise_mv
+            - spec.itd_mv_per_c * (die_c - spec.itd_ref_c)
+        )
+        mult = _epoch_droop_mult(spec, board.board_id, epoch)
+        droop_mv = (
+            analyzer.droop_for_workload(
+                profile, curve.power_at(v_mv), v_mv / 1000.0
+            )
+            * 1000.0
+            * mult
+        )
+
+        # --- crash check: the droop dips below this board's crash point ---
+        end_arrival = next_arrival
+        while end_arrival < len(arrivals) and arrivals[end_arrival] < t1:
+            end_arrival += 1
+        if v_mv - droop_mv < vcrash_mv:
+            crashes += 1
+            dropped += end_arrival - next_arrival
+            next_arrival = end_arrival
+            # Reboot costs the rest of the epoch at idle power; the queue
+            # is lost with the board state.
+            energy_j += (
+                curve.power_at(v_mv) * spec.idle_power_fraction * epoch_len
+            )
+            queue_free_t = t1
+            policy.observe(crashed=True, degraded=False)
+            continue
+
+        # --- effective operating point ------------------------------------
+        v_eff = v_mv - droop_mv - delta_mv
+        acc = curve.accuracy_at(v_eff)
+        power_w = curve.power_at(v_mv)
+        service_s = spec.service_time_s
+        if mitigation is not None:
+            p_per_op = curve.faults_at(v_eff) / spec.ops_per_inference
+            surviving = mitigation.surviving_fault_fraction(p_per_op)
+            acc = clean - (clean - acc) * surviving
+            power_w *= mitigation.power_scale()
+            service_s /= mitigation.performance_scale(p_per_op)
+        degraded = (clean - acc) > spec.accuracy_tolerance
+        if degraded:
+            degraded_epochs += 1
+
+        # --- deadline queue over this epoch's arrivals --------------------
+        busy_s = 0.0
+        for i in range(next_arrival, end_arrival):
+            start = max(arrivals[i], queue_free_t)
+            finish = start + service_s
+            queue_free_t = finish
+            busy_s += service_s
+            served += 1
+            loss_sum += clean - acc
+            if finish - arrivals[i] > spec.deadline_s:
+                deadline_misses += 1
+        next_arrival = end_arrival
+        idle_s = max(0.0, epoch_len - busy_s)
+        energy_j += power_w * (busy_s + spec.idle_power_fraction * idle_s)
+        policy.observe(crashed=False, degraded=degraded)
+
+    mean_loss = loss_sum / served if served else 0.0
+    served_accuracy = clean - mean_loss
+    return {
+        "board_id": board.board_id,
+        "policy": policy.name,
+        "ref_board": board.ref_board,
+        "final_v_mv": v_mv,
+        "energy_j": energy_j,
+        "requests": len(arrivals),
+        "served": served,
+        "dropped": dropped,
+        "deadline_misses": deadline_misses,
+        "slo_violations": deadline_misses + dropped,
+        "crashes": crashes,
+        "degraded_epochs": degraded_epochs,
+        "epochs": n_epochs,
+        "served_accuracy": served_accuracy,
+        "accuracy_loss": max(0.0, mean_loss),
+    }
+
+
+def simulate_fleet(
+    spec: FleetSpec,
+    boards: tuple[FleetBoard, ...],
+    curves: dict[int, RefCurve],
+    prep: PolicyPrep,
+    policy_name: str,
+    board_range: tuple[int, int] | None = None,
+) -> list[dict]:
+    """Simulate ``policy_name`` on (a slice of) the fleet.
+
+    ``board_range`` selects ``boards[lo:hi]`` by board id; the trace is
+    always split across the *full* fleet first, so a chunked run is
+    bit-identical to a whole-fleet run.
+    """
+    slices = split_trace(fleet_trace(spec), spec.n_boards)
+    lo, hi = board_range if board_range is not None else (0, spec.n_boards)
+    rows = []
+    for board in boards[lo:hi]:
+        curve = curves[board.ref_board]
+        policy = build_policy(policy_name, spec, board, curve, prep)
+        rows.append(
+            simulate_board(spec, board, curve, policy, slices[board.board_id])
+        )
+    return rows

@@ -708,3 +708,208 @@ def run_sweep_campaign(
         campaign_id=campaign_id,
         journal_stats=stats,
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet simulation campaigns
+# ---------------------------------------------------------------------------
+
+#: Boards per fleet work unit.  A module constant — never derived from the
+#: job count — so unit ids, cache fingerprints, and resume journals are
+#: identical regardless of how a campaign is sharded.
+FLEET_CHUNK_BOARDS = 250
+
+
+def fleet_chunks(n_boards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` board ranges of one fleet's work units."""
+    return [
+        (lo, min(lo + FLEET_CHUNK_BOARDS, n_boards))
+        for lo in range(0, n_boards, FLEET_CHUNK_BOARDS)
+    ]
+
+
+def fleet_unit_id(spec, policy: str, lo: int, hi: int) -> str:
+    """Cache/journal id of one fleet chunk.
+
+    The spec digest scopes the id, so two specs never share cached rows
+    even under the same config.
+    """
+    return f"fleet:{spec.benchmark}:{spec.digest()}:{policy}:boards{lo}-{hi}"
+
+
+#: Worker-side reference-curve memo: warm fabric workers simulate many
+#: chunks of the same fleet, and the curves are a pure function of the
+#: key, so one index scan per worker serves the whole campaign.
+_FLEET_CURVE_MEMO: dict = {}
+
+
+def _fleet_curves(
+    benchmark: str,
+    ref_boards: tuple[int, ...],
+    config: ExperimentConfig,
+    cache_dir: str,
+) -> dict:
+    """Reference curves for ``ref_boards`` from the characterization store."""
+    from repro.fleet.policy import RefCurve
+    from repro.runtime.query import open_index
+
+    key = (
+        str(cache_dir),
+        config_fingerprint("fleet-curves", config),
+        benchmark,
+        tuple(ref_boards),
+    )
+    curves = _FLEET_CURVE_MEMO.get(key)
+    if curves is None:
+        index = open_index(cache_dir, config=config)
+        try:
+            curves = {
+                ref: RefCurve.from_index(index, benchmark, ref)
+                for ref in ref_boards
+            }
+        finally:
+            index.close()
+        _FLEET_CURVE_MEMO[key] = curves
+    return curves
+
+
+def run_fleet_unit(
+    spec,
+    policy_name: str,
+    lo: int,
+    hi: int,
+    config: ExperimentConfig,
+    cache_dir: str,
+    prep,
+) -> ExperimentResult:
+    """One fleet work unit: boards ``[lo, hi)`` under one policy.
+
+    Runs anywhere a sweep unit runs — in-process, in a pool, or on a warm
+    fabric worker — and is a pure function of its arguments plus the
+    characterization datasets the parent campaign ensured exist.
+    """
+    from repro.fleet.boards import mint_fleet
+    from repro.fleet.simulator import simulate_fleet
+
+    curves = _fleet_curves(spec.benchmark, spec.ref_boards, config, cache_dir)
+    boards = mint_fleet(spec, cal=config.cal)
+    rows = simulate_fleet(spec, boards, curves, prep, policy_name, (lo, hi))
+    return ExperimentResult(
+        experiment_id=fleet_unit_id(spec, policy_name, lo, hi),
+        title=f"fleet: {policy_name} boards [{lo}, {hi}) of {spec.n_boards}",
+        rows=rows,
+        summary={"policy": policy_name, "lo": lo, "hi": hi, "boards": hi - lo},
+    )
+
+
+def run_fleet_campaign(
+    spec,
+    policies: Sequence[str] | None = None,
+    config: ExperimentConfig | None = None,
+    plan: ExecutionPlan | int | str | None = None,
+    cache: ResultCache | None = None,
+    fabric: WorkerFabric | None = None,
+    journal: CampaignJournal | None = None,
+    resume: bool = False,
+    *,
+    jobs: int | str | None = None,
+) -> CampaignOutcome:
+    """Simulate a fleet under several policies, cached and fanned out.
+
+    Board chunks shard across the executor exactly like sweep units: each
+    ``(policy, chunk)`` is one cacheable unit whose fingerprint covers the
+    spec digest, the policy, and the config, so re-running a spec is a
+    cache hit and ``--resume`` skips completed chunks.  Before sharding,
+    the parent ensures the reference boards' characterization sweeps exist
+    (compute-through via the index) and computes the fleet-wide policy
+    constants once, so workers only ever *read* the store.
+
+    ``policies`` defaults to every shipped policy, in canonical order.
+    """
+    from repro.fleet.boards import mint_fleet
+    from repro.fleet.policy import POLICY_NAMES, prepare_policies
+    from repro.runtime.query import CharacterizationIndex
+
+    exec_plan = coerce_execution_plan(plan, jobs=jobs)
+    config = exec_plan.apply_to(config or ExperimentConfig())
+    jobs = exec_plan.resolved_jobs()
+    if cache is None and exec_plan.cache_dir is not None:
+        cache = ResultCache(exec_plan.cache_dir)
+    if cache is None:
+        raise ValueError(
+            "fleet campaigns require a result cache: policies read "
+            "reference curves from the characterization store"
+        )
+    policies = tuple(policies) if policies else POLICY_NAMES
+    cache_dir = str(cache.root)
+
+    # Parent-side preparation: make sure every reference board has its
+    # sweep (a cache hit when already characterized, a parallel
+    # compute-through otherwise), then read the curves.
+    index = CharacterizationIndex(cache_dir, config=config, jobs=jobs)
+    try:
+        for ref in spec.ref_boards:
+            index.ensure_sweep(spec.benchmark, ref)
+    finally:
+        index.close()
+    curves = _fleet_curves(spec.benchmark, spec.ref_boards, config, cache_dir)
+    boards = mint_fleet(spec, cal=config.cal)
+    prep = prepare_policies(spec, boards, curves, policies, config)
+
+    def request_for(policy: str, lo: int, hi: int) -> _Request:
+        return (
+            fleet_unit_id(spec, policy, lo, hi),
+            lambda: [
+                (run_fleet_unit, (spec, policy, lo, hi, config, cache_dir, prep))
+            ],
+            lambda results: results[0],
+        )
+
+    requests = [
+        request_for(policy, lo, hi)
+        for policy in policies
+        for lo, hi in fleet_chunks(spec.n_boards)
+    ]
+    campaign_id = (
+        campaign_fingerprint([r[0] for r in requests], config)
+        if journal is not None
+        else None
+    )
+    fabric, owned = _leased_fabric(fabric, jobs, cache)
+    try:
+        entries = _execute_cached(
+            requests,
+            config,
+            jobs,
+            cache,
+            journal=journal,
+            campaign_id=campaign_id,
+            resume=resume,
+            fabric=fabric,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
+    stats = None
+    if journal is not None and campaign_id is not None:
+        stats = journal.last_run(campaign_id)
+    return CampaignOutcome(
+        entries=tuple(entries),
+        config=config,
+        jobs=jobs,
+        campaign_id=campaign_id,
+        journal_stats=stats,
+    )
+
+
+def fleet_policy_rows(
+    outcome: CampaignOutcome, spec, policies: Sequence[str]
+) -> dict[str, list[dict]]:
+    """Reassemble per-policy board rows from a fleet campaign outcome."""
+    rows: dict[str, list[dict]] = {}
+    for policy in policies:
+        rows[policy] = []
+        for lo, hi in fleet_chunks(spec.n_boards):
+            entry = outcome.entry(fleet_unit_id(spec, policy, lo, hi))
+            rows[policy].extend(entry.result.rows)
+    return rows

@@ -76,3 +76,50 @@ class TestAdaptation:
     def test_savings_require_a_hold(self, controller):
         with pytest.raises(RuntimeError):
             controller.savings_summary()
+
+
+class TestHonestReporting:
+    """A controller that never found a loss-free point must say so."""
+
+    def test_loss_free_summary_carries_honesty_flags(self, controller):
+        controller.adapt(start_mv=850.0)
+        summary = controller.savings_summary()
+        assert summary["held_loss_free"] is True
+        assert summary["found_loss_free_point"] is True
+        assert "reason" not in summary
+
+    def test_degraded_hold_reports_no_savings(self, controller):
+        # Starting inside the critical region: the first point is already
+        # degraded, so the controller backs off 10 mV and holds on a point
+        # that is *still* degraded.  The old summary reported a ~50%
+        # "saving" for this parked-on-garbage state.
+        held = controller.adapt(start_mv=545.0)
+        assert not held.loss_free or held.accuracy < (
+            controller.session.workload.clean_accuracy - 0.01
+        )
+        summary = controller.savings_summary()
+        assert summary["held_loss_free"] is False
+        assert summary["found_loss_free_point"] is False
+        assert "power_saving_pct" not in summary
+        assert "gops_per_watt_gain" not in summary
+        assert "not loss-free" in summary["reason"]
+
+    def test_crash_without_safe_point_reports_no_search_success(
+        self, fast_config, vggnet_workload
+    ):
+        # Starting below Vcrash: the very first probe hangs the board, and
+        # with no last-safe point the recovery parks at Vnom.  The held
+        # point is loss-free (it *is* nominal operation) but the summary
+        # must record that the search never found a loss-free undervolted
+        # point, and the "saving" vs nominal is nil.
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        dvc = DynamicVoltageController(session, step_mv=10.0)
+        held = dvc.adapt(start_mv=530.0)
+        assert session.board.is_alive
+        assert held.vccint_mv == pytest.approx(850.0)
+        summary = dvc.savings_summary()
+        assert summary["held_loss_free"] is True
+        assert summary["found_loss_free_point"] is False
+        assert summary["power_saving_pct"] == pytest.approx(0.0, abs=0.5)

@@ -1,0 +1,55 @@
+"""Fleet-simulator fixtures.
+
+The expensive step is characterizing the three reference boards (one sweep
+campaign per board), so the warm store is session-scoped and every test
+reads curves out of it.  The config is deliberately small — the simulator's
+properties are structural, not statistical, so a 16-sample adaptive sweep
+pins them just as well as the full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.fleet.policy import RefCurve
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import ExecutionPlan, run_sweep_campaign
+from repro.runtime.query import open_index
+
+FLEET_TEST_SEED = 2020
+FLEET_REF_BOARDS = (0, 1, 2)
+FLEET_BENCHMARK = "vggnet"
+
+
+@pytest.fixture(scope="session")
+def fleet_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=FLEET_TEST_SEED, repeats=1, samples=16, strategy="adaptive"
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_store(tmp_path_factory, fleet_config) -> ResultCache:
+    """Result cache pre-warmed with the reference-board sweeps."""
+    cache = ResultCache(tmp_path_factory.mktemp("fleet-store"))
+    run_sweep_campaign(
+        FLEET_BENCHMARK,
+        FLEET_REF_BOARDS,
+        fleet_config,
+        plan=ExecutionPlan(jobs=1),
+        cache=cache,
+    )
+    return cache
+
+
+@pytest.fixture(scope="session")
+def ref_curves(fleet_store, fleet_config) -> dict[int, RefCurve]:
+    index = open_index(fleet_store.root, config=fleet_config)
+    try:
+        return {
+            b: RefCurve.from_index(index, FLEET_BENCHMARK, b)
+            for b in FLEET_REF_BOARDS
+        }
+    finally:
+        index.close()

@@ -1,0 +1,118 @@
+"""Property tests for the fleet simulator.
+
+Three structural guarantees, asserted over hypothesis-drawn fleets:
+
+1. **Shard invariance** — simulating the fleet in chunks is bit-identical
+   (canonical JSON) to simulating it whole, because every random draw is
+   keyed by ``(fleet_seed, board_id, ...)`` and the trace is split across
+   the full fleet before slicing.
+2. **Nominal safety** — the nominal policy never violates an SLO, never
+   crashes, and serves at exactly the clean accuracy.
+3. **Energy ordering** — nominal >= static-guardband >= per-board-vmin,
+   the paper's guardband story made monotone by the capped droop
+   multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.boards import FleetSpec, mint_fleet
+from repro.fleet.policy import prepare_policies
+from repro.fleet.simulator import fleet_trace, simulate_fleet, split_trace
+from repro.runtime.query import to_json
+
+# Policies whose preparation is pure table lookup (no controller run), so
+# hypothesis can afford fresh fleets per example.
+CHEAP_POLICIES = ("nominal", "static-guardband", "per-board-vmin", "mitigated")
+
+
+def _spec(**kw) -> st.SearchStrategy[FleetSpec]:
+    return st.builds(
+        FleetSpec,
+        n_boards=st.integers(min_value=2, max_value=24),
+        fleet_seed=st.integers(min_value=0, max_value=99),
+        transient_severity=st.floats(min_value=0.2, max_value=3.0),
+        **{k: st.just(v) for k, v in kw.items()},
+    )
+
+
+class TestShardInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        spec=_spec(),
+        trace_kind=st.sampled_from(("steady", "poisson", "diurnal")),
+        policy=st.sampled_from(CHEAP_POLICIES),
+    )
+    def test_chunked_equals_whole(
+        self, spec, trace_kind, policy, ref_curves, fleet_config
+    ):
+        spec = replace(spec, trace_kind=trace_kind)
+        boards = mint_fleet(spec)
+        prep = prepare_policies(spec, boards, ref_curves, (policy,), fleet_config)
+        whole = simulate_fleet(spec, boards, ref_curves, prep, policy)
+        cut = spec.n_boards // 2
+        chunked = simulate_fleet(
+            spec, boards, ref_curves, prep, policy, board_range=(0, cut)
+        ) + simulate_fleet(
+            spec, boards, ref_curves, prep, policy, board_range=(cut, spec.n_boards)
+        )
+        assert to_json(whole) == to_json(chunked)
+
+    @settings(max_examples=8, deadline=None)
+    @given(spec=_spec(), n=st.integers(min_value=1, max_value=7))
+    def test_split_trace_partitions_arrivals(self, spec, n, ref_curves):
+        trace = fleet_trace(spec)
+        slices = split_trace(trace, n)
+        merged = sorted(t for s in slices for t in s.arrivals_s)
+        assert merged == sorted(trace.arrivals_s)
+        assert all(s.duration_s == trace.duration_s for s in slices)
+
+
+class TestNominalSafety:
+    @settings(max_examples=8, deadline=None)
+    @given(spec=_spec(trace_kind="steady"))
+    def test_nominal_never_violates_slo_or_loses_accuracy(
+        self, spec, ref_curves, fleet_config
+    ):
+        boards = mint_fleet(spec)
+        prep = prepare_policies(
+            spec, boards, ref_curves, ("nominal",), fleet_config
+        )
+        for row in simulate_fleet(spec, boards, ref_curves, prep, "nominal"):
+            assert row["slo_violations"] == 0
+            assert row["crashes"] == 0
+            assert row["dropped"] == 0
+            assert row["accuracy_loss"] == 0.0
+            assert row["served"] == row["requests"]
+
+
+class TestEnergyOrdering:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        spec=_spec(),
+        trace_kind=st.sampled_from(("steady", "poisson")),
+    )
+    def test_nominal_geq_static_geq_per_board(
+        self, spec, trace_kind, ref_curves, fleet_config
+    ):
+        spec = replace(spec, trace_kind=trace_kind)
+        boards = mint_fleet(spec)
+        policies = ("nominal", "static-guardband", "per-board-vmin")
+        prep = prepare_policies(spec, boards, ref_curves, policies, fleet_config)
+        energy = {
+            p: sum(
+                r["energy_j"]
+                for r in simulate_fleet(spec, boards, ref_curves, prep, p)
+            )
+            for p in policies
+        }
+        slack = 1e-9
+        assert energy["nominal"] >= energy["static-guardband"] * (1.0 - slack)
+        assert (
+            energy["static-guardband"]
+            >= energy["per-board-vmin"] * (1.0 - slack)
+        )

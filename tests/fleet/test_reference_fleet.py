@@ -1,0 +1,78 @@
+"""The 16-board reference fleet against analysis/expectations.py.
+
+Pins the simulator's *output shape and orderings* — policy order, summary
+schema, the nominal zero-violation anchor, the structural energy chain,
+and the saving-percentage bands — so a semantics change in the simulator
+trips CI even when the run still "succeeds".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expectations as E
+from repro.fleet.boards import FleetSpec
+from repro.fleet.report import fleet_payload
+from repro.runtime.campaign import (
+    ExecutionPlan,
+    fleet_policy_rows,
+    run_fleet_campaign,
+)
+
+
+def _reference_payload(fleet_store, fleet_config) -> dict:
+    spec = FleetSpec(
+        benchmark=E.REFERENCE_FLEET_BENCHMARK,
+        n_boards=E.REFERENCE_FLEET_BOARDS,
+        fleet_seed=E.REFERENCE_FLEET_SEED,
+    )
+    outcome = run_fleet_campaign(
+        spec,
+        E.REFERENCE_FLEET_POLICIES,
+        fleet_config,
+        plan=ExecutionPlan(jobs=1),
+        cache=fleet_store,
+    )
+    rows = fleet_policy_rows(outcome, spec, E.REFERENCE_FLEET_POLICIES)
+    return fleet_payload(spec, rows)
+
+
+class TestReferenceFleet:
+    def test_output_shape_matches_expectation_table(
+        self, fleet_store, fleet_config
+    ):
+        payload = _reference_payload(fleet_store, fleet_config)
+        assert payload["policies"] == list(E.REFERENCE_FLEET_POLICIES)
+        summary = payload["summary"]
+        assert tuple(sorted(summary)) == tuple(
+            sorted(E.REFERENCE_FLEET_POLICIES)
+        )
+        for name in E.REFERENCE_FLEET_POLICIES:
+            assert tuple(sorted(summary[name])) == E.REFERENCE_FLEET_SUMMARY_KEYS
+            assert summary[name]["boards"] == E.REFERENCE_FLEET_BOARDS
+        boards = payload["boards"]
+        for name in E.REFERENCE_FLEET_POLICIES:
+            ids = [r["board_id"] for r in boards[name]]
+            assert ids == list(range(E.REFERENCE_FLEET_BOARDS))
+
+    def test_nominal_anchor_and_energy_orderings(
+        self, fleet_store, fleet_config
+    ):
+        summary = _reference_payload(fleet_store, fleet_config)["summary"]
+        nominal = summary["nominal"]
+        assert nominal["slo_violations"] == 0
+        assert nominal["crashes"] == 0
+        assert nominal["accuracy_loss"] == 0.0
+        assert nominal["energy_saved_pct"] == 0.0
+        assert nominal["served"] == nominal["requests"]
+
+        chain = [summary[p]["energy_j"] for p in E.REFERENCE_FLEET_ENERGY_ORDER]
+        assert chain == sorted(chain, reverse=True)
+
+        for policy, (lo, hi) in E.REFERENCE_FLEET_SAVING_BANDS_PCT.items():
+            saved = summary[policy]["energy_saved_pct"]
+            assert lo <= saved <= hi, (policy, saved)
+
+        margin = (
+            summary["per-board-vmin"]["energy_saved_pct"]
+            - summary["static-guardband"]["energy_saved_pct"]
+        )
+        assert margin >= E.REFERENCE_FLEET_PER_BOARD_MARGIN_PCT

@@ -72,3 +72,67 @@ class TestAnalyzer:
             analyzer.average_current_a(4.0, 0.0)
         with pytest.raises(ValueError):
             analyzer.average_current_a(-1.0, 0.5)
+
+
+class TestStreamDeterminism:
+    def test_analyzer_is_pure(self):
+        """The transient model is deterministic: same inputs, same droop."""
+        a, b = TransientAnalyzer(), TransientAnalyzer()
+        assert a.droop_for_workload(PRUNED_PROFILE, 4.2, 0.555) == b.droop_for_workload(
+            PRUNED_PROFILE, 4.2, 0.555
+        )
+
+    def test_profile_step_fraction_bounds_clamped_by_validation(self):
+        for bad in (-0.1, 1.0001, 2.0):
+            with pytest.raises(ValueError):
+                WorkloadCurrentProfile("bad", step_fraction=bad)
+        # Boundary values are legal.
+        WorkloadCurrentProfile("edge-lo", step_fraction=0.0)
+        WorkloadCurrentProfile("edge-hi", step_fraction=1.0)
+
+
+class TestTransientDuringHeldDvfsPoint:
+    """Cross-module: a supply transient at a held DVFS point hangs the
+    board, and re-adapting runs the documented power-cycle fallback."""
+
+    def test_droop_below_vcrash_hangs_and_controller_recovers(
+        self, fast_config, vggnet_workload
+    ):
+        from repro.core.dvfs import DynamicVoltageController
+        from repro.core.session import AcceleratorSession
+        from repro.errors import BoardHangError
+        from repro.fpga.board import make_board
+
+        session = AcceleratorSession(
+            make_board(sample=1), vggnet_workload, fast_config
+        )
+        controller = DynamicVoltageController(session, step_mv=10.0)
+        held = controller.adapt(start_mv=850.0)
+        assert held.action == "hold"
+
+        # A pathological PDN (20x the transient impedance) turns a pruned
+        # workload's phase step into a droop that dips the held point
+        # below this board's crash voltage.
+        analyzer = TransientAnalyzer(PdnModel(z_transient_ohm=0.05))
+        droop_v = analyzer.droop_for_workload(
+            PRUNED_PROFILE, held.power_w, held.vccint_mv / 1000.0
+        )
+        # The droop can undershoot the regulator's programmable range;
+        # the rail floor is still far below this board's crash voltage.
+        sagged_mv = max(
+            held.vccint_mv - droop_v * 1000.0,
+            session.board.cal.rail_v_low * 1000.0 + 1.0,
+        )
+        assert sagged_mv < session.board.cal.board_vcrash[1] * 1000.0
+
+        with pytest.raises(BoardHangError):
+            session.run_at(sagged_mv)
+        assert not session.board.is_alive
+
+        # Documented fallback: re-adapting (from nominal, as a restart
+        # would) power-cycles the hung board, records a "recover" step,
+        # and settles on a live hold.
+        recovered = controller.adapt(start_mv=850.0)
+        assert session.board.is_alive
+        assert recovered.action == "hold"
+        assert "recover" in {s.action for s in controller.history}

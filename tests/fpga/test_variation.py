@@ -89,3 +89,58 @@ class TestWorkloadEffects:
         """Pruned VGGNet crashes at 555 mV vs 540 mV baseline."""
         assert workload_vcrash_offset_v(pruned=True) == pytest.approx(0.015)
         assert workload_vcrash_offset_v(pruned=False) == 0.0
+
+
+class TestNamedStreams:
+    def test_synthetic_draw_comes_from_named_stream(self):
+        """Synthetic landmarks are pinned to the ``board-variation/{s}``
+        stream: reconstructing the draws from the stream name reproduces
+        the returned landmarks exactly (draw order: vmin then vcrash)."""
+        from repro.fpga.variation import _spread_sigma
+        from repro.rng import child_rng
+
+        sample = 11
+        rng = child_rng(0xB0A2D, f"board-variation/{sample}")
+        vmin = CAL.vmin_mean + rng.normal(0.0, _spread_sigma(CAL.board_vmin))
+        vcrash = CAL.vcrash_mean + rng.normal(
+            0.0, _spread_sigma(CAL.board_vcrash)
+        )
+        vcrash = min(vcrash, vmin - 0.010)
+        bv = board_variation(sample)
+        assert bv.vmin_v == vmin
+        assert bv.vcrash_v == vcrash
+
+    def test_streams_are_independent_across_samples(self):
+        landmarks = {
+            (board_variation(s).vmin_v, board_variation(s).vcrash_v)
+            for s in range(3, 23)
+        }
+        assert len(landmarks) == 20
+
+    def test_workload_jitter_stream_is_name_keyed(self):
+        from repro.rng import child_rng
+
+        cal = CAL.with_overrides(workload_vmin_jitter=0.003)
+        rng = child_rng(0xB0A2D, "workload-jitter/vggnet")
+        expected = -cal.workload_vmin_jitter * rng.uniform(0.0, 1.0)
+        assert workload_vmin_jitter_v("vggnet", cal) == expected
+
+
+class TestParameterClamping:
+    def test_vcrash_clamped_below_vmin_even_in_tails(self):
+        """A calibration with a huge Vcrash spread would let raw draws
+        land above Vmin; the clamp keeps every synthetic board physical
+        with at least 10 mV between the landmarks."""
+        cal = CAL.with_overrides(board_vcrash=(0.410, 0.540, 0.585))
+        clamped = 0
+        for s in range(3, 103):
+            bv = board_variation(s, cal)
+            assert bv.vcrash_v <= bv.vmin_v - 0.010 + 1e-12
+            if bv.vcrash_v == pytest.approx(bv.vmin_v - 0.010):
+                clamped += 1
+        assert clamped > 0, "spread this wide must exercise the clamp"
+
+    def test_jitter_never_positive(self):
+        cal = CAL.with_overrides(workload_vmin_jitter=0.003)
+        for name in ("vggnet", "googlenet", "alexnet", "resnet50", "inception"):
+            assert workload_vmin_jitter_v(name, cal) <= 0.0
