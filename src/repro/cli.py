@@ -463,6 +463,7 @@ def _cmd_coordinate(args) -> int:
         resume=args.resume,
         lease_ttl_s=args.lease_ttl,
         linger_s=args.linger,
+        quarantine_strikes=args.quarantine_strikes,
         access_log=args.access_log,
         quiet=False,
     )
@@ -478,6 +479,15 @@ def _cmd_coordinate(args) -> int:
     except KeyboardInterrupt:
         coordinator.shutdown()
         thread.join(timeout=5.0)
+    quarantined = coordinator.quarantined_units
+    if quarantined:
+        # Partial-but-honest drain: the campaign gave up on poison
+        # units and must say so, but giving up *is* the success path —
+        # the alternative is re-leasing them forever.
+        print(
+            f"campaign drained with {len(quarantined)} quarantined unit(s): "
+            + ", ".join(sorted(quarantined)),
+        )
     return 0 if coordinator.drained else 1
 
 
@@ -494,6 +504,8 @@ def _cmd_worker(args) -> int:
             poll_s=args.poll,
             worker_id=args.id,
             max_units=args.max_units,
+            retry_budget_s=args.retry_budget,
+            timeout_s=args.timeout,
             quiet=False,
         )
     except WorkerError as exc:
@@ -501,6 +513,26 @@ def _cmd_worker(args) -> int:
         return 2
     print(json.dumps(stats.as_dict(), sort_keys=True))
     return 0 if stats.stopped in ("drained", "max-units") else 1
+
+
+def _cmd_workers(args) -> int:
+    import json
+
+    from repro.runtime.supervisor import run_supervisor
+
+    stats = run_supervisor(
+        args.connect,
+        args.cache_dir,
+        args.count,
+        jobs=args.jobs if args.jobs > 1 else None,
+        poll_s=args.poll,
+        retry_budget_s=args.retry_budget,
+        timeout_s=args.timeout,
+        max_restarts=args.max_restarts,
+        quiet=False,
+    )
+    print(json.dumps(stats.as_dict(), sort_keys=True))
+    return 0 if stats.abandoned == 0 and all(c == 0 for c in stats.exit_codes) else 1
 
 
 def _cmd_serve(args) -> int:
@@ -720,6 +752,12 @@ def build_parser() -> argparse.ArgumentParser:
              "and distribute only the frontier",
     )
     p_coord.add_argument(
+        "--quarantine-strikes", dest="quarantine_strikes", type=int, default=3,
+        help="lapsed leases + reported failures before a unit is "
+             "quarantined (excluded from leasing and reported) "
+             "instead of re-leased forever (default 3)",
+    )
+    p_coord.add_argument(
         "--access-log", dest="access_log", default=None,
         help="structured JSON access log: a file path, or '-' for stdout",
     )
@@ -760,10 +798,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after completing this many units (default: drain)",
     )
     p_worker.add_argument(
+        "--retry-budget", dest="retry_budget", type=float, default=30.0,
+        help="seconds without a single successful coordinator response "
+             "before the worker gives up (default 30)",
+    )
+    p_worker.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request HTTP timeout in seconds (default 30)",
+    )
+    p_worker.add_argument(
         "--id", default=None,
         help="worker id reported to the coordinator (default host-pid)",
     )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_workers = sub.add_parser(
+        "workers",
+        help="spawn and supervise N local campaign workers, restarting "
+             "crashed ones with backoff",
+    )
+    p_workers.add_argument(
+        "--connect", required=True,
+        help="coordinator base URL, e.g. http://127.0.0.1:8400",
+    )
+    p_workers.add_argument(
+        "-n", "--count", dest="count", type=int, default=2,
+        help="worker processes to supervise (default 2)",
+    )
+    p_workers.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache root (default {DEFAULT_CACHE_DIR}); each worker "
+             "gets its own workerN subdirectory",
+    )
+    p_workers.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="per-worker override of the shipped plan's worker count "
+             "(default 1 = honor the plan)",
+    )
+    p_workers.add_argument(
+        "--poll", type=float, default=None,
+        help="seconds between polls while all units are leased out",
+    )
+    p_workers.add_argument(
+        "--retry-budget", dest="retry_budget", type=float, default=None,
+        help="per-worker seconds without a successful coordinator "
+             "response before it gives up",
+    )
+    p_workers.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-worker per-request HTTP timeout in seconds",
+    )
+    p_workers.add_argument(
+        "--max-restarts", dest="max_restarts", type=int, default=5,
+        help="consecutive crashes tolerated per worker slot before the "
+             "supervisor abandons it (default 5)",
+    )
+    p_workers.set_defaults(func=_cmd_workers)
 
     p_serve = sub.add_parser(
         "serve",

@@ -44,6 +44,17 @@ embarrassingly parallel, cache-friendly workload:
   serving unfinished units to blob-syncing remote workers, with lease
   expiry and re-lease so dead workers degrade to "that unit runs
   elsewhere"; merged stores are byte-identical to a single-host run.
+* :mod:`repro.runtime.resilience` — the transport's fault-tolerance
+  primitives: :class:`RetryPolicy` (capped exponential backoff with
+  deterministic named-RNG jitter), per-endpoint circuit breakers, and
+  the lease-renewal heartbeat; every clock and sleep is injected.
+* :mod:`repro.runtime.chaos` — the deterministic fault injector: a
+  seeded TCP proxy (resets, delays, truncations, 5xx bursts on a
+  reproducible schedule) and the poison-unit hook, proving the
+  resilience layer against known fault sequences in CI's chaos smoke.
+* :mod:`repro.runtime.supervisor` — ``repro-undervolt workers``: spawn
+  and supervise N local worker processes, restarting crashed ones with
+  backoff, bounded per slot.
 * :mod:`repro.runtime.query` — the serving side: a read-through
   characterization index over the point store (exact/nearest/interpolated
   point lookup, Vmin/Vcrash landmarks, guardband maps) with an in-process
@@ -80,6 +91,7 @@ from repro.runtime.query import (
     RequestCoalescer,
     open_index,
 )
+from repro.runtime.resilience import CircuitBreaker, LeaseHeartbeat, RetryPolicy
 from repro.runtime.shards import WorkUnit, merge_unit_results, plan_units
 
 __all__ = [
@@ -93,14 +105,17 @@ __all__ = [
     "CampaignJournal",
     "CampaignOutcome",
     "CharacterizationIndex",
+    "CircuitBreaker",
     "DatasetKey",
     "ExecutionPlan",
+    "LeaseHeartbeat",
     "MeasurementLRU",
     "PointCache",
     "PointEntry",
     "PointStats",
     "RequestCoalescer",
     "ResultCache",
+    "RetryPolicy",
     "TaskOutcome",
     "WorkUnit",
     "WorkerFabric",

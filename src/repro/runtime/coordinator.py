@@ -19,6 +19,22 @@ coordinator never connects out):
     coordinator's library version), ``wait`` (everything is leased out;
     retry after a delay), or ``done`` (the campaign drained).
 
+``POST /renew``
+    A worker's lease heartbeat: extends a live lease's TTL so a
+    long-running unit is not re-leased mid-execution.  A stale or
+    unknown lease is answered as such and changes nothing — the
+    completion path resolves any race.
+
+``POST /fail``
+    A worker reports that a unit's execution raised, with the
+    traceback.  The failure releases the lease and counts one *strike*
+    against the unit; at ``quarantine_strikes`` strikes (reported
+    failures and lapsed leases both count) the unit is **quarantined**
+    — excluded from all further leasing, recorded in the journal, and
+    surfaced on ``/status`` and the final report — so a unit that
+    reliably kills workers drains the campaign to a partial-but-honest
+    result instead of being re-leased forever.
+
 ``POST /complete``
     A worker posts one finished unit: the result payload, its wall
     time, and the raw text of every point-store entry the unit wrote
@@ -84,6 +100,13 @@ DEFAULT_LINGER_S = 2.0
 
 #: Seconds a worker should wait before re-polling when all units are out.
 DEFAULT_RETRY_AFTER_S = 0.5
+
+#: Strikes (lapsed leases + reported failures) before a unit quarantines.
+DEFAULT_QUARANTINE_STRIKES = 3
+
+#: Characters of a reported traceback kept per unit (enough to diagnose,
+#: bounded so a pathological worker cannot balloon the board).
+_MAX_ERROR_CHARS = 2000
 
 #: ``/complete`` bodies carry a full unit result plus its point-store
 #: entries, so the coordinator accepts far larger bodies than the
@@ -164,10 +187,26 @@ class LeaseBoard:
     the next :meth:`lease` call (lazy expiry — nothing ticks), and a
     completion is accepted exactly once per unit regardless of how many
     workers raced it.
+
+    Every lapsed lease and every worker-reported failure counts one
+    *strike* against its unit (at most one strike per granted lease);
+    a unit reaching ``quarantine_strikes`` strikes moves to the
+    terminal ``quarantined`` state — never leased again, excluded from
+    :meth:`done`'s completion requirement — so a poison unit degrades
+    the campaign to a partial result instead of wedging it.
     """
 
-    def __init__(self, units, ttl_s: float = DEFAULT_LEASE_TTL_S, clock=time.monotonic):
+    def __init__(
+        self,
+        units,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock=time.monotonic,
+        quarantine_strikes: int = DEFAULT_QUARANTINE_STRIKES,
+    ):
+        if quarantine_strikes < 1:
+            raise ValueError(f"quarantine_strikes must be >= 1, got {quarantine_strikes}")
         self.ttl_s = float(ttl_s)
+        self.quarantine_strikes = int(quarantine_strikes)
         self._clock = clock
         self._order = [unit["unit_id"] for unit in units]
         self._units = {
@@ -177,6 +216,8 @@ class LeaseBoard:
                 "lease_id": None,
                 "worker": None,
                 "expires": 0.0,
+                "strikes": 0,
+                "error": None,
             }
             for unit in units
         }
@@ -184,18 +225,33 @@ class LeaseBoard:
         #: Lifetime counters, surfaced on ``/status``.
         self.leases_granted = 0
         self.leases_expired = 0
+        self.leases_renewed = 0
         self.completions = 0
         self.duplicates = 0
         self.late_completions = 0
+        self.failures_reported = 0
+
+    def _strike(self, state: dict, error: str | None) -> bool:
+        """Count one strike; returns whether the unit just quarantined."""
+        state["strikes"] += 1
+        if error:
+            state["error"] = error[:_MAX_ERROR_CHARS]
+        if state["strikes"] >= self.quarantine_strikes:
+            state["status"] = "quarantined"
+            state["lease_id"] = None
+            state["worker"] = None
+            return True
+        state["status"] = "pending"
+        state["lease_id"] = None
+        state["worker"] = None
+        return False
 
     def _expire_stale(self) -> None:
         now = self._clock()
         for state in self._units.values():
             if state["status"] == "leased" and now >= state["expires"]:
-                state["status"] = "pending"
-                state["lease_id"] = None
-                state["worker"] = None
                 self.leases_expired += 1
+                self._strike(state, None)
 
     def lease(self, worker: str) -> tuple[dict, str] | None:
         """Lease the first available unit to ``worker``; None = all out.
@@ -218,6 +274,43 @@ class LeaseBoard:
             return state["unit"], lease_id
         return None
 
+    def renew(self, unit_id: str, lease_id: str | None) -> str:
+        """Extend one live lease: ``renewed`` / ``stale`` / ``unknown``.
+
+        The worker-side heartbeat calls this at a fraction of the TTL
+        so long-running units never lapse mid-execution.  A lease that
+        already expired (or was re-leased) answers ``stale`` and is
+        *not* resurrected — the completion path resolves that race.
+        """
+        self._expire_stale()
+        state = self._units.get(unit_id)
+        if state is None:
+            return "unknown"
+        if state["status"] != "leased" or lease_id != state["lease_id"]:
+            return "stale"
+        state["expires"] = self._clock() + self.ttl_s
+        self.leases_renewed += 1
+        return "renewed"
+
+    def fail(self, unit_id: str, lease_id: str | None, error: str | None = None) -> str:
+        """Record a worker-reported execution failure for one unit.
+
+        Returns ``failed`` (strike counted, unit open again),
+        ``quarantined`` (that strike was the last), ``stale`` (the
+        report's lease is not the active one — its lease already lapsed
+        and struck, so counting again would double-strike one lease),
+        or ``unknown``.  Failures on completed units are ``stale`` too:
+        a deterministic result already landed, the report is noise.
+        """
+        self._expire_stale()
+        state = self._units.get(unit_id)
+        if state is None:
+            return "unknown"
+        if state["status"] != "leased" or lease_id != state["lease_id"]:
+            return "stale"
+        self.failures_reported += 1
+        return "quarantined" if self._strike(state, error) else "failed"
+
     def complete(self, unit_id: str, lease_id: str | None) -> str:
         """Record one completion: ``accepted`` / ``duplicate`` / ``unknown``.
 
@@ -226,7 +319,9 @@ class LeaseBoard:
         unit expired and was re-leased, but the original worker finished
         anyway) is still accepted when the unit is open — results are
         deterministic, so whoever lands first lands the same bytes —
-        and counted in ``late_completions``.
+        and counted in ``late_completions``.  Quarantine is terminal:
+        a completion arriving after quarantine is answered
+        ``quarantined`` and merges nothing.
         """
         state = self._units.get(unit_id)
         if state is None:
@@ -234,6 +329,8 @@ class LeaseBoard:
         if state["status"] == "completed":
             self.duplicates += 1
             return "duplicate"
+        if state["status"] == "quarantined":
+            return "quarantined"
         if state["status"] == "leased" and lease_id != state["lease_id"]:
             self.late_completions += 1
         state["status"] = "completed"
@@ -250,12 +347,31 @@ class LeaseBoard:
             self.completions += 1
 
     def done(self) -> bool:
-        """Whether every unit has completed."""
+        """Whether every unit reached a terminal state.
+
+        Completed and quarantined both count: a campaign with a poison
+        unit drains to a partial-but-honest result (the quarantine is
+        reported) rather than re-leasing it forever.
+        """
+        return all(
+            state["status"] in ("completed", "quarantined") for state in self._units.values()
+        )
+
+    def fully_completed(self) -> bool:
+        """Whether every unit completed (no quarantines)."""
         return all(state["status"] == "completed" for state in self._units.values())
+
+    def quarantined(self) -> dict:
+        """Quarantined units: ``{unit_id: {"strikes": n, "error": ...}}``."""
+        return {
+            unit_id: {"strikes": state["strikes"], "error": state["error"]}
+            for unit_id, state in self._units.items()
+            if state["status"] == "quarantined"
+        }
 
     def counts(self) -> dict:
         """Unit counts by status (stale leases counted as leased)."""
-        counts = {"pending": 0, "leased": 0, "completed": 0}
+        counts = {"pending": 0, "leased": 0, "completed": 0, "quarantined": 0}
         for state in self._units.values():
             counts[state["status"]] += 1
         return counts
@@ -266,9 +382,12 @@ class LeaseBoard:
             "units": self.counts(),
             "leases_granted": self.leases_granted,
             "leases_expired": self.leases_expired,
+            "leases_renewed": self.leases_renewed,
             "completions": self.completions,
             "duplicates": self.duplicates,
             "late_completions": self.late_completions,
+            "failures_reported": self.failures_reported,
+            "quarantined": self.quarantined(),
         }
 
 
@@ -296,6 +415,7 @@ class CampaignCoordinator:
         resume: bool = False,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         linger_s: float = DEFAULT_LINGER_S,
+        quarantine_strikes: int = DEFAULT_QUARANTINE_STRIKES,
         access_log=None,
         quiet: bool = True,
         clock=time.monotonic,
@@ -315,7 +435,13 @@ class CampaignCoordinator:
             access_log = AccessLog(access_log)
         self.access_log = access_log
         self.units = list(units)
-        self.board = LeaseBoard(self.units, ttl_s=lease_ttl_s, clock=clock)
+        self.board = LeaseBoard(
+            self.units,
+            ttl_s=lease_ttl_s,
+            clock=clock,
+            quarantine_strikes=quarantine_strikes,
+        )
+        self._journaled_quarantines: set[str] = set()
         self.campaign_id = campaign_fingerprint([unit["unit_id"] for unit in self.units], config)
         self._prior_completed: set[str] = set()
         self._fingerprints = {unit["unit_id"]: unit["fingerprint"] for unit in self.units}
@@ -367,8 +493,44 @@ class CampaignCoordinator:
 
     @property
     def drained(self) -> bool:
-        """Whether every unit completed (the CLI's exit-code signal)."""
+        """Whether every unit reached a terminal state (the CLI's exit signal).
+
+        Quarantined units count as drained: the campaign delivered a
+        partial-but-honest result and *reported* what it could not
+        compute, which is success for the control plane — spinning
+        forever on a poison unit is the failure mode.
+        """
         return self.board.done()
+
+    @property
+    def quarantined_units(self) -> dict:
+        """Quarantined units with strike counts and last reported error."""
+        return self.board.quarantined()
+
+    def _sync_quarantines(self) -> None:
+        """Journal any newly quarantined units and arm the drain linger.
+
+        Quarantine can happen lazily (a lease expiry during ``/lease``
+        counts the final strike), so every mutating handler funnels
+        through here rather than only ``/fail``.
+        """
+        for unit_id, info in self.board.quarantined().items():
+            if unit_id in self._journaled_quarantines:
+                continue
+            self._journaled_quarantines.add(unit_id)
+            if not self.quiet:
+                print(
+                    f"quarantined {unit_id} after {info['strikes']} strikes",
+                    flush=True,
+                )
+            if self.journal is not None:
+                self.journal.record_quarantine(
+                    self.campaign_id,
+                    self._fingerprints[unit_id],
+                    unit_id=unit_id,
+                    error=info["error"] or "",
+                )
+        self._arm_linger_if_done()
 
     async def run_async(self, install_signal_handlers: bool = False) -> None:
         """Boot, bind, and serve until the campaign drains (or shutdown)."""
@@ -401,6 +563,13 @@ class CampaignCoordinator:
             if not self.quiet:
                 state = "drained" if self.drained else "stopped early"
                 print(f"coordinator {state}: {self.board.snapshot()}", flush=True)
+                for unit_id, info in self.board.quarantined().items():
+                    error = (info["error"] or "no traceback reported").splitlines()
+                    print(
+                        f"QUARANTINED {unit_id}: {info['strikes']} strikes; "
+                        f"{error[-1] if error else ''}",
+                        flush=True,
+                    )
         finally:
             self.access_log.close()
             self._ready.set()
@@ -500,10 +669,14 @@ class CampaignCoordinator:
             return self._serve_blob(path[len("/blobs/") :])
         if path == "/lease" and request.method == "POST":
             return 200, json_bytes(self._lease(request)), "application/json"
+        if path == "/renew" and request.method == "POST":
+            return 200, json_bytes(self._renew(request)), "application/json"
+        if path == "/fail" and request.method == "POST":
+            return 200, json_bytes(self._fail(request)), "application/json"
         if path == "/complete" and request.method == "POST":
             status, payload = self._complete(request)
             return status, json_bytes(payload), "application/json"
-        if path in ("/healthz", "/status", "/blobs", "/lease", "/complete"):
+        if path in ("/healthz", "/status", "/blobs", "/lease", "/renew", "/fail", "/complete"):
             return 405, error_bytes(f"method {request.method} not allowed"), "application/json"
         return 404, error_bytes(f"unknown path {path}"), "application/json"
 
@@ -538,7 +711,12 @@ class CampaignCoordinator:
             self._arm_linger_if_done()
             return {"status": "done", "campaign_id": self.campaign_id}
         leased = self.board.lease(worker)
+        # Leasing expires stale leases lazily, and an expiry can be the
+        # strike that quarantines a unit — sync before answering.
+        self._sync_quarantines()
         if leased is None:
+            if self.board.done():
+                return {"status": "done", "campaign_id": self.campaign_id}
             return {"status": "wait", "retry_after_s": DEFAULT_RETRY_AFTER_S}
         unit, lease_id = leased
         return {
@@ -573,6 +751,29 @@ class CampaignCoordinator:
             self._merge(unit_id, fingerprint, payload)
             self._arm_linger_if_done()
         return 200, {"status": verdict, "done": self.board.done()}
+
+    def _renew(self, request: Request) -> dict:
+        payload = _json_body(request)
+        unit_id = payload.get("unit_id")
+        if unit_id is None:
+            raise ValueError("renew requires a unit_id")
+        verdict = self.board.renew(str(unit_id), payload.get("lease_id"))
+        self._sync_quarantines()
+        return {"status": verdict, "done": self.board.done()}
+
+    def _fail(self, request: Request) -> dict:
+        payload = _json_body(request)
+        unit_id = payload.get("unit_id")
+        if unit_id is None:
+            raise ValueError("fail requires a unit_id")
+        error = payload.get("error")
+        verdict = self.board.fail(
+            str(unit_id),
+            payload.get("lease_id"),
+            error=str(error) if error is not None else None,
+        )
+        self._sync_quarantines()
+        return {"status": verdict, "done": self.board.done()}
 
     def _merge(self, unit_id: str, fingerprint: str, payload: dict) -> None:
         """Write one accepted completion through to the local stores.
@@ -645,6 +846,7 @@ def make_coordinator(
     resume: bool = False,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     linger_s: float = DEFAULT_LINGER_S,
+    quarantine_strikes: int = DEFAULT_QUARANTINE_STRIKES,
     access_log=None,
     quiet: bool = True,
 ) -> CampaignCoordinator:
@@ -664,6 +866,7 @@ def make_coordinator(
         resume=resume,
         lease_ttl_s=lease_ttl_s,
         linger_s=linger_s,
+        quarantine_strikes=quarantine_strikes,
         access_log=access_log,
         quiet=quiet,
     )
@@ -690,6 +893,7 @@ __all__ = [
     "COORDINATOR_MAX_BODY",
     "DEFAULT_LEASE_TTL_S",
     "DEFAULT_LINGER_S",
+    "DEFAULT_QUARANTINE_STRIKES",
     "DEFAULT_RETRY_AFTER_S",
     "CampaignCoordinator",
     "LeaseBoard",

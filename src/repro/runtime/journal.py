@@ -78,6 +78,8 @@ class ResumeStats:
     #: Cache hits on units this journal never saw complete (e.g. a cache
     #: shared across campaigns).
     cached: int = 0
+    #: Units quarantined this run (poison units the campaign gave up on).
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot (the shape journal run records store)."""
@@ -88,6 +90,7 @@ class ResumeStats:
             "recomputed": self.recomputed,
             "fresh": self.fresh,
             "cached": self.cached,
+            "quarantined": self.quarantined,
         }
 
 
@@ -211,6 +214,38 @@ class CampaignJournal:
             run = record["runs"][-1]
             run["completed"] = run.get("completed", 0) + 1
             run[outcome] = run.get(outcome, 0) + 1
+            self._write(payload)
+
+    def record_quarantine(
+        self,
+        campaign_id: str,
+        fingerprint: str,
+        unit_id: str | None = None,
+        error: str = "",
+    ) -> None:
+        """Mark one unit quarantined (terminal: the campaign gave up on it).
+
+        The unit keeps its journal entry with ``status: "quarantined"``
+        and the last reported error, so a post-mortem (or a ``--resume``
+        after the underlying fault is fixed) can see exactly which units
+        the campaign could not compute and why.
+        """
+        with self._locked():
+            payload = self._read()
+            record = payload.setdefault("campaigns", {}).setdefault(
+                campaign_id, {"units": {}, "runs": []}
+            )
+            unit = record["units"].setdefault(fingerprint, {"unit": unit_id or fingerprint})
+            if unit_id is not None:
+                unit["unit"] = unit_id
+            unit["status"] = "quarantined"
+            unit["outcome"] = "quarantined"
+            if error:
+                unit["error"] = error
+            if not record["runs"]:
+                record["runs"].append({"resume": False, **ResumeStats().as_dict()})
+            run = record["runs"][-1]
+            run["quarantined"] = run.get("quarantined", 0) + 1
             self._write(payload)
 
     # ------------------------------------------------------------------

@@ -16,53 +16,160 @@ directory, nothing about the campaign.  Each cycle it
 3. **executes** the unit on its local runtime — the same
    :func:`~repro.runtime.campaign.run_sweep_unit` /
    ``registry.run_unit`` paths a single-host campaign drives, writing
-   the same local point store and result cache; and
+   the same local point store and result cache — unless its local
+   content-addressed cache already holds the unit's result (a warm
+   worker posts the cached result straight back; the fingerprint embeds
+   config and version, so skew cannot smuggle stale bytes); and
 4. **posts** the result plus the raw text of every point entry the unit
    produced to ``POST /complete`` for the coordinator to merge.
+
+The transport assumes faults (:mod:`repro.runtime.resilience`): every
+endpoint sits behind a circuit breaker, retries back off exponentially
+with deterministic per-worker jitter, a server ``Retry-After`` always
+wins, and a :class:`~repro.runtime.resilience.LeaseHeartbeat` renews
+the lease while a unit executes so slow units are not re-leased out
+from under the worker.  Failures split into two kinds the loop treats
+differently: :class:`CoordinatorUnreachable` (connection-level — refused,
+reset, timed out) and :class:`TransientProtocolError` (the coordinator
+answered, but badly: 5xx, truncated body, malformed JSON).  Both retry;
+only sustained silence exhausts the ``retry_budget_s``.
+
+A unit whose *execution* raises is reported to ``POST /fail`` with the
+traceback — the coordinator counts strikes and quarantines repeat
+offenders — and the worker moves on to the next lease rather than dying.
 
 Determinism does the heavy lifting: because every unit is a pure
 function of ``(unit_id, config, version)``, the coordinator can re-lease
 a unit whose worker died, accept whichever completion lands first, and
 still end up with stores byte-identical to a single-host serial run.
+That same determinism is why retrying ``/complete`` and ``/fail`` is
+safe: a re-post lands as a duplicate (or a stale lease) and changes
+nothing.
 
 A worker exits cleanly when the coordinator answers ``done``, when it
 reaches ``max_units`` (the tests' stand-in for a worker dying between
-units), or when the coordinator stays unreachable past its retry
-budget (a drained coordinator shuts down, so "connection refused" after
+units), or when the coordinator stays unreachable past ``retry_budget_s``
+(a drained coordinator shuts down, so "connection refused" after
 completed work usually *is* the success path).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import socket
 import time
+import traceback
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.runtime.cache import ResultCache, normalize_result, result_to_payload
+from repro.runtime.chaos import PoisonedUnitError, poison_units
 from repro.runtime.hashing import current_version
 from repro.runtime.plan import ExecutionPlan, config_from_wire
-
-#: Consecutive connection failures tolerated before the worker gives up.
-DEFAULT_MAX_FAILURES = 5
+from repro.runtime.resilience import (
+    DEFAULT_RETRY_BUDGET_S,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    LeaseHeartbeat,
+    call_with_retries,
+)
 
 
 class WorkerError(RuntimeError):
     """A worker-fatal protocol problem (version skew, malformed lease)."""
 
 
-class CoordinatorClient:
-    """Tiny blocking HTTP client for the coordinator's JSON protocol."""
+class CoordinatorUnreachable(ConnectionError):
+    """The coordinator did not answer at all: refused, reset, timed out.
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    Retryable; a worker gives up only after ``retry_budget_s`` of
+    sustained silence (counted from the last successful response).
+    """
+
+
+class TransientProtocolError(RuntimeError):
+    """The coordinator answered, but unusably: 5xx, truncated, bad JSON.
+
+    Retryable.  ``retry_after_s`` carries the response's ``Retry-After``
+    header when the server sent one, and overrides the retry policy's
+    backoff (:func:`repro.runtime.resilience.call_with_retries` honors
+    the attribute by name).
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+#: Exceptions the worker's request paths retry (circuit-open included:
+#: the breaker's cooldown is shorter than the backoff tail).
+RETRYABLE = (CoordinatorUnreachable, TransientProtocolError, CircuitOpenError)
+
+
+class CoordinatorClient:
+    """Blocking HTTP client for the coordinator's JSON protocol.
+
+    Every endpoint gets its own :class:`CircuitBreaker`: a coordinator
+    melting down under ``/complete`` bodies should fast-fail completions
+    locally without also blocking the cheap ``/lease`` poll.  Failures
+    are classified into :class:`CoordinatorUnreachable` (nothing
+    answered) and :class:`TransientProtocolError` (a bad answer); 4xx
+    responses are returned to the caller as bodies — they are the
+    coordinator *speaking*, e.g. the 409 fingerprint rejection the
+    worker must surface, not a transport fault.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        failure_threshold: int | None = None,
+        reset_after_s: float | None = None,
+        clock=time.monotonic,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self._breaker_kwargs = {"clock": clock}
+        if failure_threshold is not None:
+            self._breaker_kwargs["failure_threshold"] = failure_threshold
+        if reset_after_s is not None:
+            self._breaker_kwargs["reset_after_s"] = reset_after_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, path: str) -> CircuitBreaker:
+        """The circuit breaker guarding one endpoint (created on demand)."""
+        endpoint = "/" + path.lstrip("/").split("/", 1)[0]
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(name=endpoint, **self._breaker_kwargs)
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    def breaker_snapshot(self) -> dict:
+        """Per-endpoint circuit state and counters (worker stats)."""
+        return {
+            name: {"state": b.state, "opened": b.opened, "rejected": b.rejected}
+            for name, b in sorted(self._breakers.items())
+        }
+
+    @staticmethod
+    def _retry_after(headers) -> float | None:
+        value = headers.get("Retry-After") if headers is not None else None
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except (TypeError, ValueError):
+            return None
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> bytes:
+        breaker = self.breaker(path)
+        breaker.check()
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -72,13 +179,45 @@ class CoordinatorClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return response.read()
+                data = response.read()
         except urllib.error.HTTPError as exc:
-            # 4xx/5xx still carry a JSON body the caller wants to see.
-            return exc.read()
+            data = exc.read()
+            if exc.code >= 500:
+                breaker.record_failure()
+                raise TransientProtocolError(
+                    f"{method} {path} answered {exc.code}",
+                    retry_after_s=self._retry_after(exc.headers),
+                ) from None
+            # 4xx is the coordinator answering deliberately (409
+            # fingerprint rejection, 400 bad request): hand the body up.
+            breaker.record_success()
+            return data
+        except http.client.HTTPException as exc:
+            # Truncated or mangled response: the connection worked, the
+            # bytes did not (IncompleteRead, BadStatusLine, ...).
+            breaker.record_failure()
+            raise TransientProtocolError(
+                f"{method} {path} returned a broken response: {type(exc).__name__}"
+            ) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            breaker.record_failure()
+            reason = getattr(exc, "reason", exc)
+            raise CoordinatorUnreachable(f"{method} {path} unreachable: {reason}") from None
+        breaker.record_success()
+        return data
 
     def _json(self, method: str, path: str, payload: dict | None = None) -> dict:
-        return json.loads(self._request(method, path, payload).decode("utf-8"))
+        data = self._request(method, path, payload)
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            # A truncated body can still satisfy Content-Length checks at
+            # the socket layer; malformed JSON is the protocol-level tell.
+            self.breaker(path).record_failure()
+            raise TransientProtocolError(f"{method} {path} returned malformed JSON") from None
+        if not isinstance(decoded, dict):
+            raise TransientProtocolError(f"{method} {path} returned a non-object body")
+        return decoded
 
     def healthz(self) -> dict:
         """``GET /healthz``."""
@@ -87,6 +226,16 @@ class CoordinatorClient:
     def lease(self, worker: str) -> dict:
         """``POST /lease`` for one unit of work."""
         return self._json("POST", "/lease", {"worker": worker})
+
+    def renew(self, unit_id: str, lease_id: str) -> dict:
+        """``POST /renew`` — the lease heartbeat."""
+        return self._json("POST", "/renew", {"unit_id": unit_id, "lease_id": lease_id})
+
+    def fail(self, unit_id: str, lease_id: str, error: str) -> dict:
+        """``POST /fail`` — report one unit's execution failure."""
+        return self._json(
+            "POST", "/fail", {"unit_id": unit_id, "lease_id": lease_id, "error": error}
+        )
 
     def complete(self, payload: dict) -> dict:
         """``POST /complete`` with one finished unit."""
@@ -108,7 +257,17 @@ class WorkerStats:
     worker_id: str
     units_completed: int = 0
     units_duplicate: int = 0
+    #: Leased units answered from the local result cache without executing.
+    units_from_cache: int = 0
+    #: Units whose execution raised (reported to ``/fail``).
+    units_failed: int = 0
+    #: Completions the coordinator refused because the unit quarantined.
+    units_quarantined: int = 0
     blobs_synced: int = 0
+    #: Transport retries across all paths (unreachable, wait, transient).
+    retries: int = 0
+    #: Successful lease-heartbeat renewals.
+    lease_renewals: int = 0
     wall_s: float = 0.0
     #: ``drained`` | ``max-units`` | ``unreachable``
     stopped: str = "drained"
@@ -120,7 +279,12 @@ class WorkerStats:
             "worker_id": self.worker_id,
             "units_completed": self.units_completed,
             "units_duplicate": self.units_duplicate,
+            "units_from_cache": self.units_from_cache,
+            "units_failed": self.units_failed,
+            "units_quarantined": self.units_quarantined,
             "blobs_synced": self.blobs_synced,
+            "retries": self.retries,
+            "lease_renewals": self.lease_renewals,
             "wall_s": round(self.wall_s, 6),
             "stopped": self.stopped,
             "unit_ids": list(self.unit_ids),
@@ -164,11 +328,15 @@ def _execute_unit(
 
     Sweep units honor the shipped plan's ``dispatch`` — ``point`` mode
     drives the strategy here and ships rounds to the local fabric,
-    exactly as a single-host point-dispatch campaign would.
+    exactly as a single-host point-dispatch campaign would.  Units named
+    in ``REPRO_CHAOS_POISON_UNITS`` raise instead of running — the chaos
+    smoke's deterministic stand-in for a unit that crashes its worker.
     """
     from repro.experiments.registry import run_unit
     from repro.runtime.campaign import run_sweep_unit, run_sweep_unit_remote
 
+    if unit["unit_id"] in poison_units():
+        raise PoisonedUnitError(f"unit {unit['unit_id']!r} is poisoned for this run")
     point_root = str(cache.point_root)
     blob_root = str(cache.blob_root)
     if unit["kind"] == "sweep":
@@ -211,9 +379,12 @@ def run_worker(
     poll_s: float = 0.5,
     worker_id: str | None = None,
     max_units: int | None = None,
-    max_failures: int = DEFAULT_MAX_FAILURES,
+    retry_budget_s: float = DEFAULT_RETRY_BUDGET_S,
+    retry_policy: RetryPolicy | None = None,
+    timeout_s: float = 30.0,
     client: CoordinatorClient | None = None,
     quiet: bool = True,
+    sleep=time.sleep,
 ) -> WorkerStats:
     """Drain work from a coordinator until it says ``done``.
 
@@ -222,39 +393,66 @@ def run_worker(
     host's CPUs); everything else about execution comes from the
     coordinator.  ``max_units`` stops after N completions — the tests'
     deterministic stand-in for a worker that dies mid-campaign.
-    Transient connection failures are retried ``max_failures`` times;
-    a coordinator that stays gone ends the worker with ``stopped =
-    "unreachable"`` rather than an exception (a drained coordinator
-    exits first, so late workers routinely see this).
+
+    Transport faults retry under ``retry_policy`` (capped exponential
+    backoff, deterministic jitter keyed by ``worker_id``, ``Retry-After``
+    honored); the worker gives up with ``stopped = "unreachable"`` only
+    after ``retry_budget_s`` without a single successful response (a
+    drained coordinator exits first, so late workers routinely see
+    this).  A unit whose execution raises is reported to ``/fail`` and
+    the worker moves on; a lease heartbeat renews long-running units so
+    their leases never lapse mid-execution.
     """
     from repro.runtime.fabric import WorkerFabric
 
-    client = client or CoordinatorClient(connect)
+    client = client or CoordinatorClient(connect, timeout_s=timeout_s)
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    policy = (retry_policy or RetryPolicy()).named(f"worker/{worker_id}")
     cache = ResultCache(cache_dir)
     stats = WorkerStats(worker_id=worker_id)
     started = time.perf_counter()
-    failures = 0
+    last_success: float | None = None
+    lease_attempt = 0
+    wait_attempt = 0
     fabric: WorkerFabric | None = None
+
+    def _post(fn, name: str):
+        """Retry one idempotent post until success or the retry budget."""
+        return call_with_retries(
+            fn,
+            policy.named(f"worker/{worker_id}/{name}"),
+            retryable=RETRYABLE,
+            budget_s=retry_budget_s,
+            sleep=sleep,
+        )
+
     try:
         while max_units is None or stats.units_completed < max_units:
             try:
                 response = client.lease(worker_id)
-                failures = 0
-            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
-                failures += 1
-                if failures >= max_failures:
+            except RETRYABLE as exc:
+                now = time.monotonic()
+                if last_success is None:
+                    last_success = now
+                if now - last_success >= retry_budget_s:
                     stats.stopped = "unreachable"
                     break
-                time.sleep(poll_s)
+                stats.retries += 1
+                sleep(policy.delay(lease_attempt, getattr(exc, "retry_after_s", None)))
+                lease_attempt += 1
                 continue
+            last_success = time.monotonic()
+            lease_attempt = 0
             status = response.get("status")
             if status == "done":
                 stats.stopped = "drained"
                 break
             if status == "wait":
-                time.sleep(float(response.get("retry_after_s", poll_s)))
+                stats.retries += 1
+                sleep(policy.delay(wait_attempt, response.get("retry_after_s")))
+                wait_attempt += 1
                 continue
+            wait_attempt = 0
             if status != "lease":
                 raise WorkerError(f"unexpected lease response: {response!r}")
             if response.get("version") != current_version():
@@ -263,46 +461,104 @@ def run_worker(
                     f"worker runs {current_version()!r}; results would be rejected"
                 )
             unit = response["unit"]
+            unit_id = unit["unit_id"]
+            lease_id = response["lease_id"]
             config = config_from_wire(response["config"])
             plan = ExecutionPlan.from_wire(response["plan"])
             effective_jobs = (
                 plan.resolved_jobs() if jobs is None else ExecutionPlan(jobs=jobs).resolved_jobs()
             )
             config = plan.apply_to(config)
-            stats.blobs_synced += sync_blobs(client, cache.blob_root)
-            if effective_jobs > 1 and fabric is None:
-                fabric = WorkerFabric(effective_jobs, blob_root=str(cache.blob_root))
-            unit_started = time.perf_counter()
-            result = normalize_result(
-                _execute_unit(unit, config, plan, cache, effective_jobs, fabric)
-            )
-            wall_s = time.perf_counter() - unit_started
-            # Warm the local cache too: a re-leased or re-run unit on
-            # this host becomes a pure cache hit.
-            cache.store(unit["fingerprint"], unit["unit_id"], config, result, wall_s)
-            verdict = client.complete(
-                {
-                    "lease_id": response["lease_id"],
-                    "unit_id": unit["unit_id"],
-                    "fingerprint": unit["fingerprint"],
-                    "wall_s": wall_s,
-                    "result": result_to_payload(result),
-                    "points": _collect_points(cache, unit["unit_id"]),
-                }
-            )
+
+            # Trust-on-boot: the fingerprint embeds config and version
+            # (both already validated), so a local cache hit is exactly
+            # the result execution would recompute — post it instead.
+            hit = cache.load(unit["fingerprint"], unit_id)
+            if hit is not None:
+                result, wall_s = hit.result, hit.wall_s
+                stats.units_from_cache += 1
+            else:
+                try:
+                    # Blob sync is pull-only and skips existing files, so
+                    # retrying the whole pass after a mid-sync fault is safe.
+                    stats.blobs_synced += _post(
+                        lambda: sync_blobs(client, cache.blob_root), "blobs"
+                    )
+                except RETRYABLE:
+                    stats.stopped = "unreachable"
+                    break
+                if effective_jobs > 1 and fabric is None:
+                    fabric = WorkerFabric(effective_jobs, blob_root=str(cache.blob_root))
+                heartbeat = LeaseHeartbeat(
+                    lambda: client.renew(unit_id, lease_id).get("status") == "renewed",
+                    ttl_s=float(response.get("ttl_s", 60.0)),
+                )
+                unit_started = time.perf_counter()
+                try:
+                    with heartbeat:
+                        result = normalize_result(
+                            _execute_unit(unit, config, plan, cache, effective_jobs, fabric)
+                        )
+                except WorkerError:
+                    raise
+                except Exception:
+                    stats.units_failed += 1
+                    error = traceback.format_exc()
+                    if not quiet:
+                        print(
+                            f"[{worker_id}] {unit_id}: execution failed, reporting",
+                            flush=True,
+                        )
+                    try:
+                        # Safe to retry: a /fail re-post lands on an
+                        # already-released lease and answers "stale".
+                        _post(lambda: client.fail(unit_id, lease_id, error), "fail")
+                    except RETRYABLE:
+                        pass  # the lease TTL lapses and strikes for us
+                    continue
+                finally:
+                    stats.lease_renewals += heartbeat.renewals
+                wall_s = time.perf_counter() - unit_started
+                # Warm the local cache too: a re-leased or re-run unit
+                # on this host becomes a pure cache hit.
+                cache.store(unit["fingerprint"], unit_id, config, result, wall_s)
+
+            try:
+                verdict = _post(
+                    lambda: client.complete(
+                        {
+                            "lease_id": lease_id,
+                            "unit_id": unit_id,
+                            "fingerprint": unit["fingerprint"],
+                            "wall_s": wall_s,
+                            "result": result_to_payload(result),
+                            "points": _collect_points(cache, unit_id),
+                        }
+                    ),
+                    "complete",
+                )
+            except RETRYABLE:
+                # The result is safe in the local cache; if the campaign
+                # still needs this unit it re-leases (a cache hit here).
+                stats.stopped = "unreachable"
+                break
             if verdict.get("status") == "accepted":
                 stats.units_completed += 1
-                stats.unit_ids.append(unit["unit_id"])
+                stats.unit_ids.append(unit_id)
             elif verdict.get("status") == "duplicate":
                 stats.units_duplicate += 1
                 stats.units_completed += 1
-                stats.unit_ids.append(unit["unit_id"])
+                stats.unit_ids.append(unit_id)
+            elif verdict.get("status") == "quarantined":
+                # The unit struck out while we computed it; the campaign
+                # already gave up on it.  Nothing to merge, move on.
+                stats.units_quarantined += 1
             else:
-                raise WorkerError(f"coordinator rejected {unit['unit_id']!r}: {verdict!r}")
+                raise WorkerError(f"coordinator rejected {unit_id!r}: {verdict!r}")
             if not quiet:
                 print(
-                    f"[{worker_id}] {unit['unit_id']}: {verdict.get('status')} "
-                    f"({wall_s:.2f}s)",
+                    f"[{worker_id}] {unit_id}: {verdict.get('status')} "
+                    f"({wall_s:.2f}s{', cached' if hit is not None else ''})",
                     flush=True,
                 )
         else:
@@ -315,8 +571,10 @@ def run_worker(
 
 
 __all__ = [
-    "DEFAULT_MAX_FAILURES",
+    "RETRYABLE",
     "CoordinatorClient",
+    "CoordinatorUnreachable",
+    "TransientProtocolError",
     "WorkerError",
     "WorkerStats",
     "run_worker",

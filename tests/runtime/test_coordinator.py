@@ -70,7 +70,7 @@ class TestLeaseBoard:
         assert board.complete("u0", lease_a) == "accepted"
         assert board.complete("u1", lease_b) == "accepted"
         assert board.done()
-        assert board.counts() == {"pending": 0, "leased": 0, "completed": 2}
+        assert board.counts() == {"pending": 0, "leased": 0, "completed": 2, "quarantined": 0}
 
     def test_expired_lease_is_handed_to_the_next_worker(self):
         """A dead worker degrades to 'that unit runs elsewhere'."""

@@ -1,0 +1,219 @@
+"""Resilience-layer tests: backoff determinism, circuits, heartbeats.
+
+Everything here runs on injected clocks and recorded sleeps — the point
+of :mod:`repro.runtime.resilience` is that none of its timing behavior
+needs wall-clock time to verify.
+"""
+
+import pytest
+
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    LeaseHeartbeat,
+    RetryPolicy,
+    call_with_retries,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_s=0.1, max_s=1.0, multiplier=2.0, jitter=0.0)
+        assert policy.delays(6) == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jittered_delays_are_deterministic_per_seed_and_name(self):
+        policy = RetryPolicy(seed=7, name="w1")
+        assert policy.delays(5) == RetryPolicy(seed=7, name="w1").delays(5)
+
+    def test_jitter_shrinks_within_bounds_and_varies_by_name(self):
+        a = RetryPolicy(seed=7, name="w1", jitter=0.25)
+        b = a.named("w2")
+        for attempt in range(5):
+            backoff = a.backoff(attempt)
+            assert backoff * 0.75 <= a.delay(attempt) <= backoff
+        assert a.delays(5) != b.delays(5)
+
+    def test_retry_after_overrides_backoff(self):
+        policy = RetryPolicy(base_s=0.1, jitter=0.0)
+        assert policy.delay(3, retry_after_s=0.01) == 0.01
+        assert policy.delay(0, retry_after_s=-5.0) == 0.0  # clamped, not negative
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_s=0.01, base_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opened == 1 and breaker.rejected == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=2.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(2.0)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # second caller refused while probing
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_probe_failure_reopens_for_a_full_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opened == 2
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_check_raises_when_open(self):
+        breaker = CircuitBreaker(name="/lease", failure_threshold=1, clock=FakeClock())
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError, match="/lease"):
+            breaker.check()
+
+
+class Flaky(RuntimeError):
+    pass
+
+
+class TestCallWithRetries:
+    def test_retries_until_success_with_policy_delays(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise Flaky("not yet")
+            return "ok"
+
+        policy = RetryPolicy(base_s=0.1, multiplier=2.0, jitter=0.0)
+        result = call_with_retries(fn, policy, retryable=(Flaky,), sleep=sleeps.append)
+        assert result == "ok"
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_non_retryable_propagates_immediately(self):
+        def fn():
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            call_with_retries(fn, RetryPolicy(), retryable=(Flaky,), sleep=lambda s: None)
+
+    def test_retry_after_attribute_overrides_backoff(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                exc = Flaky("throttled")
+                exc.retry_after_s = 0.7
+                raise exc
+            return "ok"
+
+        call_with_retries(fn, RetryPolicy(jitter=0.0), retryable=(Flaky,), sleep=sleeps.append)
+        assert sleeps == [0.7]
+
+    def test_attempt_cap_raises_the_last_exception(self):
+        def fn():
+            raise Flaky("always")
+
+        with pytest.raises(Flaky, match="always"):
+            call_with_retries(
+                fn, RetryPolicy(jitter=0.0), retryable=(Flaky,), attempts=3, sleep=lambda s: None
+            )
+
+    def test_budget_stops_before_oversleeping(self):
+        clock = FakeClock()
+
+        def sleep(s):
+            clock.advance(s)
+
+        def fn():
+            raise Flaky("always")
+
+        with pytest.raises(Flaky):
+            call_with_retries(
+                fn,
+                RetryPolicy(base_s=1.0, multiplier=1.0, jitter=0.0),
+                retryable=(Flaky,),
+                budget_s=2.5,
+                sleep=sleep,
+                clock=clock,
+            )
+        # Slept 1.0 twice; the third retry would end past the budget.
+        assert clock.now == 2.0
+
+
+class TestLeaseHeartbeat:
+    def test_renews_until_stopped_and_counts_failures(self):
+        outcomes = iter([True, True, False, True])
+
+        def renew():
+            return next(outcomes, None) or False
+
+        hb = LeaseHeartbeat(renew, ttl_s=0.06)
+        with hb:
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while hb.renewals + hb.failures < 4 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert hb.renewals >= 2
+        assert hb.failures >= 1
+
+    def test_renew_exceptions_are_swallowed(self):
+        def renew():
+            raise RuntimeError("coordinator gone")
+
+        hb = LeaseHeartbeat(renew, ttl_s=0.03)
+        with hb:
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while hb.failures < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert hb.failures >= 1
+
+    def test_default_interval_is_a_third_of_ttl(self):
+        hb = LeaseHeartbeat(lambda: True, ttl_s=9.0)
+        assert hb.interval_s == 3.0
